@@ -1,0 +1,41 @@
+//! The parallelism the paper leaves as future work (Section 6.2): "our
+//! algorithm naturally breaks into parallel processes, where each
+//! possible value can be easily checked independently". This ablation
+//! compares the sequential per-value sweep of the Consistent
+//! Coordination Algorithm against the crossbeam-parallel sweep.
+
+use coord_core::consistent::ConsistentCoordinator;
+use coord_gen::workloads::fig7_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel_sweep");
+    group.sample_size(10);
+    let (db, config, queries) = fig7_instance(50, 600);
+    let coordinator = ConsistentCoordinator::new(&db, config).unwrap();
+
+    group.bench_function(BenchmarkId::new("threads", 1), |b| {
+        b.iter(|| {
+            coordinator
+                .run(&queries)
+                .unwrap()
+                .best
+                .map(|s| s.members.len())
+        })
+    });
+    for threads in [2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                coordinator
+                    .run_parallel(&queries, threads)
+                    .unwrap()
+                    .best
+                    .map(|s| s.members.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sweep);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Ablations for the SCC Coordination Algorithm's design choices
+//! (Section 4 running-time analysis):
+//!
+//! * **components matter**: a unique cycle of `n` queries forms one SCC
+//!   (one database query), while the non-unique list of `n` queries forms
+//!   `n` SCCs (n database queries) — same query count, very different
+//!   work.
+//! * **preprocessing pays**: a workload whose suffix is doomed (an
+//!   unmatchable postcondition deep in the chain) is cut before any
+//!   database work.
+//! * **algorithm vs exhaustive**: the SCC algorithm against brute force
+//!   on the same (small) safe instances.
+
+use coord_core::bruteforce;
+use coord_core::scc::SccCoordinator;
+use coord_gen::workloads::{fig4_queries, partner_query, pool_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A unique cycle: query i coordinates with query (i+1) mod n.
+fn cycle_queries(n: usize) -> Vec<coord_core::EntangledQuery> {
+    (0..n).map(|i| partner_query(i, &[(i + 1) % n])).collect()
+}
+
+fn bench_cycle_vs_list(c: &mut Criterion) {
+    let db = pool_db(1000);
+    let mut group = c.benchmark_group("ablation_cycle_vs_list");
+    group.sample_size(20);
+    for n in [20, 60, 100] {
+        let list = fig4_queries(n);
+        let cycle = cycle_queries(n);
+        group.bench_with_input(BenchmarkId::new("list", n), &list, |b, qs| {
+            b.iter(|| {
+                let out = SccCoordinator::new(&db).run(qs).unwrap();
+                assert_eq!(out.stats.db_queries, n);
+                out.stats.db_queries
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cycle", n), &cycle, |b, qs| {
+            b.iter(|| {
+                let out = SccCoordinator::new(&db).run(qs).unwrap();
+                assert_eq!(out.stats.db_queries, 1);
+                out.stats.db_queries
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocessing_cut(c: &mut Criterion) {
+    let db = pool_db(1000);
+    let mut group = c.benchmark_group("ablation_preprocessing");
+    group.sample_size(20);
+    for n in [20, 60, 100] {
+        // A list whose head query demands a partner nobody provides: the
+        // whole prefix is removed by preprocessing, leaving only suffix
+        // singleton coordination.
+        let mut doomed = fig4_queries(n);
+        doomed[0] = partner_query(0, &[n + 7]); // nonexistent partner
+        group.bench_with_input(BenchmarkId::new("doomed_head", n), &doomed, |b, qs| {
+            b.iter(|| {
+                let out = SccCoordinator::new(&db).run(qs).unwrap();
+                assert_eq!(out.stats.removed, 1);
+                out.stats.db_queries
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc_vs_bruteforce(c: &mut Criterion) {
+    let db = pool_db(100);
+    let mut group = c.benchmark_group("ablation_scc_vs_bruteforce");
+    group.sample_size(10);
+    for n in [6, 10, 14] {
+        let queries = fig4_queries(n);
+        group.bench_with_input(BenchmarkId::new("scc", n), &queries, |b, qs| {
+            b.iter(|| {
+                SccCoordinator::new(&db)
+                    .run(qs)
+                    .unwrap()
+                    .best()
+                    .map(|f| f.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", n), &queries, |b, qs| {
+            b.iter(|| {
+                bruteforce::max_coordinating_set(&db, qs)
+                    .unwrap()
+                    .best
+                    .map(|f| f.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cycle_vs_list,
+    bench_preprocessing_cut,
+    bench_scc_vs_bruteforce
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 4: SCC Coordination Algorithm processing time on the list
+//! structure — `n` queries where each coordinates with the next, over a
+//! Slashdot-sized tuple pool. The paper reports linear growth in `n`
+//! (this is the algorithm's worst case: one coordinating set per suffix,
+//! hence the maximum number of database queries).
+
+use coord_core::scc::SccCoordinator;
+use coord_gen::social::SLASHDOT_ROWS;
+use coord_gen::workloads::{fig4_queries, pool_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    let db = pool_db(SLASHDOT_ROWS);
+    let mut group = c.benchmark_group("fig4_list");
+    group.sample_size(20);
+    for n in [10, 25, 50, 75, 100] {
+        let queries = fig4_queries(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, queries| {
+            b.iter(|| {
+                let out = SccCoordinator::new(&db).run(queries).unwrap();
+                assert_eq!(out.best().unwrap().len(), n);
+                out.stats.db_queries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

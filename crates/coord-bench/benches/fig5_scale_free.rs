@@ -1,0 +1,36 @@
+//! Figure 5: SCC Coordination Algorithm processing time on scale-free
+//! coordination structures. As in the paper, each point averages over 10
+//! randomly generated Barabási–Albert graphs of the same size; the paper
+//! reports linear growth, faster than the list structure of Figure 4.
+
+use coord_core::scc::SccCoordinator;
+use coord_gen::social::SLASHDOT_ROWS;
+use coord_gen::workloads::{fig5_queries, pool_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+
+fn bench_fig5(c: &mut Criterion) {
+    let db = pool_db(SLASHDOT_ROWS);
+    let mut group = c.benchmark_group("fig5_scale_free");
+    group.sample_size(20);
+    for n in [10, 25, 50, 75, 100] {
+        // Ten random graphs per size, as in the paper's averaging.
+        let workloads: Vec<_> = (0..10u64)
+            .map(|seed| fig5_queries(n, 2, &mut StdRng::seed_from_u64(seed)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workloads, |b, ws| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for queries in ws {
+                    let out = SccCoordinator::new(&db).run(queries).unwrap();
+                    total += out.best().map(|f| f.len()).unwrap_or(0);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6: graph construction and preprocessing time for large
+//! scale-free coordination graphs (100–1000 queries, 10 random graphs
+//! per size). The paper reports that "even for very large coordination
+//! graphs, the graph processing time is negligible, and grows very
+//! slowly" — this bench isolates exactly that phase (safety check,
+//! pruning, coordination graph, Tarjan SCC, condensation; no database
+//! grounding).
+
+use coord_core::scc::preprocess;
+use coord_gen::workloads::{fig5_queries, pool_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+
+fn bench_fig6(c: &mut Criterion) {
+    let db = pool_db(1000);
+    let mut group = c.benchmark_group("fig6_graph_processing");
+    group.sample_size(10);
+    for n in [100, 250, 500, 750, 1000] {
+        let workloads: Vec<_> = (0..10u64)
+            .map(|seed| fig5_queries(n, 2, &mut StdRng::seed_from_u64(seed)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &workloads, |b, ws| {
+            b.iter(|| {
+                let mut comps = 0usize;
+                for queries in ws {
+                    let pre = preprocess(&db, queries).unwrap();
+                    comps += pre.cond.len();
+                }
+                comps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

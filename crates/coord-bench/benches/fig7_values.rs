@@ -1,0 +1,30 @@
+//! Figure 7: Consistent Coordination Algorithm processing time as a
+//! function of the number of possible coordination-attribute values.
+//! 50 unconstrained queries, a complete friendship graph, and a flights
+//! table of 100–1000 rows with all-distinct (destination, day) pairs —
+//! the worst case where no value ever prunes anything. The paper reports
+//! linear growth in the option count.
+
+use coord_core::consistent::ConsistentCoordinator;
+use coord_gen::workloads::fig7_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_values");
+    group.sample_size(10);
+    for rows in [100, 250, 500, 750, 1000] {
+        let (db, config, queries) = fig7_instance(50, rows);
+        let coordinator = ConsistentCoordinator::new(&db, config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &queries, |b, queries| {
+            b.iter(|| {
+                let out = coordinator.run(queries).unwrap();
+                assert_eq!(out.stats.values_considered, rows);
+                out.best.map(|s| s.members.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

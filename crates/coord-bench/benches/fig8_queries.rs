@@ -1,0 +1,29 @@
+//! Figure 8: Consistent Coordination Algorithm processing time as a
+//! function of the number of queries. Flights table fixed at 100 tuples
+//! (each a distinct destination/day combination), complete friendship
+//! graph, 10–100 unconstrained queries. The paper reports linear growth
+//! in the query count.
+
+use coord_core::consistent::ConsistentCoordinator;
+use coord_gen::workloads::fig8_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_queries");
+    group.sample_size(10);
+    for n in [10, 25, 50, 75, 100] {
+        let (db, config, queries) = fig8_instance(n, 100);
+        let coordinator = ConsistentCoordinator::new(&db, config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, queries| {
+            b.iter(|| {
+                let out = coordinator.run(queries).unwrap();
+                assert_eq!(out.best.as_ref().map(|s| s.members.len()), Some(n));
+                out.stats.db_queries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

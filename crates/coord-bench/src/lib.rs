@@ -1,0 +1,9 @@
+//! # coord-bench — experiment harness
+//!
+//! Shared measurement utilities for the benchmark targets and the
+//! `reproduce` binary that regenerates every figure of the paper's
+//! Section 6 evaluation.
+
+pub mod harness;
+
+pub use harness::{measure, MeasuredPoint, Series};

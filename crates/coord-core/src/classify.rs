@@ -1,0 +1,386 @@
+//! Recognizing the consistent fragment: Definitions 7–9 on *general*
+//! entangled queries.
+//!
+//! [`classify`] checks whether an arbitrary [`EntangledQuery`] has the
+//! Section 5 general form
+//!
+//! ```text
+//! {R(y_1, f_1), R(y_2, c_2), ...}  R(x, User) :-
+//!     S(x, a^x_1, ..., a^x_d), F(User, f_1), Π_i S(y_i, a^i_1, ..., a^i_d)
+//! ```
+//!
+//! and is **A-consistent** — A-coordinating (Definition 7: the same
+//! constant or variable for the user and all partners on every
+//! coordination attribute) and Ā-non-coordinating (Definition 8: all
+//! partner terms on non-coordination attributes are distinct fresh
+//! variables) — returning the recovered structured
+//! [`ConsistentQuery`]. It is the inverse of
+//! [`ConsistentQuery::to_entangled`], which the round-trip tests pin
+//! down.
+
+use crate::consistent::{ConsistentConfig, ConsistentQuery, Partner};
+use crate::query::EntangledQuery;
+use coord_db::{Atom, Database, Term, Value, Var};
+use std::collections::HashMap;
+
+/// Why a query is not in the consistent fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotConsistent {
+    /// The query must have exactly one head of the form `R(x, User)`.
+    BadHead(String),
+    /// A postcondition is not of the form `R(y, partner)`.
+    BadPostcondition(String),
+    /// A body atom is neither an `S`-atom nor a binary friendship atom.
+    BadBodyAtom(String),
+    /// The user's own `S(x, ...)`-atom is missing or duplicated.
+    BadSelfAtom(String),
+    /// A partner's tuple variable `y_i` has no (or multiple) `S`-atoms.
+    BadPartnerAtom(String),
+    /// A variable partner `f_i` lacks its `F(User, f_i)` friendship atom.
+    UnboundFriendVariable(String),
+    /// Definition 7 fails: user and partners disagree on a coordination
+    /// attribute.
+    NotACoordinating { attribute: String },
+    /// Definition 8 fails: a partner constrains (or shares) a
+    /// non-coordination attribute.
+    NotNonCoordinating { attribute: String },
+    /// The database schema does not match the configuration.
+    Schema(String),
+}
+
+impl std::fmt::Display for NotConsistent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NotConsistent::BadHead(m) => write!(f, "head is not R(x, User): {m}"),
+            NotConsistent::BadPostcondition(m) => {
+                write!(f, "postcondition is not R(y, partner): {m}")
+            }
+            NotConsistent::BadBodyAtom(m) => write!(f, "unexpected body atom: {m}"),
+            NotConsistent::BadSelfAtom(m) => write!(f, "bad self tuple atom: {m}"),
+            NotConsistent::BadPartnerAtom(m) => write!(f, "bad partner tuple atom: {m}"),
+            NotConsistent::UnboundFriendVariable(m) => {
+                write!(f, "friend variable without friendship atom: {m}")
+            }
+            NotConsistent::NotACoordinating { attribute } => {
+                write!(
+                    f,
+                    "not A-coordinating on attribute `{attribute}` (Definition 7)"
+                )
+            }
+            NotConsistent::NotNonCoordinating { attribute } => write!(
+                f,
+                "not non-coordinating on attribute `{attribute}` (Definition 8)"
+            ),
+            NotConsistent::Schema(m) => write!(f, "schema mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NotConsistent {}
+
+/// Check Definitions 7–9 for `query` under `config`, recovering the
+/// structured form on success.
+pub fn classify(
+    query: &EntangledQuery,
+    config: &ConsistentConfig,
+    db: &Database,
+) -> Result<ConsistentQuery, NotConsistent> {
+    let table = db
+        .table(&config.table)
+        .map_err(|e| NotConsistent::Schema(e.to_string()))?;
+    let schema = table.schema();
+    let key_pos = schema
+        .attr_index(&config.key)
+        .ok_or_else(|| NotConsistent::Schema(format!("missing key `{}`", config.key)))?;
+    let coord_pos: Vec<usize> = config
+        .coord_attrs
+        .iter()
+        .map(|a| {
+            schema
+                .attr_index(a)
+                .ok_or_else(|| NotConsistent::Schema(format!("missing attribute `{a}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    let personal_pos: Vec<usize> = config
+        .personal_attrs
+        .iter()
+        .map(|a| {
+            schema
+                .attr_index(a)
+                .ok_or_else(|| NotConsistent::Schema(format!("missing attribute `{a}`")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // --- Head: exactly one R(x, User) with x a variable, User constant.
+    let [head]: &[Atom] = query.heads() else {
+        return Err(NotConsistent::BadHead(format!(
+            "{} heads",
+            query.heads().len()
+        )));
+    };
+    if head.arity() != 2 {
+        return Err(NotConsistent::BadHead(format!("arity {}", head.arity())));
+    }
+    let Some(x) = head.terms[0].as_var() else {
+        return Err(NotConsistent::BadHead(
+            "tuple position must be a variable".into(),
+        ));
+    };
+    let Some(user) = head.terms[1].as_const().cloned() else {
+        return Err(NotConsistent::BadHead(
+            "user position must be a constant".into(),
+        ));
+    };
+    let answer_rel = &head.relation;
+
+    // --- Partition body atoms into S-atoms and friendship atoms.
+    let mut s_atoms: Vec<&Atom> = Vec::new();
+    let mut friend_atoms: Vec<&Atom> = Vec::new();
+    for atom in query.body() {
+        if atom.relation == config.table {
+            if atom.arity() != schema.arity() {
+                return Err(NotConsistent::BadBodyAtom(format!(
+                    "S-atom arity {}",
+                    atom.arity()
+                )));
+            }
+            s_atoms.push(atom);
+        } else {
+            // Friendship atoms: binary, first argument = the user constant.
+            if atom.arity() == 2 && atom.terms[0].as_const() == Some(&user) {
+                friend_atoms.push(atom);
+            } else {
+                return Err(NotConsistent::BadBodyAtom(format!("{atom:?}")));
+            }
+        }
+    }
+
+    // Index S-atoms by their key-position variable.
+    let mut s_by_var: HashMap<Var, &Atom> = HashMap::new();
+    for atom in &s_atoms {
+        let Some(v) = atom.terms[key_pos].as_var() else {
+            return Err(NotConsistent::BadBodyAtom(format!(
+                "S-atom key position must be a variable: {atom:?}"
+            )));
+        };
+        if s_by_var.insert(v, atom).is_some() {
+            return Err(NotConsistent::BadPartnerAtom(format!(
+                "two S-atoms share tuple variable {v:?}"
+            )));
+        }
+    }
+    let self_atom = *s_by_var
+        .get(&x)
+        .ok_or_else(|| NotConsistent::BadSelfAtom(format!("no S-atom for {x:?}")))?;
+
+    // --- Postconditions: R(y_i, partner_i).
+    let mut partners: Vec<Partner> = Vec::new();
+    let mut partner_atoms: Vec<&Atom> = Vec::new();
+    for p in query.postconditions() {
+        if &p.relation != answer_rel || p.arity() != 2 {
+            return Err(NotConsistent::BadPostcondition(format!("{p:?}")));
+        }
+        let Some(y) = p.terms[0].as_var() else {
+            return Err(NotConsistent::BadPostcondition(
+                "tuple position must be a variable".into(),
+            ));
+        };
+        let atom = *s_by_var
+            .get(&y)
+            .ok_or_else(|| NotConsistent::BadPartnerAtom(format!("no S-atom for {y:?}")))?;
+        partner_atoms.push(atom);
+        match &p.terms[1] {
+            Term::Const(c) => partners.push(Partner::Named(c.clone())),
+            Term::Var(f) => {
+                // Must be bound by exactly one friendship atom F(User, f).
+                let matching: Vec<&&Atom> = friend_atoms
+                    .iter()
+                    .filter(|a| a.terms[1].as_var() == Some(*f))
+                    .collect();
+                let [friendship] = matching.as_slice() else {
+                    return Err(NotConsistent::UnboundFriendVariable(format!("{f:?}")));
+                };
+                if friendship.relation == config.friends {
+                    partners.push(Partner::AnyFriend);
+                } else {
+                    partners.push(Partner::AnyFriendVia(friendship.relation.clone()));
+                }
+            }
+        }
+    }
+
+    // Every S-atom must be the self atom or some partner's atom.
+    if s_atoms.len() != 1 + partner_atoms.len() {
+        return Err(NotConsistent::BadPartnerAtom(format!(
+            "{} S-atoms for {} partners",
+            s_atoms.len(),
+            partner_atoms.len()
+        )));
+    }
+
+    // --- Definition 7 (A-coordinating): per coordination attribute, the
+    // user's term and every partner's term must be identical.
+    let mut coord: Vec<Option<Value>> = Vec::with_capacity(coord_pos.len());
+    for (j, &pos) in coord_pos.iter().enumerate() {
+        let own = &self_atom.terms[pos];
+        for atom in &partner_atoms {
+            if &atom.terms[pos] != own {
+                return Err(NotConsistent::NotACoordinating {
+                    attribute: config.coord_attrs[j].clone(),
+                });
+            }
+        }
+        coord.push(own.as_const().cloned());
+    }
+
+    // --- Definition 8 (Ā-non-coordinating): on every non-coordination
+    // attribute, all partner terms are variables, pairwise distinct, and
+    // distinct from every other variable occurrence in the query.
+    let mut occurrence_count: HashMap<Var, usize> = HashMap::new();
+    for atom in query.all_atoms() {
+        for v in atom.vars() {
+            *occurrence_count.entry(v).or_insert(0) += 1;
+        }
+    }
+    let mut personal: Vec<Option<Value>> = Vec::with_capacity(personal_pos.len());
+    for (j, &pos) in personal_pos.iter().enumerate() {
+        for atom in &partner_atoms {
+            match atom.terms[pos].as_var() {
+                Some(v) if occurrence_count[&v] == 1 => {}
+                _ => {
+                    return Err(NotConsistent::NotNonCoordinating {
+                        attribute: config.personal_attrs[j].clone(),
+                    });
+                }
+            }
+        }
+        personal.push(self_atom.terms[pos].as_const().cloned());
+    }
+
+    Ok(ConsistentQuery {
+        user,
+        partners,
+        coord,
+        personal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn setup() -> (Database, ConsistentConfig) {
+        let mut db = Database::new();
+        db.create_table("S", &["key", "place", "item"]).unwrap();
+        db.insert("S", vec![Value::int(1), Value::str("P"), Value::str("I")])
+            .unwrap();
+        db.create_table("F", &["user", "friend"]).unwrap();
+        db.create_table("Colleagues", &["user", "peer"]).unwrap();
+        (
+            db,
+            ConsistentConfig::new("S", "key", &["place"], &["item"], "F"),
+        )
+    }
+
+    #[test]
+    fn round_trips_with_to_entangled() {
+        let (db, config) = setup();
+        let cases = vec![
+            ConsistentQuery::for_user("Alice", 1, 1),
+            ConsistentQuery::for_user("Alice", 1, 1).with_any_friend(),
+            ConsistentQuery::for_user("Alice", 1, 1)
+                .with_named_partner("Bob")
+                .coord_const(0, "P"),
+            ConsistentQuery::for_user("Alice", 1, 1)
+                .with_any_friend()
+                .with_named_partner("Carol")
+                .personal_const(0, "I"),
+            ConsistentQuery::for_user("Alice", 1, 1).with_any_friend_via("Colleagues"),
+        ];
+        for q in cases {
+            let ent = q.to_entangled(&config, &db).unwrap();
+            let back = classify(&ent, &config, &db)
+                .unwrap_or_else(|e| panic!("classify failed on {q:?}: {e}"));
+            assert_eq!(back, q);
+        }
+    }
+
+    #[test]
+    fn rejects_coordination_disagreement() {
+        // The user's tuple and the partner's tuple use different
+        // coordination-attribute variables: not A-coordinating.
+        let (db, config) = setup();
+        let q = parse_query("{R(y, Bob)} R(x, Alice) :- S(x, a, p), S(y, b, q)").unwrap();
+        let err = classify(&q, &config, &db).unwrap_err();
+        assert!(
+            matches!(err, NotConsistent::NotACoordinating { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_partner_personal_constraint() {
+        // The partner's item is constrained to a constant: not
+        // non-coordinating (Definition 8).
+        let (db, config) = setup();
+        let q = parse_query("{R(y, Bob)} R(x, Alice) :- S(x, a, p), S(y, a, ItemX)").unwrap();
+        let err = classify(&q, &config, &db).unwrap_err();
+        assert!(
+            matches!(err, NotConsistent::NotNonCoordinating { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_shared_personal_variable() {
+        // The partner's item *shares* the user's item variable: partners
+        // must use fresh distinct variables on non-coordination attrs.
+        let (db, config) = setup();
+        let q = parse_query("{R(y, Bob)} R(x, Alice) :- S(x, a, p), S(y, a, p)").unwrap();
+        let err = classify(&q, &config, &db).unwrap_err();
+        assert!(
+            matches!(err, NotConsistent::NotNonCoordinating { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_missing_friendship_atom() {
+        let (db, config) = setup();
+        let q = parse_query("{R(y, f)} R(x, Alice) :- S(x, a, p), S(y, a, q)").unwrap();
+        let err = classify(&q, &config, &db).unwrap_err();
+        assert!(
+            matches!(err, NotConsistent::UnboundFriendVariable(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_multi_head_queries() {
+        let (db, config) = setup();
+        let q = parse_query("{} R(x, Alice), R(y, Alice2) :- S(x, a, p), S(y, a, q)").unwrap();
+        let err = classify(&q, &config, &db).unwrap_err();
+        assert!(matches!(err, NotConsistent::BadHead(_)), "{err}");
+    }
+
+    #[test]
+    fn accepts_paper_general_form_written_by_hand() {
+        // The Section 5 general form written in the textual syntax; the
+        // coordination attribute `place` is the shared variable `a`.
+        let (db, config) = setup();
+        let q = parse_query(
+            "{R(y1, f1), R(y2, Carol)} R(x, Alice) :- \
+             S(x, a, MyItem), F(Alice, f1), S(y1, a, u1), S(y2, a, u2)",
+        )
+        .unwrap();
+        let c = classify(&q, &config, &db).unwrap();
+        assert_eq!(c.user, Value::str("Alice"));
+        assert_eq!(
+            c.partners,
+            vec![Partner::AnyFriend, Partner::Named(Value::str("Carol"))]
+        );
+        assert_eq!(c.coord, vec![None]);
+        assert_eq!(c.personal, vec![Some(Value::str("MyItem"))]);
+    }
+}

@@ -1,0 +1,1021 @@
+//! The **Consistent Coordination Algorithm** (Section 5): coordination for
+//! *unsafe* query sets, exploiting application knowledge that all users
+//! coordinate on the same attributes.
+//!
+//! Setting (Definitions 7–9): a relation `S(key, A_1, ..., A_d)`, a binary
+//! friendship relation `F(user, friend)`, and one query per user of the
+//! form
+//!
+//! ```text
+//! {R(y_1, f_1), R(y_2, c_2), ...}  R(x, User) :-
+//!     S(x, a^x_1, ..., a^x_d), F(User, f_1), Π_i S(y_i, a^i_1, ..., a^i_d)
+//! ```
+//!
+//! where every query is **A-consistent**: it is A-coordinating (the same
+//! constant/variable for itself and all partners on every coordination
+//! attribute) and (Ā)-non-coordinating (partners unconstrained on the
+//! rest). Proposition 1 then guarantees that if any coordinating set
+//! exists, one exists in which *all* tuples agree on the coordination
+//! attributes — so the algorithm can simply sweep the option values:
+//!
+//! 1. compute each query's option list `V(q)` with one distinct-value
+//!    database query,
+//! 2. build the pruned coordination graph (friendship-aware),
+//! 3. for every `v ∈ V(Q) = ∪ V(q)`: restrict to `G_v`, run the cleaning
+//!    phase to a fixpoint, and record the surviving set,
+//! 4. return the largest surviving set (the guarantee: a maximum-size
+//!    coordinating set among those agreeing on the coordination
+//!    attributes), grounding each member to a concrete tuple key.
+//!
+//! The total database work is `O(n)` queries; the graph work is `O(n²)`
+//! per option value (Section 5, "Running time").
+
+use crate::error::CoordError;
+use coord_db::{Atom, ConjunctiveQuery, Database, Symbol, Term, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A coordination partner specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Partner {
+    /// A specific user, given as a constant (need not be a friend — in the
+    /// movies example Chris names Will although they are not friends).
+    Named(Value),
+    /// Any one friend from the default friendship relation (`f_1` in the
+    /// general form).
+    AnyFriend,
+    /// Any one contact from a *different* binary relation (e.g. a
+    /// `Colleagues` table) — the "more than one binary relation to specify
+    /// coordination partners" generalization of Section 5's discussion.
+    AnyFriendVia(Symbol),
+    /// At least `k` friends — the generalization discussed at the end of
+    /// Section 5, which is *not expressible* in entangled-query syntax.
+    AtLeastFriends(usize),
+}
+
+/// One user's A-consistent query, in structured form.
+///
+/// `coord[j]` constrains coordination attribute `A_j` (`None` = don't
+/// care); by A-consistency the same constraint applies to the user and all
+/// partners. `personal[j]` constrains the user's own tuple on the j-th
+/// non-coordination attribute; partners are unconstrained there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsistentQuery {
+    pub user: Value,
+    pub partners: Vec<Partner>,
+    pub coord: Vec<Option<Value>>,
+    pub personal: Vec<Option<Value>>,
+}
+
+impl ConsistentQuery {
+    /// A query with no partner requirements and no constraints.
+    pub fn for_user(user: impl Into<Value>, n_coord: usize, n_personal: usize) -> Self {
+        ConsistentQuery {
+            user: user.into(),
+            partners: Vec::new(),
+            coord: vec![None; n_coord],
+            personal: vec![None; n_personal],
+        }
+    }
+
+    /// Require a named partner.
+    pub fn with_named_partner(mut self, user: impl Into<Value>) -> Self {
+        self.partners.push(Partner::Named(user.into()));
+        self
+    }
+
+    /// Require any one friend as partner.
+    pub fn with_any_friend(mut self) -> Self {
+        self.partners.push(Partner::AnyFriend);
+        self
+    }
+
+    /// Require any one contact from the named binary relation as partner.
+    pub fn with_any_friend_via(mut self, relation: impl Into<Symbol>) -> Self {
+        self.partners.push(Partner::AnyFriendVia(relation.into()));
+        self
+    }
+
+    /// Require at least `k` friends as partners.
+    pub fn with_at_least_friends(mut self, k: usize) -> Self {
+        self.partners.push(Partner::AtLeastFriends(k));
+        self
+    }
+
+    /// Constrain coordination attribute `j` to a constant.
+    pub fn coord_const(mut self, j: usize, v: impl Into<Value>) -> Self {
+        self.coord[j] = Some(v.into());
+        self
+    }
+
+    /// Constrain personal (non-coordination) attribute `j` to a constant.
+    pub fn personal_const(mut self, j: usize, v: impl Into<Value>) -> Self {
+        self.personal[j] = Some(v.into());
+        self
+    }
+}
+
+impl ConsistentQuery {
+    /// Encode this query in the general entangled-query syntax of
+    /// Section 5:
+    ///
+    /// ```text
+    /// {R(y_1, f_1), R(y_2, c_2), ...}  R(x, User) :-
+    ///     S(x, a^x_1, ..., a^x_d), F(User, f_1), Π_i S(y_i, a^i_1, ...)
+    /// ```
+    ///
+    /// Coordination attributes share one term between the user's and every
+    /// partner's tuple (A-coordinating); non-coordination attributes get
+    /// fresh variables per partner (Ā-non-coordinating). Fails with
+    /// [`CoordError::NotExpressible`] for [`Partner::AtLeastFriends`] with
+    /// `k ≠ 1` — the paper notes this coordination type "is not even
+    /// expressible in the current entangled query syntax".
+    pub fn to_entangled(
+        &self,
+        config: &ConsistentConfig,
+        db: &Database,
+    ) -> Result<crate::query::EntangledQuery, CoordError> {
+        use coord_db::Atom;
+
+        let table = db.table(&config.table)?;
+        let schema = table.schema();
+        let key_pos = schema.require_attr(&config.key)?;
+        let coord_pos: Vec<usize> = config
+            .coord_attrs
+            .iter()
+            .map(|a| schema.require_attr(a))
+            .collect::<Result<_, _>>()?;
+        let personal_pos: Vec<usize> = config
+            .personal_attrs
+            .iter()
+            .map(|a| schema.require_attr(a))
+            .collect::<Result<_, _>>()?;
+        let friends_table = db.table(&config.friends)?;
+        debug_assert_eq!(friends_table.schema().arity(), 2);
+
+        let mut next_var = 0u32;
+        let mut var_names: Vec<String> = Vec::new();
+        let mut fresh = |name: String, var_names: &mut Vec<String>| -> Term {
+            let v = Term::Var(coord_db::Var(next_var));
+            next_var += 1;
+            var_names.push(name);
+            v
+        };
+
+        // Shared coordination-attribute terms.
+        let coord_terms: Vec<Term> = self
+            .coord
+            .iter()
+            .enumerate()
+            .map(|(j, c)| match c {
+                Some(v) => Term::Const(v.clone()),
+                None => fresh(format!("a{j}"), &mut var_names),
+            })
+            .collect();
+
+        // The encoding requires every attribute of S to be key, coordination
+        // or personal — otherwise some position would be unconstrained in a
+        // way Definitions 7–9 do not describe.
+        if schema.arity() != 1 + coord_pos.len() + personal_pos.len() {
+            return Err(CoordError::UnknownCoordAttribute {
+                attribute: format!(
+                    "schema of `{}` has {} attributes but key+coord+personal cover {}",
+                    config.table,
+                    schema.arity(),
+                    1 + coord_pos.len() + personal_pos.len()
+                ),
+            });
+        }
+
+        // One S-atom builder: key term + coordination terms + per-tuple
+        // personal terms.
+        let make_s_atom = |key: Term, personal: Vec<Term>| {
+            let mut terms: Vec<Term> = vec![Term::Const(Value::int(0)); schema.arity()];
+            terms[key_pos] = key;
+            for (j, p) in coord_pos.iter().enumerate() {
+                terms[*p] = coord_terms[j].clone();
+            }
+            for (j, p) in personal_pos.iter().enumerate() {
+                terms[*p] = personal[j].clone();
+            }
+            Atom::new(config.table.clone(), terms)
+        };
+
+        let mut postconditions = Vec::new();
+        let mut body = Vec::new();
+
+        // The user's own tuple.
+        let x = fresh("x".to_string(), &mut var_names);
+        let own_personal: Vec<Term> = self
+            .personal
+            .iter()
+            .enumerate()
+            .map(|(j, c)| match c {
+                Some(v) => Term::Const(v.clone()),
+                None => fresh(format!("p{j}"), &mut var_names),
+            })
+            .collect();
+        body.push(make_s_atom(x.clone(), own_personal));
+
+        // Partner atoms.
+        for (i, partner) in self.partners.iter().enumerate() {
+            let y = fresh(format!("y{i}"), &mut var_names);
+            let partner_term = match partner {
+                Partner::Named(u) => Term::Const(u.clone()),
+                Partner::AnyFriend | Partner::AnyFriendVia(_) | Partner::AtLeastFriends(1) => {
+                    let relation = match partner {
+                        Partner::AnyFriendVia(r) => r.clone(),
+                        _ => config.friends.clone(),
+                    };
+                    let f = fresh(format!("f{i}"), &mut var_names);
+                    body.push(Atom::new(
+                        relation,
+                        vec![Term::Const(self.user.clone()), f.clone()],
+                    ));
+                    f
+                }
+                Partner::AtLeastFriends(k) => {
+                    return Err(CoordError::NotExpressible {
+                        feature: format!("coordination with at least {k} friends"),
+                    });
+                }
+            };
+            postconditions.push(Atom::new("R", vec![y.clone(), partner_term]));
+            // Partner's tuple: fresh personal variables (non-coordinating).
+            let partner_personal: Vec<Term> = (0..personal_pos.len())
+                .map(|j| fresh(format!("q{i}_{j}"), &mut var_names))
+                .collect();
+            body.push(make_s_atom(y, partner_personal));
+        }
+
+        let head = Atom::new("R", vec![x, Term::Const(self.user.clone())]);
+        crate::query::EntangledQuery::new(
+            format!("q[{}]", self.user),
+            postconditions,
+            vec![head],
+            body,
+            var_names,
+        )
+    }
+}
+
+/// Schema binding for the algorithm: which table holds the candidate
+/// tuples, which attributes are coordinated on, and where friendships
+/// live.
+#[derive(Clone, Debug)]
+pub struct ConsistentConfig {
+    /// The candidate-tuple relation `S`.
+    pub table: Symbol,
+    /// Name of `S`'s key attribute.
+    pub key: String,
+    /// Names of the coordination attributes `A ⊆ attrs(S)`.
+    pub coord_attrs: Vec<String>,
+    /// Names of the remaining (personal) attributes.
+    pub personal_attrs: Vec<String>,
+    /// The friendship relation `F(user, friend)` (arity 2).
+    pub friends: Symbol,
+}
+
+impl ConsistentConfig {
+    /// Convenience constructor.
+    pub fn new(
+        table: impl Into<Symbol>,
+        key: impl Into<String>,
+        coord_attrs: &[&str],
+        personal_attrs: &[&str],
+        friends: impl Into<Symbol>,
+    ) -> Self {
+        ConsistentConfig {
+            table: table.into(),
+            key: key.into(),
+            coord_attrs: coord_attrs.iter().map(|s| s.to_string()).collect(),
+            personal_attrs: personal_attrs.iter().map(|s| s.to_string()).collect(),
+            friends: friends.into(),
+        }
+    }
+
+    /// Check the configured attributes against the database schema.
+    pub fn validate(&self, db: &Database) -> Result<(), CoordError> {
+        let table = db.table(&self.table)?;
+        let schema = table.schema();
+        for attr in std::iter::once(&self.key)
+            .chain(&self.coord_attrs)
+            .chain(&self.personal_attrs)
+        {
+            if schema.attr_index(attr).is_none() {
+                return Err(CoordError::UnknownCoordAttribute {
+                    attribute: attr.clone(),
+                });
+            }
+        }
+        let friends = db.table(&self.friends)?;
+        if friends.schema().arity() != 2 {
+            return Err(CoordError::Db(coord_db::DbError::ArityMismatch {
+                relation: self.friends.to_string(),
+                expected: 2,
+                actual: friends.schema().arity(),
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// A value of the coordination attributes (one entry per attribute in
+/// `coord_attrs` order).
+pub type CoordValue = Vec<Value>;
+
+/// Statistics for a run (mirrors the measurements of Figures 7–8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConsistentStats {
+    /// Database queries issued (option lists + friend lists + final
+    /// groundings) — linear in the number of queries.
+    pub db_queries: usize,
+    /// Edges in the pruned coordination graph.
+    pub graph_edges: usize,
+    /// Option values considered (|V(Q)|).
+    pub values_considered: usize,
+    /// Total cleaning-phase removal rounds across all values.
+    pub cleaning_rounds: usize,
+}
+
+/// The chosen coordinating set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsistentSet {
+    /// The agreed value of the coordination attributes.
+    pub value: CoordValue,
+    /// Indices (into the input query slice) of the member queries.
+    pub members: Vec<usize>,
+    /// Mapping user → selected tuple key.
+    pub assignment: Vec<(Value, Value)>,
+}
+
+/// Outcome of the Consistent Coordination Algorithm.
+#[derive(Clone, Debug)]
+pub struct ConsistentOutcome {
+    /// `V(q)` per input query (empty = body unsatisfiable, pruned).
+    pub option_lists: Vec<Vec<CoordValue>>,
+    /// Surviving-set size per option value, in sweep order.
+    pub per_value: Vec<(CoordValue, usize)>,
+    /// The selected (maximum-size) coordinating set, if any value survived.
+    pub best: Option<ConsistentSet>,
+    /// Run statistics.
+    pub stats: ConsistentStats,
+}
+
+/// The Consistent Coordination Algorithm.
+pub struct ConsistentCoordinator<'a> {
+    db: &'a Database,
+    config: ConsistentConfig,
+}
+
+impl<'a> ConsistentCoordinator<'a> {
+    /// Bind the algorithm to a database and schema configuration.
+    pub fn new(db: &'a Database, config: ConsistentConfig) -> Result<Self, CoordError> {
+        config.validate(db)?;
+        Ok(ConsistentCoordinator { db, config })
+    }
+
+    /// The schema configuration.
+    pub fn config(&self) -> &ConsistentConfig {
+        &self.config
+    }
+
+    /// Run the algorithm over one query per user.
+    pub fn run(&self, queries: &[ConsistentQuery]) -> Result<ConsistentOutcome, CoordError> {
+        self.run_inner(queries, None)
+    }
+
+    /// Run with the per-value sweep parallelized over `threads` workers
+    /// (the parallelism noted as future work in Section 6.2).
+    pub fn run_parallel(
+        &self,
+        queries: &[ConsistentQuery],
+        threads: usize,
+    ) -> Result<ConsistentOutcome, CoordError> {
+        self.run_inner(queries, Some(threads.max(1)))
+    }
+
+    fn run_inner(
+        &self,
+        queries: &[ConsistentQuery],
+        threads: Option<usize>,
+    ) -> Result<ConsistentOutcome, CoordError> {
+        let mut stats = ConsistentStats::default();
+
+        // Step 1: option lists V(q), one distinct-value query each.
+        let mut option_lists: Vec<Vec<CoordValue>> = Vec::with_capacity(queries.len());
+        for q in queries {
+            option_lists.push(self.option_list(q)?);
+            stats.db_queries += 1;
+        }
+        let option_sets: Vec<HashSet<&CoordValue>> =
+            option_lists.iter().map(|l| l.iter().collect()).collect();
+
+        // Friend lists: one lookup per (query, friendship relation) the
+        // query actually uses — supporting the multiple-binary-relation
+        // generalization of Section 5.
+        let mut friends: Vec<HashMap<Symbol, HashSet<Value>>> = Vec::with_capacity(queries.len());
+        for q in queries {
+            let mut map: HashMap<Symbol, HashSet<Value>> = HashMap::new();
+            for p in &q.partners {
+                let rel = match p {
+                    Partner::AnyFriend | Partner::AtLeastFriends(_) => self.config.friends.clone(),
+                    Partner::AnyFriendVia(r) => r.clone(),
+                    Partner::Named(_) => continue,
+                };
+                if let std::collections::hash_map::Entry::Vacant(e) = map.entry(rel) {
+                    let set = self.friends_of_via(&q.user, e.key())?;
+                    stats.db_queries += 1;
+                    e.insert(set);
+                }
+            }
+            friends.push(map);
+        }
+
+        // User → query index (first query wins if a user submitted twice).
+        let mut by_user: HashMap<&Value, usize> = HashMap::new();
+        for (i, q) in queries.iter().enumerate() {
+            by_user.entry(&q.user).or_insert(i);
+        }
+
+        // Step 2: pruned coordination graph. `adj[i]` = queries that can
+        // serve i's requirements; only queries with non-empty V(q) are
+        // present.
+        let alive: Vec<bool> = option_lists.iter().map(|l| !l.is_empty()).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); queries.len()];
+        for (i, q) in queries.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let mut targets: HashSet<usize> = HashSet::new();
+            for p in &q.partners {
+                match p {
+                    Partner::Named(u) => {
+                        if let Some(&j) = by_user.get(u) {
+                            if j != i && alive[j] {
+                                targets.insert(j);
+                            }
+                        }
+                    }
+                    Partner::AnyFriend | Partner::AnyFriendVia(_) | Partner::AtLeastFriends(_) => {
+                        let rel = partner_relation(p, &self.config);
+                        for f in friends[i].get(&rel).into_iter().flatten() {
+                            if let Some(&j) = by_user.get(f) {
+                                if j != i && alive[j] {
+                                    targets.insert(j);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            adj[i] = targets.into_iter().collect();
+            adj[i].sort_unstable();
+            stats.graph_edges += adj[i].len();
+        }
+
+        // Step 3: the option sweep. V(Q) in deterministic (sorted) order.
+        let mut all_values: Vec<CoordValue> = {
+            let mut set: HashSet<CoordValue> = HashSet::new();
+            for l in &option_lists {
+                set.extend(l.iter().cloned());
+            }
+            let mut v: Vec<CoordValue> = set.into_iter().collect();
+            v.sort();
+            v
+        };
+        stats.values_considered = all_values.len();
+
+        let sweep = |v: &CoordValue| -> (usize, Vec<usize>, usize) {
+            clean_value(
+                &self.config,
+                queries,
+                &option_sets,
+                &by_user,
+                &friends,
+                &alive,
+                v,
+            )
+        };
+
+        let mut per_value: Vec<(CoordValue, usize)> = Vec::with_capacity(all_values.len());
+        let mut survivors: Vec<Vec<usize>> = Vec::with_capacity(all_values.len());
+        match threads {
+            None | Some(1) => {
+                for v in &all_values {
+                    let (size, members, rounds) = sweep(v);
+                    stats.cleaning_rounds += rounds;
+                    per_value.push((v.clone(), size));
+                    survivors.push(members);
+                }
+            }
+            Some(t) => {
+                // Every option value is independent: chunk the sweep
+                // across scoped threads sharing the read-only state.
+                let results: Vec<(usize, Vec<usize>, usize)> = crossbeam::thread::scope(|scope| {
+                    let chunk = all_values.len().div_ceil(t);
+                    let mut handles = Vec::new();
+                    for ch in all_values.chunks(chunk.max(1)) {
+                        let sweep = &sweep;
+                        handles
+                            .push(scope.spawn(move |_| ch.iter().map(sweep).collect::<Vec<_>>()));
+                    }
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("sweep worker panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope");
+                for (v, (size, members, rounds)) in all_values.iter().zip(results) {
+                    stats.cleaning_rounds += rounds;
+                    per_value.push((v.clone(), size));
+                    survivors.push(members);
+                }
+            }
+        }
+
+        // Step 4: select the maximum surviving set and ground it.
+        let best_idx = per_value
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, (_, size))| (*size, std::cmp::Reverse(*i)))
+            .filter(|(_, (_, size))| *size > 0)
+            .map(|(i, _)| i);
+
+        let best = match best_idx {
+            None => None,
+            Some(i) => {
+                let value = all_values.swap_remove(i);
+                let members = survivors.swap_remove(i);
+                let mut assignment = Vec::with_capacity(members.len());
+                for &m in &members {
+                    let key = self
+                        .ground_one(&queries[m], &value)?
+                        .expect("member of a surviving set must have a tuple");
+                    stats.db_queries += 1;
+                    assignment.push((queries[m].user.clone(), key));
+                }
+                Some(ConsistentSet {
+                    value,
+                    members,
+                    assignment,
+                })
+            }
+        };
+
+        Ok(ConsistentOutcome {
+            option_lists,
+            per_value,
+            best,
+            stats,
+        })
+    }
+
+    /// `V(q)`: distinct coordination-attribute values compatible with the
+    /// query's own constants (Definition 10).
+    fn option_list(&self, q: &ConsistentQuery) -> Result<Vec<CoordValue>, CoordError> {
+        let mut bound: Vec<(&str, Value)> = Vec::new();
+        for (j, c) in q.coord.iter().enumerate() {
+            if let Some(v) = c {
+                bound.push((self.config.coord_attrs[j].as_str(), v.clone()));
+            }
+        }
+        for (j, c) in q.personal.iter().enumerate() {
+            if let Some(v) = c {
+                bound.push((self.config.personal_attrs[j].as_str(), v.clone()));
+            }
+        }
+        let project: Vec<&str> = self.config.coord_attrs.iter().map(String::as_str).collect();
+        let mut values = self
+            .db
+            .distinct_values(&self.config.table, &project, &bound)?;
+        values.sort();
+        Ok(values)
+    }
+
+    /// The contacts of `user` per a binary relation `(user, friend)`.
+    fn friends_of_via(
+        &self,
+        user: &Value,
+        relation: &Symbol,
+    ) -> Result<HashSet<Value>, CoordError> {
+        let table = self.db.table(relation)?;
+        if table.schema().arity() != 2 {
+            return Err(CoordError::Db(coord_db::DbError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: 2,
+                actual: table.schema().arity(),
+            }));
+        }
+        let attrs = table.schema().attrs();
+        let user_attr = attrs[0].as_str().to_string();
+        let friend_attr = attrs[1].as_str().to_string();
+        let rows = self.db.distinct_values(
+            relation,
+            &[friend_attr.as_str()],
+            &[(user_attr.as_str(), user.clone())],
+        )?;
+        Ok(rows.into_iter().map(|mut r| r.swap_remove(0)).collect())
+    }
+
+    /// Fetch a concrete tuple key for `q` at coordination value `v` (the
+    /// paper's final grounding query).
+    fn ground_one(&self, q: &ConsistentQuery, v: &CoordValue) -> Result<Option<Value>, CoordError> {
+        let table = self.db.table(&self.config.table)?;
+        let schema = table.schema();
+        let key_pos = schema.require_attr(&self.config.key)?;
+        let mut terms: Vec<Term> = (0..schema.arity())
+            .map(|i| Term::var(i as u32 + 1)) // fresh vars everywhere
+            .collect();
+        terms[key_pos] = Term::var(0);
+        for (j, name) in self.config.coord_attrs.iter().enumerate() {
+            terms[schema.require_attr(name)?] = Term::Const(v[j].clone());
+        }
+        for (j, name) in self.config.personal_attrs.iter().enumerate() {
+            if let Some(c) = &q.personal[j] {
+                terms[schema.require_attr(name)?] = Term::Const(c.clone());
+            }
+        }
+        let cq = ConjunctiveQuery::new(vec![Atom::new(self.config.table.clone(), terms)]);
+        Ok(self
+            .db
+            .find_one(&cq)?
+            .and_then(|a| a.get(coord_db::Var(0)).cloned()))
+    }
+}
+
+/// The friendship relation a partner specification draws from.
+fn partner_relation(p: &Partner, config: &ConsistentConfig) -> Symbol {
+    match p {
+        Partner::AnyFriendVia(r) => r.clone(),
+        _ => config.friends.clone(),
+    }
+}
+
+/// The cleaning phase for one option value `v`: restrict to `G_v` and
+/// iteratively remove queries whose coordination requirements fail.
+/// Returns (surviving size, surviving members, rounds).
+fn clean_value(
+    config: &ConsistentConfig,
+    queries: &[ConsistentQuery],
+    option_sets: &[HashSet<&CoordValue>],
+    by_user: &HashMap<&Value, usize>,
+    friends: &[HashMap<Symbol, HashSet<Value>>],
+    alive: &[bool],
+    v: &CoordValue,
+) -> (usize, Vec<usize>, usize) {
+    let mut present: Vec<bool> = (0..queries.len())
+        .map(|i| alive[i] && option_sets[i].contains(v))
+        .collect();
+
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for (i, q) in queries.iter().enumerate() {
+            if !present[i] {
+                continue;
+            }
+            let present_friends = |p: &Partner| {
+                let rel = partner_relation(p, config);
+                friends[i]
+                    .get(&rel)
+                    .into_iter()
+                    .flatten()
+                    .filter(|f| by_user.get(*f).is_some_and(|&j| j != i && present[j]))
+            };
+            let ok = q.partners.iter().all(|p| match p {
+                Partner::Named(u) => by_user.get(u).is_some_and(|&j| j != i && present[j]),
+                // `any`-style short circuit: one present friend suffices.
+                Partner::AnyFriend | Partner::AnyFriendVia(_) => {
+                    present_friends(p).next().is_some()
+                }
+                Partner::AtLeastFriends(k) => present_friends(p).take(*k).count() >= *k,
+            });
+            if !ok {
+                present[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let members: Vec<usize> = (0..queries.len()).filter(|&i| present[i]).collect();
+    (members.len(), members, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The movies example of Section 5.
+    ///
+    /// Cinemas table M(movie_id, cinema, movie); friendships C(user, friend).
+    /// Hugo plays at Regal, AMC, and Cinemark; Contagion at Regal;
+    /// Project X at AMC.
+    pub(crate) fn movies_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("M", &["movie_id", "cinema", "movie"])
+            .unwrap();
+        let rows = [
+            (1, "Regal", "Contagion"),
+            (2, "Regal", "Hugo"),
+            (3, "AMC", "Project X"),
+            (4, "AMC", "Hugo"),
+            (5, "Cinemark", "Hugo"),
+        ];
+        for (id, cin, mov) in rows {
+            db.insert("M", vec![Value::int(id), Value::str(cin), Value::str(mov)])
+                .unwrap();
+        }
+        db.create_table("C", &["user", "friend"]).unwrap();
+        let friends = [
+            ("Chris", "Jonny"),
+            ("Chris", "Guy"),
+            ("Guy", "Chris"),
+            ("Guy", "Jonny"),
+            ("Jonny", "Chris"),
+            ("Jonny", "Will"),
+            ("Will", "Chris"),
+            ("Will", "Guy"),
+        ];
+        for (u, f) in friends {
+            db.insert("C", vec![Value::str(u), Value::str(f)]).unwrap();
+        }
+        db
+    }
+
+    pub(crate) fn movies_config() -> ConsistentConfig {
+        ConsistentConfig::new("M", "movie_id", &["cinema"], &["movie"], "C")
+    }
+
+    /// The four band-member queries of the movies example.
+    pub(crate) fn movies_queries() -> Vec<ConsistentQuery> {
+        vec![
+            // Chris: Contagion at Regal, with Will (named, not a friend!).
+            ConsistentQuery::for_user("Chris", 1, 1)
+                .with_named_partner("Will")
+                .coord_const(0, "Regal")
+                .personal_const(0, "Contagion"),
+            // Guy: Project X at AMC, with any friend.
+            ConsistentQuery::for_user("Guy", 1, 1)
+                .with_any_friend()
+                .coord_const(0, "AMC")
+                .personal_const(0, "Project X"),
+            // Jonny: Hugo anywhere, with any friend.
+            ConsistentQuery::for_user("Jonny", 1, 1)
+                .with_any_friend()
+                .personal_const(0, "Hugo"),
+            // Will: Hugo anywhere, with any friend.
+            ConsistentQuery::for_user("Will", 1, 1)
+                .with_any_friend()
+                .personal_const(0, "Hugo"),
+        ]
+    }
+
+    #[test]
+    fn option_lists_match_paper_table() {
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let out = coord.run(&movies_queries()).unwrap();
+        let as_strs = |l: &Vec<CoordValue>| {
+            l.iter()
+                .map(|v| v[0].as_str().unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(as_strs(&out.option_lists[0]), vec!["Regal"]);
+        assert_eq!(as_strs(&out.option_lists[1]), vec!["AMC"]);
+        assert_eq!(
+            as_strs(&out.option_lists[2]),
+            vec!["AMC", "Cinemark", "Regal"]
+        );
+        assert_eq!(
+            as_strs(&out.option_lists[3]),
+            vec!["AMC", "Cinemark", "Regal"]
+        );
+    }
+
+    #[test]
+    fn cinemark_cleans_to_empty_regal_and_amc_survive() {
+        // Paper walkthrough: G_Cinemark = {Jonny, Will}; Will has no friend
+        // there (his friends are Chris and Guy) so he is removed, then
+        // Jonny follows — Cinemark cleans to ∅. G_Regal = {Chris, Jonny,
+        // Will} survives with size 3 (and so does G_AMC with {Guy, Jonny,
+        // Will}); both are maximal, and the algorithm picks one
+        // deterministically.
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let out = coord.run(&movies_queries()).unwrap();
+
+        let size_of = |name: &str| {
+            out.per_value
+                .iter()
+                .find(|(v, _)| v[0].as_str() == Some(name))
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
+        assert_eq!(size_of("Cinemark"), 0);
+        assert_eq!(size_of("Regal"), 3);
+        assert_eq!(size_of("AMC"), 3);
+        assert_eq!(out.best.as_ref().unwrap().members.len(), 3);
+    }
+
+    #[test]
+    fn regal_walkthrough_without_guy() {
+        // Dropping Guy's query makes Regal the unique winner: at AMC Will
+        // has no friend left (Chris is not there), so AMC cleans to ∅.
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let queries: Vec<ConsistentQuery> = movies_queries()
+            .into_iter()
+            .filter(|q| q.user != Value::str("Guy"))
+            .collect();
+        let out = coord.run(&queries).unwrap();
+        let best = out.best.as_ref().unwrap();
+        assert_eq!(best.value[0], Value::str("Regal"));
+        assert_eq!(best.members, vec![0, 1, 2]); // Chris, Jonny, Will
+
+        // Assignments per the paper's tables: Chris → Contagion at Regal
+        // (movie id 1), Jonny and Will → Hugo at Regal (movie id 2).
+        let key_of = |user: &str| {
+            best.assignment
+                .iter()
+                .find(|(u, _)| u.as_str() == Some(user))
+                .map(|(_, k)| k.clone())
+                .unwrap()
+        };
+        assert_eq!(key_of("Chris"), Value::int(1));
+        assert_eq!(key_of("Jonny"), Value::int(2));
+        assert_eq!(key_of("Will"), Value::int(2));
+    }
+
+    #[test]
+    fn amc_keeps_guy_and_jonny_and_will() {
+        // At AMC: Guy (Project X), Jonny & Will (Hugo). Chris is absent.
+        // Guy's friends Chris/Jonny — Jonny present ✓. Jonny's friends
+        // Chris/Will — Will present ✓. Will's friends Chris/Guy — Guy ✓.
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let out = coord.run(&movies_queries()).unwrap();
+        let amc = out
+            .per_value
+            .iter()
+            .find(|(v, _)| v[0].as_str() == Some("AMC"))
+            .unwrap();
+        assert_eq!(amc.1, 3);
+        // Regal also has size 3; Regal must win only by tie-break order.
+        // Both are valid maximum sets; the algorithm picks deterministically.
+        assert!(out.best.as_ref().unwrap().members.len() == 3);
+    }
+
+    #[test]
+    fn named_partner_must_be_present() {
+        // Chris names Will; if Will submits nothing, Chris can never be
+        // satisfied (his query is removed in cleaning for every value).
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let queries = vec![ConsistentQuery::for_user("Chris", 1, 1)
+            .with_named_partner("Will")
+            .coord_const(0, "Regal")];
+        let out = coord.run(&queries).unwrap();
+        assert!(out.best.is_none());
+    }
+
+    #[test]
+    fn at_least_k_friends_generalization() {
+        // Jonny wants ≥2 friends at the same cinema. His friends are Chris
+        // and Will. At Regal all three are available.
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let queries = vec![
+            ConsistentQuery::for_user("Chris", 1, 1).coord_const(0, "Regal"),
+            ConsistentQuery::for_user("Jonny", 1, 1).with_at_least_friends(2),
+            ConsistentQuery::for_user("Will", 1, 1).personal_const(0, "Hugo"),
+        ];
+        let out = coord.run(&queries).unwrap();
+        let best = out.best.unwrap();
+        assert_eq!(best.value[0], Value::str("Regal"));
+        assert_eq!(best.members, vec![0, 1, 2]);
+
+        // With ≥3 friends required, Jonny fails everywhere (he has 2).
+        let queries2 = vec![
+            ConsistentQuery::for_user("Chris", 1, 1).coord_const(0, "Regal"),
+            ConsistentQuery::for_user("Jonny", 1, 1).with_at_least_friends(3),
+            ConsistentQuery::for_user("Will", 1, 1).personal_const(0, "Hugo"),
+        ];
+        let out2 = coord.run(&queries2).unwrap();
+        let best2 = out2.best.unwrap();
+        assert!(!best2.members.contains(&1));
+    }
+
+    #[test]
+    fn unsatisfiable_body_prunes_query() {
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let queries = vec![
+            ConsistentQuery::for_user("Chris", 1, 1).personal_const(0, "Nonexistent Movie"),
+            ConsistentQuery::for_user("Jonny", 1, 1).personal_const(0, "Hugo"),
+        ];
+        let out = coord.run(&queries).unwrap();
+        assert!(out.option_lists[0].is_empty());
+        // Jonny alone (no partner requirements) survives.
+        let best = out.best.unwrap();
+        assert_eq!(best.members, vec![1]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let seq = coord.run(&movies_queries()).unwrap();
+        let par = coord.run_parallel(&movies_queries(), 4).unwrap();
+        assert_eq!(seq.per_value, par.per_value);
+        assert_eq!(
+            seq.best.as_ref().map(|b| (&b.value, &b.members)),
+            par.best.as_ref().map(|b| (&b.value, &b.members))
+        );
+    }
+
+    #[test]
+    fn db_query_count_is_linear() {
+        // One option-list query per query, one friend lookup per query
+        // that uses a friend-kind partner (3 of the 4: Chris only names
+        // Will), plus |best| grounding queries.
+        let db = movies_db();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+        let out = coord.run(&movies_queries()).unwrap();
+        let n = movies_queries().len();
+        let best_len = out.best.as_ref().map(|b| b.members.len()).unwrap_or(0);
+        assert_eq!(out.stats.db_queries, n + 3 + best_len);
+        assert!(out.stats.db_queries <= 2 * n + best_len);
+    }
+
+    #[test]
+    fn multiple_friendship_relations() {
+        // Jonny's *colleagues* (a separate relation) include Guy, who is
+        // not his friend: coordinating via the Colleagues table succeeds
+        // where the friends table would fail.
+        let mut db = movies_db();
+        db.create_table("Colleagues", &["user", "peer"]).unwrap();
+        db.insert("Colleagues", vec![Value::str("Jonny"), Value::str("Guy")])
+            .unwrap();
+        db.insert("Colleagues", vec![Value::str("Guy"), Value::str("Jonny")])
+            .unwrap();
+        let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
+
+        // Only Jonny and Guy submit; Jonny wants a colleague, Guy wants a
+        // friend (Jonny is his friend). Both can see Hugo/Project X at AMC.
+        let queries = vec![
+            ConsistentQuery::for_user("Jonny", 1, 1)
+                .with_any_friend_via("Colleagues")
+                .personal_const(0, "Hugo"),
+            ConsistentQuery::for_user("Guy", 1, 1)
+                .with_any_friend()
+                .coord_const(0, "AMC")
+                .personal_const(0, "Project X"),
+        ];
+        let out = coord.run(&queries).unwrap();
+        let best = out.best.unwrap();
+        assert_eq!(best.value[0], Value::str("AMC"));
+        assert_eq!(best.members, vec![0, 1]);
+
+        // With the plain friends table instead, Jonny has no friend among
+        // the submitters (his friends are Chris and Will): nothing
+        // survives for Jonny, and Guy in turn loses his friend.
+        let queries2 = vec![
+            ConsistentQuery::for_user("Jonny", 1, 1)
+                .with_any_friend()
+                .personal_const(0, "Hugo"),
+            ConsistentQuery::for_user("Guy", 1, 1)
+                .with_any_friend()
+                .coord_const(0, "AMC")
+                .personal_const(0, "Project X"),
+        ];
+        let out2 = coord.run(&queries2).unwrap();
+        assert!(out2.best.is_none());
+    }
+
+    #[test]
+    fn any_friend_via_matches_entangled_encoding() {
+        let mut db = movies_db();
+        db.create_table("Colleagues", &["user", "peer"]).unwrap();
+        db.insert("Colleagues", vec![Value::str("Jonny"), Value::str("Guy")])
+            .unwrap();
+        let config = movies_config();
+        let q = ConsistentQuery::for_user("Jonny", 1, 1)
+            .with_any_friend_via("Colleagues")
+            .personal_const(0, "Hugo");
+        let ent = q.to_entangled(&config, &db).unwrap();
+        // The body must reference the Colleagues relation, not C.
+        assert!(ent.body().iter().any(|a| a.relation == "Colleagues"));
+        assert!(!ent.body().iter().any(|a| a.relation == "C"));
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_attrs() {
+        let db = movies_db();
+        let bad = ConsistentConfig::new("M", "movie_id", &["nonexistent"], &[], "C");
+        assert!(ConsistentCoordinator::new(&db, bad).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! A Youtopia-style online coordination engine (Section 6.1's system
+//! context and the on-line setting raised in Section 7).
+//!
+//! The paper's prototype runs inside the Youtopia system: "when a new
+//! query arrives, the system finds the set of queries this query can
+//! coordinate with and updates the coordination graph accordingly. The
+//! system then calls an evaluation method on the connected component that
+//! the query belongs to" — and deletes answered queries afterwards.
+//! [`CoordinationEngine`] reproduces that loop on top of the SCC
+//! Coordination Algorithm; [`SharedEngine`] adds a thread-safe facade.
+
+use crate::error::CoordError;
+use crate::graphs::coordination_graph;
+use crate::instance::QuerySet;
+use crate::query::{EntangledQuery, QueryId};
+use crate::scc::SccCoordinator;
+use crate::semantics::Grounding;
+use coord_db::{Database, Value};
+use coord_graph::reach::weakly_connected_components;
+use parking_lot::Mutex;
+
+/// An answer delivered to a coordinated query: for each variable, its
+/// chosen value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAnswer {
+    /// The answered query's name.
+    pub query: String,
+    /// (variable name, value) pairs in variable order.
+    pub bindings: Vec<(String, Value)>,
+}
+
+/// Result of submitting a query to the engine.
+#[derive(Clone, Debug, Default)]
+pub struct SubmitResult {
+    /// Answers for every query of the coordinating set found (possibly
+    /// including queries submitted earlier), or empty if the new query
+    /// stays pending.
+    pub answers: Vec<QueryAnswer>,
+}
+
+impl SubmitResult {
+    /// Whether a coordinating set was found and delivered.
+    pub fn coordinated(&self) -> bool {
+        !self.answers.is_empty()
+    }
+}
+
+/// The online evaluation loop: buffer queries, evaluate the affected
+/// connected component on each arrival, deliver and retire coordinated
+/// queries.
+pub struct CoordinationEngine<'a> {
+    db: &'a Database,
+    pending: Vec<EntangledQuery>,
+    delivered: usize,
+}
+
+impl<'a> CoordinationEngine<'a> {
+    /// An engine over the given database.
+    pub fn new(db: &'a Database) -> Self {
+        CoordinationEngine {
+            db,
+            pending: Vec::new(),
+            delivered: 0,
+        }
+    }
+
+    /// Queries currently buffered (unsatisfied coordination requirements).
+    pub fn pending(&self) -> &[EntangledQuery] {
+        &self.pending
+    }
+
+    /// Total queries answered and retired so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Submit a new query: update the coordination graph, evaluate the
+    /// weakly connected component the query belongs to, and — if a
+    /// coordinating set is found there — deliver answers and delete those
+    /// queries from the buffer.
+    ///
+    /// If the new query makes its component unsafe, the query is rejected
+    /// (removed again) and the error returned; previously pending queries
+    /// are unaffected.
+    pub fn submit(&mut self, query: EntangledQuery) -> Result<SubmitResult, CoordError> {
+        query.validate(self.db)?;
+        self.pending.push(query);
+        let new_idx = self.pending.len() - 1;
+
+        // Find the weakly connected component of the new query.
+        let qs = QuerySet::new(self.pending.clone());
+        let graph = coordination_graph(&qs);
+        let comps = weakly_connected_components(&graph);
+        let component: Vec<usize> = comps
+            .into_iter()
+            .find(|c| c.iter().any(|n| n.index() == new_idx))
+            .expect("new query must be in some component")
+            .into_iter()
+            .map(|n| n.index())
+            .collect();
+
+        let comp_queries: Vec<EntangledQuery> =
+            component.iter().map(|&i| self.pending[i].clone()).collect();
+
+        let outcome = match SccCoordinator::new(self.db).run(&comp_queries) {
+            Ok(o) => o,
+            Err(e) => {
+                // Reject the offending submission, keep earlier queries.
+                self.pending.pop();
+                return Err(e);
+            }
+        };
+
+        let Some(best) = outcome.best() else {
+            return Ok(SubmitResult::default());
+        };
+
+        // Build answers (variable names resolved per query).
+        let comp_qs = QuerySet::new(comp_queries.clone());
+        let mut answers = Vec::with_capacity(best.queries.len());
+        for &q in &best.queries {
+            answers.push(answer_for(&comp_qs, q, &best.grounding));
+        }
+
+        // Retire the coordinated queries from the buffer (descending
+        // pending-index order keeps removal indices valid).
+        let mut to_remove: Vec<usize> = best.queries.iter().map(|q| component[q.index()]).collect();
+        to_remove.sort_unstable_by(|a, b| b.cmp(a));
+        for i in to_remove {
+            self.pending.remove(i);
+        }
+        self.delivered += answers.len();
+        Ok(SubmitResult { answers })
+    }
+
+    /// Submit a batch of queries, collecting every delivered answer.
+    pub fn submit_all(
+        &mut self,
+        queries: impl IntoIterator<Item = EntangledQuery>,
+    ) -> Result<Vec<QueryAnswer>, CoordError> {
+        let mut out = Vec::new();
+        for q in queries {
+            out.extend(self.submit(q)?.answers);
+        }
+        Ok(out)
+    }
+}
+
+fn answer_for(qs: &QuerySet, q: QueryId, grounding: &Grounding) -> QueryAnswer {
+    let query = qs.query(q);
+    let mut bindings = Vec::with_capacity(query.var_count() as usize);
+    for local in 0..query.var_count() {
+        let v = coord_db::Var(local);
+        let g = qs.global_var(q, v);
+        if let Some(value) = grounding.get(g) {
+            bindings.push((query.var_name(v).to_string(), value.clone()));
+        }
+    }
+    QueryAnswer {
+        query: query.name().to_string(),
+        bindings,
+    }
+}
+
+/// A thread-safe facade over [`CoordinationEngine`] for concurrent
+/// submitters (e.g. a server front end).
+pub struct SharedEngine<'a> {
+    inner: Mutex<CoordinationEngine<'a>>,
+}
+
+impl<'a> SharedEngine<'a> {
+    /// Wrap an engine.
+    pub fn new(db: &'a Database) -> Self {
+        SharedEngine {
+            inner: Mutex::new(CoordinationEngine::new(db)),
+        }
+    }
+
+    /// Submit a query under the engine lock.
+    pub fn submit(&self, query: EntangledQuery) -> Result<SubmitResult, CoordError> {
+        self.inner.lock().submit(query)
+    }
+
+    /// Number of pending queries.
+    pub fn pending_count(&self) -> usize {
+        self.inner.lock().pending().len()
+    }
+
+    /// Total delivered answers.
+    pub fn delivered(&self) -> usize {
+        self.inner.lock().delivered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table("Flights", &["id", "dest"]).unwrap();
+        db.insert("Flights", vec![Value::int(101), Value::str("Zurich")])
+            .unwrap();
+        db
+    }
+
+    fn gwyneth() -> EntangledQuery {
+        QueryBuilder::new("gwyneth")
+            .postcondition("R", |a| a.constant("Chris").var("x"))
+            .head("R", |a| a.constant("Gwyneth").var("x"))
+            .body("Flights", |a| a.var("x").constant("Zurich"))
+            .build()
+            .unwrap()
+    }
+
+    fn chris() -> EntangledQuery {
+        QueryBuilder::new("chris")
+            .head("R", |a| a.constant("Chris").var("y"))
+            .body("Flights", |a| a.var("y").constant("Zurich"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn coordination_happens_on_second_arrival() {
+        let db = db();
+        let mut engine = CoordinationEngine::new(&db);
+        // Gwyneth arrives first: she needs Chris, so she waits.
+        let r1 = engine.submit(gwyneth()).unwrap();
+        assert!(!r1.coordinated());
+        assert_eq!(engine.pending().len(), 1);
+        // Chris arrives: both coordinate and are retired.
+        let r2 = engine.submit(chris()).unwrap();
+        assert!(r2.coordinated());
+        assert_eq!(r2.answers.len(), 2);
+        assert_eq!(engine.pending().len(), 0);
+        assert_eq!(engine.delivered(), 2);
+        // Both got flight 101.
+        for a in &r2.answers {
+            assert_eq!(a.bindings[0].1, Value::int(101));
+        }
+    }
+
+    #[test]
+    fn chris_alone_coordinates_immediately() {
+        // Chris has no postconditions: a singleton coordinating set.
+        let db = db();
+        let mut engine = CoordinationEngine::new(&db);
+        let r = engine.submit(chris()).unwrap();
+        assert!(r.coordinated());
+        assert_eq!(r.answers[0].query, "chris");
+    }
+
+    #[test]
+    fn unrelated_pending_queries_are_untouched() {
+        let db = db();
+        let mut engine = CoordinationEngine::new(&db);
+        engine.submit(gwyneth()).unwrap();
+        // An unrelated waiting query in a different component.
+        let waiting = QueryBuilder::new("waiting")
+            .postcondition("S", |a| a.constant("nobody").var("z"))
+            .head("S", |a| a.constant("waiting").var("z"))
+            .body("Flights", |a| a.var("z").constant("Zurich"))
+            .build()
+            .unwrap();
+        let r = engine.submit(waiting).unwrap();
+        assert!(!r.coordinated());
+        assert_eq!(engine.pending().len(), 2);
+        // Chris's arrival answers Gwyneth + Chris but not `waiting`.
+        let r2 = engine.submit(chris()).unwrap();
+        assert_eq!(r2.answers.len(), 2);
+        assert_eq!(engine.pending().len(), 1);
+        assert_eq!(engine.pending()[0].name(), "waiting");
+    }
+
+    #[test]
+    fn unsafe_submission_is_rejected_and_buffer_preserved() {
+        let db = db();
+        let mut engine = CoordinationEngine::new(&db);
+        engine.submit(gwyneth()).unwrap();
+        // A second producer of R(Chris, ·) *plus* a consumer makes the
+        // component unsafe once Chris arrives twice. Simulate: submit two
+        // Chris-producers; the second makes Gwyneth's postcondition
+        // ambiguous.
+        engine.submit(chris()).unwrap(); // coordinates and retires both
+        engine.submit(gwyneth()).unwrap();
+        let chris2 = QueryBuilder::new("chris2")
+            .head("R", |a| a.constant("Chris").var("y"))
+            .body("Flights", |a| a.var("y").constant("Zurich"))
+            .build()
+            .unwrap();
+        // chris2 coordinates with gwyneth (safe: one producer).
+        let r = engine.submit(chris2).unwrap();
+        assert!(r.coordinated());
+
+        // Now build an actually-unsafe arrival: two producers pending at
+        // once. Pend a consumer and one producer that cannot ground, then
+        // submit a second producer — the set {consumer, p1, p2} is unsafe.
+        let consumer = QueryBuilder::new("consumer")
+            .postcondition("R", |a| a.constant("X").var("v"))
+            .head("R", |a| a.constant("consumer").var("v"))
+            .body("Flights", |a| a.var("v").constant("Nowhere"))
+            .build()
+            .unwrap();
+        let p1 = QueryBuilder::new("p1")
+            .head("R", |a| a.constant("X").var("w"))
+            .body("Flights", |a| a.var("w").constant("Nowhere"))
+            .build()
+            .unwrap();
+        let p2 = QueryBuilder::new("p2")
+            .head("R", |a| a.constant("X").var("u"))
+            .body("Flights", |a| a.var("u").constant("Nowhere"))
+            .build()
+            .unwrap();
+        engine.submit(consumer).unwrap();
+        engine.submit(p1).unwrap();
+        let before = engine.pending().len();
+        let err = engine.submit(p2).unwrap_err();
+        assert!(matches!(err, CoordError::UnsafeSet { .. }));
+        assert_eq!(engine.pending().len(), before, "rejected query dropped");
+    }
+
+    #[test]
+    fn shared_engine_is_threadable() {
+        let db = db();
+        let engine = SharedEngine::new(&db);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                engine.submit(gwyneth()).unwrap();
+            });
+        });
+        // After Gwyneth (from the other thread), Chris completes the pair.
+        let r = engine.submit(chris()).unwrap();
+        assert!(r.coordinated());
+        assert_eq!(engine.pending_count(), 0);
+        assert_eq!(engine.delivered(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Errors raised by the coordination layer.
+
+use coord_db::DbError;
+use std::fmt;
+
+/// Errors from query construction, validation, and the coordination
+/// algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// An underlying database error.
+    Db(DbError),
+    /// A query was built without a head atom.
+    EmptyHead { query: String },
+    /// A body atom used a relation that is not in the database schema
+    /// (syntax requirement (i) of Section 2.1).
+    BodyRelationMissing { query: String, relation: String },
+    /// A head or postcondition atom used a relation that *is* in the
+    /// database schema (syntax requirement (ii): answer relations must be
+    /// disjoint from the schema).
+    AnswerRelationInSchema { query: String, relation: String },
+    /// Answer atoms of the same relation appear with different arities.
+    AnswerArityMismatch {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// The query set is unsafe (Definition 2) but the invoked algorithm
+    /// requires safety. Reports one offending query and postcondition.
+    UnsafeSet {
+        query: String,
+        postcondition: String,
+    },
+    /// The query set is not unique (Definition 3) but the invoked
+    /// algorithm (the Gupta et al. baseline) requires uniqueness.
+    NotUnique,
+    /// The query set is not single-connected (Definition 6) but the
+    /// single-connected solver was invoked.
+    NotSingleConnected { reason: String },
+    /// A consistent-coordination query referenced an attribute missing
+    /// from the configured table.
+    UnknownCoordAttribute { attribute: String },
+    /// A consistent-coordination feature has no entangled-query encoding
+    /// (the paper notes "coordinate with k friends" is not expressible in
+    /// the entangled syntax).
+    NotExpressible { feature: String },
+    /// Textual query syntax could not be parsed.
+    Parse { message: String },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::Db(e) => write!(f, "database error: {e}"),
+            CoordError::EmptyHead { query } => {
+                write!(f, "query `{query}` has no head atoms")
+            }
+            CoordError::BodyRelationMissing { query, relation } => write!(
+                f,
+                "query `{query}` uses body relation `{relation}` not present in the database schema"
+            ),
+            CoordError::AnswerRelationInSchema { query, relation } => write!(
+                f,
+                "query `{query}` uses answer relation `{relation}` that clashes with a database relation"
+            ),
+            CoordError::AnswerArityMismatch { relation, expected, actual } => write!(
+                f,
+                "answer relation `{relation}` used with arity {actual}, expected {expected}"
+            ),
+            CoordError::UnsafeSet { query, postcondition } => write!(
+                f,
+                "query set is unsafe: postcondition {postcondition} of query `{query}` unifies with more than one head"
+            ),
+            CoordError::NotUnique => {
+                write!(f, "query set is not unique (coordination graph is not strongly connected)")
+            }
+            CoordError::NotSingleConnected { reason } => {
+                write!(f, "query set is not single-connected: {reason}")
+            }
+            CoordError::UnknownCoordAttribute { attribute } => {
+                write!(f, "unknown coordination attribute `{attribute}`")
+            }
+            CoordError::NotExpressible { feature } => {
+                write!(f, "{feature} is not expressible in entangled-query syntax")
+            }
+            CoordError::Parse { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoordError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for CoordError {
+    fn from(e: DbError) -> Self {
+        CoordError::Db(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoordError::UnsafeSet {
+            query: "qW".into(),
+            postcondition: "R(C, w1)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("qW") && s.contains("R(C, w1)"));
+    }
+
+    #[test]
+    fn db_error_wraps() {
+        let e: CoordError = DbError::UnknownRelation {
+            relation: "X".into(),
+        }
+        .into();
+        assert!(matches!(e, CoordError::Db(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

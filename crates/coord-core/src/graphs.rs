@@ -1,0 +1,405 @@
+//! Coordination graphs, safety, uniqueness, single-connectedness
+//! (Section 2.3 and Definition 6).
+
+use crate::instance::QuerySet;
+use crate::query::QueryId;
+use crate::unify::atoms_unifiable;
+use coord_db::{Atom, Symbol, Term, Value};
+use coord_graph::{condensation, reach, DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// First-argument shape of an atom, used as an index key: most entangled
+/// workloads write answer atoms as `R(user, tuple)` with a constant user,
+/// so bucketing heads by (relation, first argument) turns the quadratic
+/// all-pairs unifiability scans of graph construction and safety checking
+/// into near-linear lookups.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum FirstArg {
+    /// Zero-arity atom.
+    NoArg,
+    /// First argument is this constant.
+    Const(Value),
+    /// First argument is a variable (matches anything).
+    Var,
+}
+
+fn first_arg(atom: &Atom) -> FirstArg {
+    match atom.terms.first() {
+        None => FirstArg::NoArg,
+        Some(Term::Const(c)) => FirstArg::Const(c.clone()),
+        Some(Term::Var(_)) => FirstArg::Var,
+    }
+}
+
+/// An index over the head atoms of a query set.
+pub struct HeadIndex {
+    buckets: HashMap<(Symbol, FirstArg), Vec<(QueryId, usize)>>,
+}
+
+impl HeadIndex {
+    /// Index all heads of `qs` (query-local atoms).
+    pub fn build(qs: &QuerySet) -> Self {
+        let mut buckets: HashMap<(Symbol, FirstArg), Vec<(QueryId, usize)>> = HashMap::new();
+        for id in qs.ids() {
+            for (hi, h) in qs.query(id).heads().iter().enumerate() {
+                buckets
+                    .entry((h.relation.clone(), first_arg(h)))
+                    .or_default()
+                    .push((id, hi));
+            }
+        }
+        HeadIndex { buckets }
+    }
+
+    /// Candidate heads that *may* unify with postcondition `p` (callers
+    /// still confirm with [`atoms_unifiable`], which checks every
+    /// position).
+    pub fn candidates(&self, p: &Atom) -> impl Iterator<Item = (QueryId, usize)> + '_ {
+        let keys: Vec<(Symbol, FirstArg)> = match first_arg(p) {
+            FirstArg::NoArg => vec![(p.relation.clone(), FirstArg::NoArg)],
+            FirstArg::Const(c) => vec![
+                (p.relation.clone(), FirstArg::Const(c)),
+                (p.relation.clone(), FirstArg::Var),
+            ],
+            FirstArg::Var => {
+                // A variable first argument matches every bucket of the
+                // relation; collect the relation's keys.
+                self.buckets
+                    .keys()
+                    .filter(|(rel, _)| rel == &p.relation)
+                    .cloned()
+                    .collect()
+            }
+        };
+        keys.into_iter()
+            .flat_map(move |k| self.buckets.get(&k).into_iter().flatten().copied())
+    }
+}
+
+/// Label of an edge in the extended coordination graph: which
+/// postcondition of the source query unifies with which head of the
+/// target query (indices into the respective atom lists).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeLabel {
+    /// Index of the postcondition atom in the source query.
+    pub post_idx: usize,
+    /// Index of the head atom in the target query.
+    pub head_idx: usize,
+}
+
+/// Build the **extended coordination graph** (Section 2.3): a directed
+/// multigraph with one node per query and an edge `(q, a_p) → (q', a_h)`
+/// for every postcondition atom `a_p` of `q` that unifies with a head atom
+/// `a_h` of `q'`.
+pub fn extended_coordination_graph(qs: &QuerySet) -> DiGraph<QueryId, EdgeLabel> {
+    let index = HeadIndex::build(qs);
+    let mut g: DiGraph<QueryId, EdgeLabel> = DiGraph::with_capacity(qs.len(), qs.len());
+    for id in qs.ids() {
+        g.add_node(id);
+    }
+    for src in qs.ids() {
+        let posts = qs.query(src).postconditions();
+        for (pi, p) in posts.iter().enumerate() {
+            for (dst, hi) in index.candidates(p) {
+                let h = &qs.query(dst).heads()[hi];
+                if atoms_unifiable(p, h) {
+                    g.add_edge(
+                        NodeId(src.index()),
+                        NodeId(dst.index()),
+                        EdgeLabel {
+                            post_idx: pi,
+                            head_idx: hi,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Build the **coordination graph**: the extended graph with parallel
+/// edges collapsed — an edge `(q, q')` whenever *some* postcondition of
+/// `q` unifies with *some* head of `q'`.
+pub fn coordination_graph(qs: &QuerySet) -> DiGraph<QueryId> {
+    let ext = extended_coordination_graph(qs);
+    let mut g: DiGraph<QueryId> = DiGraph::with_capacity(qs.len(), ext.edge_count());
+    for id in qs.ids() {
+        g.add_node(id);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for e in ext.edge_ids() {
+        let (u, v) = ext.endpoints(e);
+        if seen.insert((u, v)) {
+            g.add_edge(u, v, ());
+        }
+    }
+    g
+}
+
+/// A safety violation: query `query`'s postcondition at `post_idx`
+/// unifies with more than one head in the set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SafetyViolation {
+    pub query: QueryId,
+    pub post_idx: usize,
+}
+
+/// Check **safety** (Definition 2): every postcondition atom of every
+/// query unifies with at most one head atom appearing in the set. Returns
+/// all violations (empty = safe).
+pub fn safety_violations(qs: &QuerySet) -> Vec<SafetyViolation> {
+    let index = HeadIndex::build(qs);
+    let mut out = Vec::new();
+    for src in qs.ids() {
+        for (pi, p) in qs.query(src).postconditions().iter().enumerate() {
+            let mut matches = 0usize;
+            for (dst, hi) in index.candidates(p) {
+                if atoms_unifiable(p, &qs.query(dst).heads()[hi]) {
+                    matches += 1;
+                    if matches > 1 {
+                        out.push(SafetyViolation {
+                            query: src,
+                            post_idx: pi,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether the set is safe (Definition 2).
+pub fn is_safe(qs: &QuerySet) -> bool {
+    safety_violations(qs).is_empty()
+}
+
+/// Check **uniqueness** (Definition 3): in the coordination graph there is
+/// a directed path between every two vertices — i.e. the graph is a single
+/// strongly connected component. (Defined for safe sets; this function
+/// checks the graph condition regardless.)
+pub fn is_unique(qs: &QuerySet) -> bool {
+    if qs.is_empty() {
+        return true;
+    }
+    let g = coordination_graph(qs);
+    condensation(&g).len() == 1
+}
+
+/// Check **single-connectedness** (Definition 6): every query has at most
+/// one postcondition atom, and between every ordered pair of queries there
+/// is at most one simple path in the coordination graph.
+///
+/// Returns `Err` with a human-readable reason on violation.
+pub fn check_single_connected(qs: &QuerySet) -> Result<(), String> {
+    for id in qs.ids() {
+        let n = qs.query(id).postconditions().len();
+        if n > 1 {
+            return Err(format!(
+                "query `{}` has {n} postcondition atoms (at most 1 allowed)",
+                qs.query(id).name()
+            ));
+        }
+    }
+    let g = coordination_graph(qs);
+    for u in g.node_ids() {
+        for v in g.node_ids() {
+            if u == v {
+                continue;
+            }
+            if reach::count_simple_paths(&g, u, v, 1) > 1 {
+                return Err(format!(
+                    "more than one simple path from `{}` to `{}`",
+                    qs.query(QueryId(u.index())).name(),
+                    qs.query(QueryId(v.index())).name()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    /// The flight-hotel example of Section 2.2 (Figure 1).
+    pub(crate) fn flight_hotel_queries() -> QuerySet {
+        // qC: {R(G,x1)} R(C,x1), Q(C,x2) :- F(x1,x), H(x2,x)
+        let qc = QueryBuilder::new("qC")
+            .postcondition("R", |a| a.constant("G").var("x1"))
+            .head("R", |a| a.constant("C").var("x1"))
+            .head("Q", |a| a.constant("C").var("x2"))
+            .body("F", |a| a.var("x1").var("x"))
+            .body("H", |a| a.var("x2").var("x"))
+            .build()
+            .unwrap();
+        // qG: {R(C,y1), Q(C,y2)} R(G,y1), Q(G,y2) :- F(y1,Paris), H(y2,Paris)
+        let qg = QueryBuilder::new("qG")
+            .postcondition("R", |a| a.constant("C").var("y1"))
+            .postcondition("Q", |a| a.constant("C").var("y2"))
+            .head("R", |a| a.constant("G").var("y1"))
+            .head("Q", |a| a.constant("G").var("y2"))
+            .body("F", |a| a.var("y1").constant("Paris"))
+            .body("H", |a| a.var("y2").constant("Paris"))
+            .build()
+            .unwrap();
+        // qJ: {R(C,z1), R(G,z1)} R(J,z1), Q(J,z2) :- F(z1,Athens), H(z2,Athens)
+        let qj = QueryBuilder::new("qJ")
+            .postcondition("R", |a| a.constant("C").var("z1"))
+            .postcondition("R", |a| a.constant("G").var("z1"))
+            .head("R", |a| a.constant("J").var("z1"))
+            .head("Q", |a| a.constant("J").var("z2"))
+            .body("F", |a| a.var("z1").constant("Athens"))
+            .body("H", |a| a.var("z2").constant("Athens"))
+            .build()
+            .unwrap();
+        // qW: {R(C,w1), Q(J,w2)} R(W,w1), Q(W,w2) :- F(w1,Madrid), H(w2,Madrid)
+        let qw = QueryBuilder::new("qW")
+            .postcondition("R", |a| a.constant("C").var("w1"))
+            .postcondition("Q", |a| a.constant("J").var("w2"))
+            .head("R", |a| a.constant("W").var("w1"))
+            .head("Q", |a| a.constant("W").var("w2"))
+            .body("F", |a| a.var("w1").constant("Madrid"))
+            .body("H", |a| a.var("w2").constant("Madrid"))
+            .build()
+            .unwrap();
+        QuerySet::new(vec![qc, qg, qj, qw])
+    }
+
+    #[test]
+    fn flight_hotel_coordination_graph_matches_figure() {
+        // The paper's collapsed coordination graph (Section 2.3):
+        //   qW → qJ, qW → qC, qJ → qG, qJ → qC, qG → qC, qC → qG.
+        let qs = flight_hotel_queries();
+        let g = coordination_graph(&qs);
+        let has = |from: usize, to: usize| g.has_edge(NodeId(from), NodeId(to));
+        // Order: qC=0, qG=1, qJ=2, qW=3.
+        assert!(has(0, 1), "qC → qG");
+        assert!(has(1, 0), "qG → qC");
+        assert!(has(2, 0), "qJ → qC");
+        assert!(has(2, 1), "qJ → qG");
+        assert!(has(3, 0), "qW → qC");
+        assert!(has(3, 2), "qW → qJ");
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn flight_hotel_extended_graph_edge_count() {
+        // Figure 2: qC has 1 postcondition unifying with qG's head;
+        // qG has 2 (R and Q) to qC; qJ has R(C,·)→qC and R(G,·)→qG;
+        // qW has R(C,·)→qC and Q(J,·)→qJ. Total 7 labelled edges.
+        let qs = flight_hotel_queries();
+        let g = extended_coordination_graph(&qs);
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn flight_hotel_is_safe_not_unique() {
+        let qs = flight_hotel_queries();
+        assert!(is_safe(&qs));
+        // qW and qJ cannot be reached from qC/qG: not unique.
+        assert!(!is_unique(&qs));
+    }
+
+    #[test]
+    fn gwyneth_makes_band_unsafe() {
+        // Example 1: band members coordinate pairwise (safe+unique);
+        // adding Gwyneth's request to fly with Chris breaks uniqueness of
+        // the head match for postconditions on R(C, ·)... i.e. safety of
+        // queries pointing at Chris still holds (one head per user), but
+        // *Chris's* postcondition now stays unique while Gwyneth's query
+        // is a second query, making the set non-unique. The classic
+        // encoding: both Gwyneth and Guy post R(C, ·) postconditions and
+        // Chris posts one head — still safe. Uniqueness fails because
+        // nothing points back at Gwyneth.
+        let chris = QueryBuilder::new("chris")
+            .postcondition("R", |a| a.constant("Guy").var("x"))
+            .head("R", |a| a.constant("Chris").var("x"))
+            .body("F", |a| a.var("x").constant("Zurich"))
+            .build()
+            .unwrap();
+        let guy = QueryBuilder::new("guy")
+            .postcondition("R", |a| a.constant("Chris").var("y"))
+            .head("R", |a| a.constant("Guy").var("y"))
+            .body("F", |a| a.var("y").constant("Zurich"))
+            .build()
+            .unwrap();
+        let qs = QuerySet::new(vec![chris.clone(), guy.clone()]);
+        assert!(is_safe(&qs));
+        assert!(is_unique(&qs));
+
+        let gwyneth = QueryBuilder::new("gwyneth")
+            .postcondition("R", |a| a.constant("Chris").var("z"))
+            .head("R", |a| a.constant("Gwyneth").var("z"))
+            .body("F", |a| a.var("z").constant("Zurich"))
+            .build()
+            .unwrap();
+        let qs3 = QuerySet::new(vec![chris, guy, gwyneth]);
+        assert!(is_safe(&qs3));
+        assert!(!is_unique(&qs3), "Gwyneth breaks uniqueness (Example 1)");
+    }
+
+    #[test]
+    fn two_heads_for_one_postcondition_is_unsafe() {
+        // Two queries both produce R(Chris, ·); a third requires it.
+        let a = QueryBuilder::new("a")
+            .head("R", |x| x.constant("Chris").var("u"))
+            .body("F", |x| x.var("u").constant("Zurich"))
+            .build()
+            .unwrap();
+        let b = QueryBuilder::new("b")
+            .head("R", |x| x.constant("Chris").var("v"))
+            .body("F", |x| x.var("v").constant("Paris"))
+            .build()
+            .unwrap();
+        let c = QueryBuilder::new("c")
+            .postcondition("R", |x| x.constant("Chris").var("w"))
+            .head("R", |x| x.constant("Me").var("w"))
+            .body("F", |x| x.var("w").constant("Zurich"))
+            .build()
+            .unwrap();
+        let qs = QuerySet::new(vec![a, b, c]);
+        let v = safety_violations(&qs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].query, QueryId(2));
+        assert_eq!(v[0].post_idx, 0);
+        assert!(!is_safe(&qs));
+    }
+
+    #[test]
+    fn single_connectedness_checks() {
+        // A chain with single postconditions is single-connected.
+        let a = QueryBuilder::new("a")
+            .postcondition("R", |x| x.constant("b").var("u"))
+            .head("R", |x| x.constant("a").var("u"))
+            .build()
+            .unwrap();
+        let b = QueryBuilder::new("b")
+            .head("R", |x| x.constant("b").var("v"))
+            .build()
+            .unwrap();
+        let qs = QuerySet::new(vec![a, b]);
+        assert!(check_single_connected(&qs).is_ok());
+
+        // Two postconditions violate the first condition.
+        let c = QueryBuilder::new("c")
+            .postcondition("R", |x| x.constant("a").var("w"))
+            .postcondition("R", |x| x.constant("b").var("w"))
+            .head("R", |x| x.constant("c").var("w"))
+            .build()
+            .unwrap();
+        let qs2 = QuerySet::new(vec![c]);
+        assert!(check_single_connected(&qs2).is_err());
+    }
+
+    #[test]
+    fn empty_set_is_safe_and_unique() {
+        let qs = QuerySet::new(Vec::new());
+        assert!(is_safe(&qs));
+        assert!(is_unique(&qs));
+    }
+}

@@ -1,0 +1,148 @@
+//! The Gupta et al. baseline (SIGMOD 2011): entangled-query evaluation for
+//! sets that are both **safe** and **unique**.
+//!
+//! Under uniqueness, satisfying any query's coordination requirements
+//! forces satisfying *all* of them, so the algorithm simply computes the
+//! Most General Unifier over all queries (traversing the extended
+//! coordination graph) and issues a single combined conjunctive query.
+//! The paper reproduced here lifts the uniqueness requirement with the
+//! SCC Coordination Algorithm; this baseline exists for comparison and as
+//! the correctness anchor on safe+unique instances.
+
+use crate::combined::{ground_members, unify_members};
+use crate::error::CoordError;
+use crate::graphs::{is_unique, safety_violations};
+use crate::instance::QuerySet;
+use crate::outcome::FoundSet;
+use crate::query::EntangledQuery;
+use crate::unify::Substitution;
+use coord_db::Database;
+
+/// Evaluate a safe and unique query set: all queries coordinate together
+/// or none do.
+///
+/// Errors with [`CoordError::UnsafeSet`] / [`CoordError::NotUnique`] when
+/// the preconditions fail (the situations the SCC algorithm handles).
+pub fn gupta_coordinate(
+    db: &Database,
+    queries: &[EntangledQuery],
+) -> Result<Option<FoundSet>, CoordError> {
+    let qs = QuerySet::new(queries.to_vec());
+    qs.validate(db)?;
+    if qs.is_empty() {
+        return Ok(None);
+    }
+
+    if let Some(v) = safety_violations(&qs).first() {
+        let q = qs.query(v.query);
+        return Err(CoordError::UnsafeSet {
+            query: q.name().to_string(),
+            postcondition: format!("{:?}", q.postconditions()[v.post_idx]),
+        });
+    }
+    if !is_unique(&qs) {
+        return Err(CoordError::NotUnique);
+    }
+
+    let members: Vec<_> = qs.ids().collect();
+    let index = crate::graphs::HeadIndex::build(&qs);
+    let subst = Substitution::identity(qs.total_vars());
+    let mut subst = match unify_members(&qs, &members, subst, &index) {
+        Ok(s) => s,
+        Err(_) => return Ok(None),
+    };
+    Ok(
+        ground_members(db, &qs, &members, &mut subst)?.map(|grounding| FoundSet {
+            queries: members,
+            grounding,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use crate::semantics::check_coordinating_set;
+    use coord_db::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table("Flights", &["id", "dest"]).unwrap();
+        db.insert("Flights", vec![Value::int(101), Value::str("Zurich")])
+            .unwrap();
+        db
+    }
+
+    /// A safe+unique pair: Chris and Guy name each other.
+    fn band_pair() -> Vec<EntangledQuery> {
+        let chris = QueryBuilder::new("chris")
+            .postcondition("R", |a| a.constant("Guy").var("x"))
+            .head("R", |a| a.constant("Chris").var("x"))
+            .body("Flights", |a| a.var("x").constant("Zurich"))
+            .build()
+            .unwrap();
+        let guy = QueryBuilder::new("guy")
+            .postcondition("R", |a| a.constant("Chris").var("y"))
+            .head("R", |a| a.constant("Guy").var("y"))
+            .body("Flights", |a| a.var("y").constant("Zurich"))
+            .build()
+            .unwrap();
+        vec![chris, guy]
+    }
+
+    #[test]
+    fn safe_unique_pair_coordinates() {
+        let db = db();
+        let found = gupta_coordinate(&db, &band_pair()).unwrap().unwrap();
+        assert_eq!(found.len(), 2);
+        let qs = QuerySet::new(band_pair());
+        check_coordinating_set(&db, &qs, &found.queries, &found.grounding).unwrap();
+    }
+
+    #[test]
+    fn non_unique_set_rejected() {
+        // Example 1: adding Gwyneth breaks uniqueness.
+        let db = db();
+        let mut queries = band_pair();
+        queries.push(
+            QueryBuilder::new("gwyneth")
+                .postcondition("R", |a| a.constant("Chris").var("z"))
+                .head("R", |a| a.constant("Gwyneth").var("z"))
+                .body("Flights", |a| a.var("z").constant("Zurich"))
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(
+            gupta_coordinate(&db, &queries),
+            Err(CoordError::NotUnique)
+        ));
+    }
+
+    #[test]
+    fn no_flight_means_no_set() {
+        let mut db = Database::new();
+        db.create_table("Flights", &["id", "dest"]).unwrap();
+        db.insert("Flights", vec![Value::int(1), Value::str("Oslo")])
+            .unwrap();
+        assert!(gupta_coordinate(&db, &band_pair()).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_set_returns_none() {
+        let db = db();
+        assert!(gupta_coordinate(&db, &[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn agrees_with_scc_algorithm_on_safe_unique_inputs() {
+        let db = db();
+        let queries = band_pair();
+        let gupta = gupta_coordinate(&db, &queries).unwrap();
+        let scc = crate::scc::SccCoordinator::new(&db).run(&queries).unwrap();
+        assert_eq!(
+            gupta.map(|f| f.queries),
+            scc.best().map(|f| f.queries.clone())
+        );
+    }
+}

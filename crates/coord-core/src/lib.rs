@@ -1,0 +1,54 @@
+//! # coord-core — entangled queries and coordination algorithms
+//!
+//! The primary contribution of *"The Complexity of Social Coordination"*
+//! (Mamouras, Oren, Seeman, Kot, Gehrke — PVLDB 5(11), 2012), rebuilt as a
+//! Rust library:
+//!
+//! * [`query`] / [`instance`] — entangled-query syntax `{P} H :- B` and
+//!   query sets with a global variable space (Section 2.1),
+//! * [`unify`] — Most General Unifiers over atoms (union-find),
+//! * [`graphs`] — (extended) coordination graphs, **safety**
+//!   (Definition 2), **uniqueness** (Definition 3), and
+//!   **single-connectedness** (Definition 6),
+//! * [`semantics`] — the coordinating-set definition (Definition 1) as an
+//!   executable verifier: the ground truth every algorithm is checked
+//!   against,
+//! * [`gupta`] — the Gupta et al. baseline for safe+unique sets,
+//! * [`scc`] — the **SCC Coordination Algorithm** (Section 4): safe sets
+//!   without uniqueness, one DB query per strongly connected component,
+//! * [`consistent`] — the **Consistent Coordination Algorithm**
+//!   (Section 5): unsafe sets where all users coordinate on the same
+//!   attributes,
+//! * [`single_connected`] — the tractable fragment of Theorem 3,
+//! * [`bruteforce`] — exponential exact search (the NP-hard general
+//!   problem, Theorems 1–2), used as ground truth in tests,
+//! * [`parse`] — a parser for the paper's textual `{P} H :- B` notation,
+//! * [`classify`] — Definitions 7–9 as a recognizer: checks whether a
+//!   general entangled query is A-consistent and recovers its structured
+//!   form,
+//! * [`selector`] — pluggable selection among coordinating sets,
+//! * [`engine`] — a Youtopia-style online evaluation loop.
+
+pub mod bruteforce;
+pub mod classify;
+pub mod combined;
+pub mod consistent;
+pub mod engine;
+pub mod error;
+pub mod graphs;
+pub mod gupta;
+pub mod instance;
+pub mod outcome;
+pub mod parse;
+pub mod query;
+pub mod scc;
+pub mod selector;
+pub mod semantics;
+pub mod single_connected;
+pub mod unify;
+
+pub use error::CoordError;
+pub use instance::QuerySet;
+pub use outcome::FoundSet;
+pub use query::{EntangledQuery, QueryBuilder, QueryId};
+pub use semantics::{check_coordinating_set, Grounding, Violation};

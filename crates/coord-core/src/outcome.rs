@@ -1,0 +1,47 @@
+//! Results returned by the coordination algorithms.
+
+use crate::query::QueryId;
+use crate::semantics::Grounding;
+
+/// One coordinating set discovered by an algorithm: the member queries
+/// (sorted by id) and a witnessing grounding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FoundSet {
+    /// Member queries, sorted ascending by id.
+    pub queries: Vec<QueryId>,
+    /// A total assignment witnessing Definition 1 for these members.
+    pub grounding: Grounding,
+}
+
+impl FoundSet {
+    /// Number of member queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the set is empty (never true for algorithm outputs).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Whether `q` is a member.
+    pub fn contains(&self, q: QueryId) -> bool {
+        self.queries.binary_search(&q).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_uses_sorted_order() {
+        let f = FoundSet {
+            queries: vec![QueryId(0), QueryId(2), QueryId(5)],
+            grounding: Grounding::new(),
+        };
+        assert!(f.contains(QueryId(2)));
+        assert!(!f.contains(QueryId(3)));
+        assert_eq!(f.len(), 3);
+    }
+}

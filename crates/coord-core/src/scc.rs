@@ -1,0 +1,532 @@
+//! The **SCC Coordination Algorithm** (Section 4): finding a coordinating
+//! set for *safe* query sets without requiring *uniqueness*.
+//!
+//! Key observation: for a safe set, if a query `q` belongs to a
+//! coordinating set `S`, all of `q`'s successors in the coordination graph
+//! must be in `S` too — so every strongly connected component is either
+//! wholly inside or wholly outside `S`. The algorithm therefore:
+//!
+//! 1. prunes queries whose postconditions cannot be matched by any head
+//!    (the implementation-section preprocessing step),
+//! 2. contracts the coordination graph into its components DAG `G'`,
+//! 3. walks `G'` in reverse topological order; for each component it
+//!    unifies the component's queries with the combined queries of its
+//!    successors and issues **one** conjunctive query to the database,
+//! 4. among the successful closures `R(q)` returns the one preferred by
+//!    the configured [`Selector`] (maximum size by default — the paper's
+//!    guarantee: a maximum-size set among `{R(q) | q ∈ Q}`).
+//!
+//! At most `|Q|` database queries are issued; the graph work is at most
+//! quadratic in `|Q|` (Section 4, "Running Time").
+
+use crate::combined::{ground_members, unify_members};
+use crate::error::CoordError;
+use crate::graphs::{coordination_graph, safety_violations};
+use crate::instance::QuerySet;
+use crate::outcome::FoundSet;
+use crate::query::{EntangledQuery, QueryId};
+use crate::selector::{MaxSize, Selector};
+use crate::semantics::Grounding;
+use crate::unify::Substitution;
+use coord_db::Database;
+use coord_graph::{condensation, Condensation, DiGraph, NodeId};
+use std::collections::BTreeSet;
+
+/// Statistics gathered during a run (mirrors the measurements of
+/// Figures 4–6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SccStats {
+    /// Queries removed by preprocessing (unmatchable postconditions).
+    pub removed: usize,
+    /// Edges of the (collapsed) coordination graph.
+    pub graph_edges: usize,
+    /// Strongly connected components.
+    pub components: usize,
+    /// Conjunctive queries issued to the database (≤ components ≤ |Q|).
+    pub db_queries: usize,
+    /// Candidate coordinating sets discovered.
+    pub candidates: usize,
+}
+
+/// Everything the algorithm computes before touching the database:
+/// validation, safety check, preprocessing, coordination graph and its
+/// condensation. This is exactly the work measured by Figure 6 ("graph
+/// processing time").
+#[derive(Debug)]
+pub struct Preprocessed {
+    /// The query set with its global variable space.
+    pub qs: QuerySet,
+    /// Queries removed because some postcondition matches no head.
+    pub removed: Vec<QueryId>,
+    /// The collapsed coordination graph over all queries (removed queries
+    /// keep their nodes but contribute no usable closure).
+    pub graph: DiGraph<QueryId>,
+    /// Condensation of the coordination graph. Component ids are in
+    /// reverse topological order (successors have smaller ids).
+    pub cond: Condensation,
+}
+
+/// Run validation, the safety check, preprocessing and graph construction
+/// (steps 1–2 of the algorithm; no database queries are issued beyond
+/// schema validation).
+pub fn preprocess(db: &Database, queries: &[EntangledQuery]) -> Result<Preprocessed, CoordError> {
+    let qs = QuerySet::new(queries.to_vec());
+    qs.validate(db)?;
+
+    // Safety check (Definition 2). The algorithm's guarantees require it.
+    if let Some(v) = safety_violations(&qs).first() {
+        let q = qs.query(v.query);
+        return Err(CoordError::UnsafeSet {
+            query: q.name().to_string(),
+            postcondition: format!("{:?}", q.postconditions()[v.post_idx]),
+        });
+    }
+
+    // Preprocessing: iteratively remove queries that have a postcondition
+    // no remaining head can satisfy.
+    let index = crate::graphs::HeadIndex::build(&qs);
+    let mut active = vec![true; qs.len()];
+    loop {
+        let mut changed = false;
+        for src in qs.ids() {
+            if !active[src.index()] {
+                continue;
+            }
+            let all_matched = qs.query(src).postconditions().iter().all(|p| {
+                index.candidates(p).any(|(dst, hi)| {
+                    active[dst.index()]
+                        && crate::unify::atoms_unifiable(p, &qs.query(dst).heads()[hi])
+                })
+            });
+            if !all_matched {
+                active[src.index()] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let removed: Vec<QueryId> = qs.ids().filter(|q| !active[q.index()]).collect();
+
+    // Coordination graph over the active queries; removed queries keep
+    // their (isolated) nodes so QueryId == NodeId everywhere.
+    let full = coordination_graph(&qs);
+    let mut graph: DiGraph<QueryId> = DiGraph::with_capacity(qs.len(), full.edge_count());
+    for id in qs.ids() {
+        graph.add_node(id);
+    }
+    for e in full.edge_ids() {
+        let (u, v) = full.endpoints(e);
+        if active[u.index()] && active[v.index()] {
+            graph.add_edge(u, v, ());
+        }
+    }
+
+    let cond = condensation(&graph);
+    Ok(Preprocessed {
+        qs,
+        removed,
+        graph,
+        cond,
+    })
+}
+
+/// Outcome of the SCC Coordination Algorithm.
+#[derive(Debug)]
+pub struct SccOutcome {
+    /// The query set (for mapping ids back to names).
+    pub qs: QuerySet,
+    /// All candidate coordinating sets (one per successfully grounded
+    /// component closure `R(q)`).
+    pub found: Vec<FoundSet>,
+    /// Index of the selector's choice within `found`.
+    best: Option<usize>,
+    /// Run statistics.
+    pub stats: SccStats,
+}
+
+impl SccOutcome {
+    /// The selected coordinating set, if any closure coordinated.
+    pub fn best(&self) -> Option<&FoundSet> {
+        self.best.map(|i| &self.found[i])
+    }
+
+    /// Names of the member queries of the best set.
+    pub fn best_names(&self) -> Vec<&str> {
+        self.best()
+            .map(|f| f.queries.iter().map(|&q| self.qs.query(q).name()).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// The SCC Coordination Algorithm, parameterized by a selection criterion.
+pub struct SccCoordinator<'a> {
+    db: &'a Database,
+    selector: Box<dyn Selector + 'a>,
+}
+
+impl<'a> SccCoordinator<'a> {
+    /// A coordinator with the paper's default maximum-size selection.
+    pub fn new(db: &'a Database) -> Self {
+        SccCoordinator {
+            db,
+            selector: Box::new(MaxSize),
+        }
+    }
+
+    /// Override the selection criterion.
+    pub fn with_selector(db: &'a Database, selector: impl Selector + 'a) -> Self {
+        SccCoordinator {
+            db,
+            selector: Box::new(selector),
+        }
+    }
+
+    /// Run the full algorithm on `queries`.
+    pub fn run(&self, queries: &[EntangledQuery]) -> Result<SccOutcome, CoordError> {
+        let pre = preprocess(self.db, queries)?;
+        self.run_preprocessed(pre)
+    }
+
+    /// Run the database phase on a preprocessed instance.
+    pub fn run_preprocessed(&self, pre: Preprocessed) -> Result<SccOutcome, CoordError> {
+        let Preprocessed {
+            qs,
+            removed,
+            graph,
+            cond,
+        } = pre;
+        let n_comp = cond.len();
+        let removed_set: Vec<bool> = {
+            let mut v = vec![false; qs.len()];
+            for r in &removed {
+                v[r.index()] = true;
+            }
+            v
+        };
+
+        let mut stats = SccStats {
+            removed: removed.len(),
+            graph_edges: graph.edge_count(),
+            components: n_comp,
+            ..SccStats::default()
+        };
+
+        // One head index shared by every component's unification pass.
+        let head_index = crate::graphs::HeadIndex::build(&qs);
+
+        // Per-component state: whether it failed, and the set of component
+        // ids in its closure (itself + closures of successors). Components
+        // are processed in id order, which is reverse topological order,
+        // so successors are always ready.
+        let mut failed = vec![false; n_comp];
+        let mut closures: Vec<BTreeSet<usize>> = Vec::with_capacity(n_comp);
+        let mut found: Vec<FoundSet> = Vec::new();
+
+        for c in 0..n_comp {
+            // Removed queries cannot participate.
+            let members_here = cond.members(c);
+            if members_here.iter().any(|n| removed_set[n.index()]) {
+                failed[c] = true;
+                closures.push(BTreeSet::new());
+                continue;
+            }
+
+            // Merge successor closures; fail if any successor failed.
+            let mut closure: BTreeSet<usize> = BTreeSet::new();
+            closure.insert(c);
+            let mut ok = true;
+            for succ in cond.dag.successors(NodeId(c)) {
+                if failed[succ.index()] {
+                    ok = false;
+                    break;
+                }
+                closure.extend(closures[succ.index()].iter().copied());
+            }
+            if !ok {
+                failed[c] = true;
+                closures.push(BTreeSet::new());
+                continue;
+            }
+
+            // Collect the member queries of the whole closure R(q).
+            let mut member_queries: Vec<QueryId> = closure
+                .iter()
+                .flat_map(|&ci| cond.members(ci).iter().map(|n| QueryId(n.index())))
+                .collect();
+            member_queries.sort_unstable();
+
+            // Unify the closure: every postcondition with its unique head.
+            let subst = Substitution::identity(qs.total_vars());
+            let mut subst = match unify_members(&qs, &member_queries, subst, &head_index) {
+                Ok(s) => s,
+                Err(_) => {
+                    failed[c] = true;
+                    closures.push(BTreeSet::new());
+                    continue;
+                }
+            };
+
+            // One conjunctive query to the database for this component.
+            stats.db_queries += 1;
+            match ground_members(self.db, &qs, &member_queries, &mut subst)? {
+                Some(grounding) => {
+                    found.push(FoundSet {
+                        queries: member_queries,
+                        grounding,
+                    });
+                    closures.push(closure);
+                }
+                None => {
+                    failed[c] = true;
+                    closures.push(BTreeSet::new());
+                }
+            }
+        }
+
+        stats.candidates = found.len();
+        let best = self.selector.choose(&found);
+        Ok(SccOutcome {
+            qs,
+            found,
+            best,
+            stats,
+        })
+    }
+}
+
+/// Convenience: run the SCC Coordination Algorithm with default selection
+/// and return only the best coordinating set.
+pub fn scc_coordinate(
+    db: &Database,
+    queries: &[EntangledQuery],
+) -> Result<Option<(Vec<QueryId>, Grounding)>, CoordError> {
+    let outcome = SccCoordinator::new(db).run(queries)?;
+    Ok(outcome
+        .best()
+        .map(|f| (f.queries.clone(), f.grounding.clone())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use crate::semantics::check_coordinating_set;
+    use coord_db::Value;
+
+    /// Database for the flight-hotel example: Paris has flight+hotel,
+    /// Athens has flight+hotel, Madrid has a flight but no hotel.
+    fn fh_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("F", &["id", "dest"]).unwrap();
+        db.create_table("H", &["id", "loc"]).unwrap();
+        for (id, d) in [(1, "Paris"), (2, "Athens"), (3, "Madrid")] {
+            db.insert("F", vec![Value::int(id), Value::str(d)]).unwrap();
+        }
+        for (id, l) in [(10, "Paris"), (11, "Athens")] {
+            db.insert("H", vec![Value::int(id), Value::str(l)]).unwrap();
+        }
+        db
+    }
+
+    fn fh_queries() -> Vec<EntangledQuery> {
+        crate::graphs::tests::flight_hotel_queries()
+            .queries()
+            .to_vec()
+    }
+
+    #[test]
+    fn flight_hotel_components() {
+        let db = fh_db();
+        let pre = preprocess(&db, &fh_queries()).unwrap();
+        // SCCs: {qC, qG}, {qJ}, {qW} (Section 4).
+        assert_eq!(pre.cond.len(), 3);
+        assert!(pre.removed.is_empty());
+        // {qC, qG} is the sink component: id 0 in reverse topo order.
+        let comp0: Vec<usize> = pre.cond.members(0).iter().map(|n| n.index()).collect();
+        let mut c0 = comp0.clone();
+        c0.sort_unstable();
+        assert_eq!(c0, vec![0, 1]);
+    }
+
+    #[test]
+    fn flight_hotel_best_is_chris_guy_jonny() {
+        // Chris+Guy coordinate on Paris. Jonny requires Athens for
+        // himself while flying *with* Chris and Guy — grounding forces one
+        // flight to go to both Paris and Athens, so R(qJ) fails; so does
+        // R(qW) (it contains qJ via Q(J,·)... actually qW needs qJ's
+        // hotel and qC's flight). The best coordinating set is {qC, qG}.
+        let db = fh_db();
+        let out = SccCoordinator::new(&db).run(&fh_queries()).unwrap();
+        let names = out.best_names();
+        assert_eq!(names, vec!["qC", "qG"]);
+        // One DB query per component at most.
+        assert!(out.stats.db_queries <= out.stats.components);
+        // Verify against Definition 1.
+        let best = out.best().unwrap();
+        check_coordinating_set(&db, &out.qs, &best.queries, &best.grounding).unwrap();
+    }
+
+    #[test]
+    fn list_structure_finds_whole_chain() {
+        // q0 → q1 → q2, last query free: the whole list coordinates when
+        // the database has a satisfying tuple (Figure 4 workload shape).
+        let mut db = Database::new();
+        db.create_table("T", &["id"]).unwrap();
+        db.insert("T", vec![Value::int(7)]).unwrap();
+        let mk = |i: usize, next: Option<usize>| {
+            let mut b = QueryBuilder::new(format!("q{i}"));
+            if let Some(n) = next {
+                b = b.postcondition("R", |a| a.constant(format!("u{n}")).var("x"));
+            }
+            b.head("R", |a| a.constant(format!("u{i}")).var("x"))
+                .body("T", |a| a.var("x"))
+                .build()
+                .unwrap()
+        };
+        let queries = vec![mk(0, Some(1)), mk(1, Some(2)), mk(2, None)];
+        let out = SccCoordinator::new(&db).run(&queries).unwrap();
+        // Candidates: {q2}, {q1,q2}, {q0,q1,q2} — non-unique structure.
+        assert_eq!(out.found.len(), 3);
+        assert_eq!(out.best().unwrap().len(), 3);
+        assert_eq!(out.stats.db_queries, 3);
+        let best = out.best().unwrap();
+        check_coordinating_set(&db, &out.qs, &best.queries, &best.grounding).unwrap();
+    }
+
+    #[test]
+    fn failure_propagates_to_predecessors() {
+        // q0 needs q1; q1's body is unsatisfiable ⇒ both fail, but q2
+        // (independent) succeeds.
+        let mut db = Database::new();
+        db.create_table("T", &["id", "kind"]).unwrap();
+        db.insert("T", vec![Value::int(1), Value::str("good")])
+            .unwrap();
+        let q0 = QueryBuilder::new("q0")
+            .postcondition("R", |a| a.constant("u1").var("x"))
+            .head("R", |a| a.constant("u0").var("x"))
+            .body("T", |a| a.var("x").constant("good"))
+            .build()
+            .unwrap();
+        let q1 = QueryBuilder::new("q1")
+            .head("R", |a| a.constant("u1").var("y"))
+            .body("T", |a| a.var("y").constant("missing"))
+            .build()
+            .unwrap();
+        let q2 = QueryBuilder::new("q2")
+            .head("R", |a| a.constant("u2").var("z"))
+            .body("T", |a| a.var("z").constant("good"))
+            .build()
+            .unwrap();
+        let out = SccCoordinator::new(&db).run(&[q0, q1, q2]).unwrap();
+        assert_eq!(out.best_names(), vec!["q2"]);
+        assert_eq!(out.found.len(), 1);
+    }
+
+    #[test]
+    fn preprocessing_removes_unmatchable_postconditions() {
+        // q0 requires R(ghost, ·) which nobody produces; q1 requires q0.
+        // Both are removed; q2 survives.
+        let mut db = Database::new();
+        db.create_table("T", &["id"]).unwrap();
+        db.insert("T", vec![Value::int(1)]).unwrap();
+        let q0 = QueryBuilder::new("q0")
+            .postcondition("R", |a| a.constant("ghost").var("x"))
+            .head("R", |a| a.constant("u0").var("x"))
+            .body("T", |a| a.var("x"))
+            .build()
+            .unwrap();
+        let q1 = QueryBuilder::new("q1")
+            .postcondition("R", |a| a.constant("u0").var("y"))
+            .head("R", |a| a.constant("u1").var("y"))
+            .body("T", |a| a.var("y"))
+            .build()
+            .unwrap();
+        let q2 = QueryBuilder::new("q2")
+            .head("R", |a| a.constant("u2").var("z"))
+            .body("T", |a| a.var("z"))
+            .build()
+            .unwrap();
+        let pre = preprocess(&db, &[q0, q1, q2]).unwrap();
+        assert_eq!(pre.removed.len(), 2);
+        let out = SccCoordinator::new(&db).run_preprocessed(pre).unwrap();
+        assert_eq!(out.best_names(), vec!["q2"]);
+        assert_eq!(out.stats.removed, 2);
+    }
+
+    #[test]
+    fn unsafe_set_is_rejected() {
+        let mut db = Database::new();
+        db.create_table("T", &["id"]).unwrap();
+        db.insert("T", vec![Value::int(1)]).unwrap();
+        // Two producers of R(u, ·) and one consumer ⇒ unsafe.
+        let a = QueryBuilder::new("a")
+            .head("R", |x| x.constant("u").var("p"))
+            .body("T", |x| x.var("p"))
+            .build()
+            .unwrap();
+        let b = QueryBuilder::new("b")
+            .head("R", |x| x.constant("u").var("q"))
+            .body("T", |x| x.var("q"))
+            .build()
+            .unwrap();
+        let c = QueryBuilder::new("c")
+            .postcondition("R", |x| x.constant("u").var("r"))
+            .head("R", |x| x.constant("me").var("r"))
+            .body("T", |x| x.var("r"))
+            .build()
+            .unwrap();
+        let err = SccCoordinator::new(&db).run(&[a, b, c]).unwrap_err();
+        assert!(matches!(err, CoordError::UnsafeSet { .. }));
+    }
+
+    #[test]
+    fn db_query_bound_holds() {
+        // The number of database queries never exceeds the number of SCCs.
+        let db = fh_db();
+        db.stats().reset();
+        let out = SccCoordinator::new(&db).run(&fh_queries()).unwrap();
+        assert!(out.stats.db_queries <= out.stats.components);
+        assert_eq!(db.stats().find_one_count() as usize, out.stats.db_queries);
+    }
+
+    #[test]
+    fn components_graph_example_from_section_4() {
+        // q3+q4 → q1+q2 ← q5+q6: candidates {q1,q2}, {q1..q4}, {q1,q2,q5,q6};
+        // the algorithm does NOT check the union of all six.
+        let mut db = Database::new();
+        db.create_table("T", &["id"]).unwrap();
+        db.insert("T", vec![Value::int(1)]).unwrap();
+        let pair = |i: usize, j: usize, dep: Option<usize>| {
+            let a_name = format!("q{i}");
+            let b_name = format!("q{j}");
+            let mut a = QueryBuilder::new(&a_name)
+                .postcondition("R", |x| x.constant(format!("u{j}")).var("v"))
+                .head("R", |x| x.constant(format!("u{i}")).var("v"))
+                .body("T", |x| x.var("v"));
+            if let Some(d) = dep {
+                a = a.postcondition("R", |x| x.constant(format!("u{d}")).var("v"));
+            }
+            let b = QueryBuilder::new(&b_name)
+                .postcondition("R", |x| x.constant(format!("u{i}")).var("w"))
+                .head("R", |x| x.constant(format!("u{j}")).var("w"))
+                .body("T", |x| x.var("w"))
+                .build()
+                .unwrap();
+            (a.build().unwrap(), b)
+        };
+        let (q1, q2) = pair(1, 2, None);
+        let (q3, q4) = pair(3, 4, Some(1));
+        let (q5, q6) = pair(5, 6, Some(1));
+        let out = SccCoordinator::new(&db)
+            .run(&[q1, q2, q3, q4, q5, q6])
+            .unwrap();
+        assert_eq!(out.found.len(), 3);
+        let sizes: Vec<usize> = out.found.iter().map(FoundSet::len).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 4, 4]);
+        assert_eq!(out.best().unwrap().len(), 4);
+    }
+}

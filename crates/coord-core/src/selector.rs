@@ -1,0 +1,125 @@
+//! Selection criteria among discovered coordinating sets.
+//!
+//! The paper (Section 4) notes that when several coordinating sets exist,
+//! applications may prefer different ones: the maximum-size set, a set
+//! containing a VIP client's query, or a set maximizing some weight (e.g.
+//! number of gold-status passengers). These are pluggable here.
+
+use crate::outcome::FoundSet;
+use crate::query::QueryId;
+use std::collections::HashMap;
+
+/// A criterion choosing among candidate coordinating sets.
+pub trait Selector {
+    /// Index of the preferred candidate, or `None` when `candidates` is
+    /// empty.
+    fn choose(&self, candidates: &[FoundSet]) -> Option<usize>;
+}
+
+/// The paper's default: pick a maximum-size coordinating set (ties broken
+/// by first occurrence, i.e. reverse topological discovery order).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxSize;
+
+impl Selector for MaxSize {
+    fn choose(&self, candidates: &[FoundSet]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.len().cmp(&b.len()).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Prefer sets containing a VIP query; among those (or among all sets if
+/// none contains the VIP), pick the largest.
+#[derive(Clone, Copy, Debug)]
+pub struct PreferQuery {
+    pub vip: QueryId,
+}
+
+impl Selector for PreferQuery {
+    fn choose(&self, candidates: &[FoundSet]) -> Option<usize> {
+        let key = |f: &FoundSet| (f.contains(self.vip), f.len());
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| key(a).cmp(&key(b)).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Maximize the total weight of member queries (e.g. gold-status
+/// passengers). Queries without a weight count as zero.
+#[derive(Clone, Debug, Default)]
+pub struct Weighted {
+    pub weights: HashMap<QueryId, i64>,
+}
+
+impl Weighted {
+    /// Build from (query, weight) pairs.
+    pub fn new(weights: impl IntoIterator<Item = (QueryId, i64)>) -> Self {
+        Weighted {
+            weights: weights.into_iter().collect(),
+        }
+    }
+
+    fn weight_of(&self, f: &FoundSet) -> i64 {
+        f.queries
+            .iter()
+            .map(|q| self.weights.get(q).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+impl Selector for Weighted {
+    fn choose(&self, candidates: &[FoundSet]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                self.weight_of(a)
+                    .cmp(&self.weight_of(b))
+                    .then(a.len().cmp(&b.len()))
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::Grounding;
+
+    fn set(ids: &[usize]) -> FoundSet {
+        FoundSet {
+            queries: ids.iter().map(|&i| QueryId(i)).collect(),
+            grounding: Grounding::new(),
+        }
+    }
+
+    #[test]
+    fn max_size_picks_largest_first_on_tie() {
+        let cands = vec![set(&[0]), set(&[1, 2]), set(&[3, 4])];
+        assert_eq!(MaxSize.choose(&cands), Some(1));
+        assert_eq!(MaxSize.choose(&[]), None);
+    }
+
+    #[test]
+    fn prefer_query_overrides_size() {
+        let cands = vec![set(&[0, 1, 2]), set(&[5])];
+        let sel = PreferQuery { vip: QueryId(5) };
+        assert_eq!(sel.choose(&cands), Some(1));
+        // VIP absent everywhere: falls back to max size.
+        let sel2 = PreferQuery { vip: QueryId(9) };
+        assert_eq!(sel2.choose(&cands), Some(0));
+    }
+
+    #[test]
+    fn weighted_sums_member_weights() {
+        let cands = vec![set(&[0, 1]), set(&[2])];
+        let sel = Weighted::new([(QueryId(2), 10), (QueryId(0), 1), (QueryId(1), 2)]);
+        assert_eq!(sel.choose(&cands), Some(1));
+    }
+}

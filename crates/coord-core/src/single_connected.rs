@@ -1,0 +1,361 @@
+//! Coordination for **single-connected** query sets (Definition 6 /
+//! Theorem 3): every query has at most one postcondition atom and the
+//! coordination graph has at most one simple path between every ordered
+//! pair of queries.
+//!
+//! The paper states Theorem 3 — `Entangled(Q_sc)` is solvable with a
+//! linear number of (linear-size) conjunctive queries — without spelling
+//! out the algorithm. We implement the natural one: a *choice-closure*
+//! search. Starting from a seed query, every unresolved postcondition
+//! picks one of its unifiable heads (sets here need **not** be safe —
+//! alternative heads are exactly what this fragment keeps tractable);
+//! picking a head pulls its query (and, transitively, that query's own
+//! postcondition) into the candidate set. Each complete choice function
+//! is grounded with a single conjunctive query.
+//!
+//! Single-connectedness makes this efficient: alternative branches of a
+//! postcondition reach *disjoint* query sets (two branches meeting again
+//! would create two simple paths), so choices at different postconditions
+//! never conflict structurally and failed branches prune immediately. In
+//! the worst case over the fragment the number of groundings is the total
+//! number of alternative edges — linear in the size of the coordination
+//! graph, matching the theorem's bound.
+
+use crate::combined::ground_members;
+use crate::error::CoordError;
+use crate::graphs::{check_single_connected, HeadIndex};
+use crate::instance::QuerySet;
+use crate::outcome::FoundSet;
+use crate::query::{EntangledQuery, QueryId};
+use crate::unify::{atoms_unifiable, Substitution};
+use coord_db::{Atom, Database};
+use std::collections::BTreeSet;
+
+/// Outcome of the single-connected solver.
+#[derive(Debug)]
+pub struct SingleConnectedOutcome {
+    /// The query set.
+    pub qs: QuerySet,
+    /// One coordinating set per seed query that can coordinate (deduped).
+    pub found: Vec<FoundSet>,
+    /// Complete choice functions grounded against the database — the
+    /// "number of conjunctive queries" of Theorem 3.
+    pub groundings_tried: u64,
+}
+
+impl SingleConnectedOutcome {
+    /// A maximum-size coordinating set among the discovered ones.
+    pub fn best(&self) -> Option<&FoundSet> {
+        self.found.iter().max_by_key(|f| f.len())
+    }
+}
+
+/// Solve a single-connected instance.
+///
+/// Errors with [`CoordError::NotSingleConnected`] if the input violates
+/// Definition 6.
+pub fn single_connected_coordinate(
+    db: &Database,
+    queries: &[EntangledQuery],
+) -> Result<SingleConnectedOutcome, CoordError> {
+    let qs = QuerySet::new(queries.to_vec());
+    qs.validate(db)?;
+    check_single_connected(&qs).map_err(|reason| CoordError::NotSingleConnected { reason })?;
+
+    let index = HeadIndex::build(&qs);
+    let mut found: Vec<FoundSet> = Vec::new();
+    let mut seen_sets: BTreeSet<Vec<QueryId>> = BTreeSet::new();
+    let mut groundings_tried = 0u64;
+
+    for seed in qs.ids() {
+        // Skip seeds already covered by a discovered set: their
+        // choice-closure grounded once; re-deriving it adds nothing.
+        if found.iter().any(|f| f.contains(seed)) {
+            continue;
+        }
+        let mut included: BTreeSet<QueryId> = BTreeSet::new();
+        included.insert(seed);
+        let pending: Vec<QueryId> = vec![seed];
+        let chosen: Vec<(Atom, Atom)> = Vec::new();
+        if let Some((members, grounding)) = extend(
+            db,
+            &qs,
+            &index,
+            included,
+            pending,
+            chosen,
+            &mut groundings_tried,
+        )? {
+            if seen_sets.insert(members.clone()) {
+                found.push(FoundSet {
+                    queries: members,
+                    grounding,
+                });
+            }
+        }
+    }
+
+    Ok(SingleConnectedOutcome {
+        qs,
+        found,
+        groundings_tried,
+    })
+}
+
+/// Depth-first search over choice functions. `pending` holds queries
+/// whose (single) postcondition has not been matched yet; `chosen` the
+/// globalized (postcondition, head) pairs committed so far.
+fn extend(
+    db: &Database,
+    qs: &QuerySet,
+    index: &HeadIndex,
+    included: BTreeSet<QueryId>,
+    mut pending: Vec<QueryId>,
+    chosen: Vec<(Atom, Atom)>,
+    groundings_tried: &mut u64,
+) -> Result<Option<(Vec<QueryId>, crate::semantics::Grounding)>, CoordError> {
+    // Resolve the next pending postcondition, if any.
+    let Some(owner) = pending.pop() else {
+        // All postconditions matched: unify the chosen pairs and ground.
+        let mut subst = Substitution::identity(qs.total_vars());
+        for (p, h) in &chosen {
+            if subst.unify_atoms(p, h).is_err() {
+                return Ok(None);
+            }
+        }
+        let members: Vec<QueryId> = included.iter().copied().collect();
+        *groundings_tried += 1;
+        return Ok(
+            ground_members(db, qs, &members, &mut subst)?.map(|grounding| (members, grounding))
+        );
+    };
+
+    let posts = qs.query(owner).postconditions();
+    debug_assert!(
+        posts.len() <= 1,
+        "single-connected queries have ≤ 1 postcondition"
+    );
+    let Some(p_local) = posts.first() else {
+        // No postcondition: nothing to match for this query.
+        return extend(db, qs, index, included, pending, chosen, groundings_tried);
+    };
+    let p_global = qs.globalize(owner, p_local);
+
+    // Try each unifiable head as the producer.
+    for (producer, hi) in index.candidates(p_local) {
+        let h_local = &qs.query(producer).heads()[hi];
+        if !atoms_unifiable(p_local, h_local) {
+            continue;
+        }
+        let h_global = qs.globalize(producer, h_local);
+        let mut next_included = included.clone();
+        let mut next_pending = pending.clone();
+        if next_included.insert(producer) {
+            next_pending.push(producer); // its own postcondition joins the queue
+        }
+        let mut next_chosen = chosen.clone();
+        next_chosen.push((p_global.clone(), h_global));
+        if let Some(result) = extend(
+            db,
+            qs,
+            index,
+            next_included,
+            next_pending,
+            next_chosen,
+            groundings_tried,
+        )? {
+            return Ok(Some(result));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use crate::semantics::check_coordinating_set;
+    use coord_db::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table("F", &["id", "dest"]).unwrap();
+        db.insert("F", vec![Value::int(1), Value::str("Zurich")])
+            .unwrap();
+        db.insert("F", vec![Value::int(2), Value::str("Paris")])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn alternative_branches_are_explored() {
+        // c's postcondition R(u, ·) can be served by producer a (Zurich)
+        // or producer b (Paris) — an *unsafe* but single-connected set.
+        // c's own body forces Paris, so only the b-branch grounds.
+        let a = QueryBuilder::new("a")
+            .head("R", |x| x.constant("u").var("p"))
+            .body("F", |x| x.var("p").constant("Zurich"))
+            .build()
+            .unwrap();
+        let b = QueryBuilder::new("b")
+            .head("R", |x| x.constant("u").var("q"))
+            .body("F", |x| x.var("q").constant("Paris"))
+            .build()
+            .unwrap();
+        let c = QueryBuilder::new("c")
+            .postcondition("R", |x| x.constant("u").var("r"))
+            .head("R", |x| x.constant("me").var("r"))
+            .body("F", |x| x.var("r").constant("Paris"))
+            .build()
+            .unwrap();
+        let db = db();
+        let queries = vec![a, b, c];
+        let out = single_connected_coordinate(&db, &queries).unwrap();
+        let best = out.best().unwrap();
+        check_coordinating_set(&db, &out.qs, &best.queries, &best.grounding).unwrap();
+        // c coordinates with b alone — the a-branch is not needed.
+        assert!(best.contains(QueryId(2)));
+        assert!(best.contains(QueryId(1)));
+    }
+
+    #[test]
+    fn doomed_branch_does_not_poison_the_seed() {
+        // q1's postcondition matches both q0's head (unsatisfiable body)
+        // and its own head. The correct answer is {q1} alone — the case
+        // that distinguishes choice-closures from successor-closures.
+        let q0 = QueryBuilder::new("q0")
+            .head("R", |x| x.constant("L").var("p"))
+            .body("F", |x| x.var("p").constant("Nowhere"))
+            .build()
+            .unwrap();
+        let q1 = QueryBuilder::new("q1")
+            .postcondition("R", |x| x.constant("L").var("y"))
+            .head("R", |x| x.constant("L").var("x"))
+            .body("F", |x| x.var("x").constant("Paris"))
+            .build()
+            .unwrap();
+        let db = db();
+        let queries = vec![q0, q1];
+        let out = single_connected_coordinate(&db, &queries).unwrap();
+        let best = out.best().unwrap();
+        assert_eq!(best.queries, vec![QueryId(1)]);
+        check_coordinating_set(&db, &out.qs, &best.queries, &best.grounding).unwrap();
+    }
+
+    #[test]
+    fn cycle_of_single_postconditions() {
+        // a needs b, b needs a: coordinates on the same flight.
+        let a = QueryBuilder::new("a")
+            .postcondition("R", |x| x.constant("b").var("p"))
+            .head("R", |x| x.constant("a").var("p"))
+            .body("F", |x| x.var("p").constant("Zurich"))
+            .build()
+            .unwrap();
+        let b = QueryBuilder::new("b")
+            .postcondition("R", |x| x.constant("a").var("q"))
+            .head("R", |x| x.constant("b").var("q"))
+            .body("F", |x| x.var("q").constant("Zurich"))
+            .build()
+            .unwrap();
+        let db = db();
+        let queries = vec![a, b];
+        let out = single_connected_coordinate(&db, &queries).unwrap();
+        assert_eq!(out.best().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_multi_postcondition_queries() {
+        let q = QueryBuilder::new("q")
+            .postcondition("R", |x| x.constant("a").var("p"))
+            .postcondition("R", |x| x.constant("b").var("p"))
+            .head("R", |x| x.constant("q").var("p"))
+            .body("F", |x| x.var("p").constant("Zurich"))
+            .build()
+            .unwrap();
+        let db = db();
+        assert!(matches!(
+            single_connected_coordinate(&db, &[q]),
+            Err(CoordError::NotSingleConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_diamond_paths() {
+        // d → b → a and d → c → a gives two simple paths d ⇝ a.
+        let a = QueryBuilder::new("a")
+            .head("R", |x| x.constant("a").var("p"))
+            .body("F", |x| x.var("p").constant("Zurich"))
+            .build()
+            .unwrap();
+        let b = QueryBuilder::new("b")
+            .postcondition("R", |x| x.constant("a").var("q"))
+            .head("S", |x| x.constant("shared").var("q"))
+            .body("F", |x| x.var("q").constant("Zurich"))
+            .build()
+            .unwrap();
+        let c = QueryBuilder::new("c")
+            .postcondition("R", |x| x.constant("a").var("r"))
+            .head("S", |x| x.constant("shared").var("r"))
+            .body("F", |x| x.var("r").constant("Paris"))
+            .build()
+            .unwrap();
+        let d = QueryBuilder::new("d")
+            .postcondition("S", |x| x.constant("shared").var("s"))
+            .head("R", |x| x.constant("d").var("s"))
+            .body("F", |x| x.var("s").constant("Paris"))
+            .build()
+            .unwrap();
+        let db = db();
+        assert!(matches!(
+            single_connected_coordinate(&db, &[a, b, c, d]),
+            Err(CoordError::NotSingleConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn agrees_with_bruteforce_on_small_instances() {
+        let a = QueryBuilder::new("a")
+            .head("R", |x| x.constant("u").var("p"))
+            .body("F", |x| x.var("p").constant("Zurich"))
+            .build()
+            .unwrap();
+        let c = QueryBuilder::new("c")
+            .postcondition("R", |x| x.constant("u").var("r"))
+            .head("R", |x| x.constant("me").var("r"))
+            .body("F", |x| x.var("r").constant("Zurich"))
+            .build()
+            .unwrap();
+        let db = db();
+        let queries = vec![a, c];
+        let sc = single_connected_coordinate(&db, &queries).unwrap();
+        let bf = crate::bruteforce::any_coordinating_set(&db, &queries).unwrap();
+        assert_eq!(sc.best().is_some(), bf.best.is_some());
+    }
+
+    #[test]
+    fn grounding_count_stays_small_on_chains() {
+        // A chain of n single-postcondition queries: the search grounds
+        // once per seed not yet covered — the linear bound of Theorem 3.
+        let mut db = Database::new();
+        db.create_table("F", &["id", "dest"]).unwrap();
+        db.insert("F", vec![Value::int(1), Value::str("Zurich")])
+            .unwrap();
+        let n = 12;
+        let queries: Vec<_> = (0..n)
+            .map(|i| {
+                let mut b = QueryBuilder::new(format!("q{i}"));
+                if i + 1 < n {
+                    b = b.postcondition("R", |x| x.constant(format!("u{}", i + 1)).var("y"));
+                }
+                b.head("R", |x| x.constant(format!("u{i}")).var("x"))
+                    .body("F", |x| x.var("x").constant("Zurich"))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let out = single_connected_coordinate(&db, &queries).unwrap();
+        assert_eq!(out.best().unwrap().len(), n);
+        // Seed q0 covers the whole chain; the remaining seeds are skipped.
+        assert_eq!(out.groundings_tried, 1);
+    }
+}

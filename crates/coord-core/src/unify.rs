@@ -1,0 +1,357 @@
+//! Unification of atoms over the global variable space.
+//!
+//! The algorithms of Sections 4–5 repeatedly compute Most General Unifiers
+//! of postcondition atoms with head atoms. A [`Substitution`] is a
+//! union-find structure over global variables, where each equivalence
+//! class optionally carries a constant binding. Unifying two atoms merges
+//! classes positionally; a conflict between two distinct constants makes
+//! unification fail.
+
+use coord_db::{Atom, Term, Value, Var};
+use std::fmt;
+
+/// Why unification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnifyError {
+    /// The atoms are over different relations.
+    RelationMismatch { left: String, right: String },
+    /// The atoms have different arities.
+    ArityMismatch {
+        relation: String,
+        left: usize,
+        right: usize,
+    },
+    /// Two distinct constants collided (directly or through variable
+    /// classes).
+    ConstantConflict { left: Value, right: Value },
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifyError::RelationMismatch { left, right } => {
+                write!(f, "cannot unify atoms over `{left}` and `{right}`")
+            }
+            UnifyError::ArityMismatch {
+                relation,
+                left,
+                right,
+            } => {
+                write!(f, "arity mismatch on `{relation}`: {left} vs {right}")
+            }
+            UnifyError::ConstantConflict { left, right } => {
+                write!(f, "constant conflict: {left} ≠ {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnifyError {}
+
+/// A substitution over `n` global variables: union-find with per-class
+/// constant bindings.
+#[derive(Clone, Debug)]
+pub struct Substitution {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    binding: Vec<Option<Value>>,
+}
+
+impl Substitution {
+    /// The identity substitution over `n_vars` variables.
+    pub fn identity(n_vars: u32) -> Self {
+        Substitution {
+            parent: (0..n_vars).collect(),
+            rank: vec![0; n_vars as usize],
+            binding: vec![None; n_vars as usize],
+        }
+    }
+
+    /// Number of variables covered.
+    pub fn n_vars(&self) -> u32 {
+        self.parent.len() as u32
+    }
+
+    /// Representative of `v`'s class (with path halving).
+    pub fn find(&mut self, v: Var) -> Var {
+        let mut x = v.0 as usize;
+        while self.parent[x] as usize != x {
+            self.parent[x] = self.parent[self.parent[x] as usize];
+            x = self.parent[x] as usize;
+        }
+        Var(x as u32)
+    }
+
+    /// Representative without mutation (no path compression).
+    pub fn find_immutable(&self, v: Var) -> Var {
+        let mut x = v.0 as usize;
+        while self.parent[x] as usize != x {
+            x = self.parent[x] as usize;
+        }
+        Var(x as u32)
+    }
+
+    /// The constant bound to `v`'s class, if any.
+    pub fn value_of(&mut self, v: Var) -> Option<Value> {
+        let r = self.find(v);
+        self.binding[r.0 as usize].clone()
+    }
+
+    /// Resolve a term: constants stay; variables become their class
+    /// constant if bound, otherwise their representative variable.
+    pub fn resolve(&mut self, term: &Term) -> Term {
+        match term {
+            Term::Const(c) => Term::Const(c.clone()),
+            Term::Var(v) => {
+                let r = self.find(*v);
+                match &self.binding[r.0 as usize] {
+                    Some(c) => Term::Const(c.clone()),
+                    None => Term::Var(r),
+                }
+            }
+        }
+    }
+
+    /// Apply the substitution to every term of an atom.
+    pub fn apply(&mut self, atom: &Atom) -> Atom {
+        Atom::new(
+            atom.relation.clone(),
+            atom.terms.iter().map(|t| self.resolve(t)).collect(),
+        )
+    }
+
+    /// Bind variable `v` to constant `c`.
+    pub fn bind(&mut self, v: Var, c: Value) -> Result<(), UnifyError> {
+        let r = self.find(v);
+        match &self.binding[r.0 as usize] {
+            Some(existing) if existing != &c => Err(UnifyError::ConstantConflict {
+                left: existing.clone(),
+                right: c,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.binding[r.0 as usize] = Some(c);
+                Ok(())
+            }
+        }
+    }
+
+    /// Merge the classes of `a` and `b`.
+    pub fn union(&mut self, a: Var, b: Var) -> Result<(), UnifyError> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(());
+        }
+        // Check binding compatibility before merging.
+        let merged = match (
+            self.binding[ra.0 as usize].take(),
+            self.binding[rb.0 as usize].take(),
+        ) {
+            (Some(x), Some(y)) if x != y => {
+                // Restore and fail.
+                self.binding[ra.0 as usize] = Some(x.clone());
+                self.binding[rb.0 as usize] = Some(y.clone());
+                return Err(UnifyError::ConstantConflict { left: x, right: y });
+            }
+            (Some(x), _) => Some(x),
+            (_, y) => y,
+        };
+        // Union by rank.
+        let (hi, lo) = if self.rank[ra.0 as usize] >= self.rank[rb.0 as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo.0 as usize] = hi.0;
+        if self.rank[hi.0 as usize] == self.rank[lo.0 as usize] {
+            self.rank[hi.0 as usize] += 1;
+        }
+        self.binding[hi.0 as usize] = merged;
+        Ok(())
+    }
+
+    /// Unify two terms.
+    pub fn unify_terms(&mut self, a: &Term, b: &Term) -> Result<(), UnifyError> {
+        match (a, b) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x == y {
+                    Ok(())
+                } else {
+                    Err(UnifyError::ConstantConflict {
+                        left: x.clone(),
+                        right: y.clone(),
+                    })
+                }
+            }
+            (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                self.bind(*v, c.clone())
+            }
+            (Term::Var(v), Term::Var(w)) => self.union(*v, *w),
+        }
+    }
+
+    /// Unify two atoms positionally (the MGU step of the paper's
+    /// algorithms). Both atoms must be over the same relation with equal
+    /// arity.
+    ///
+    /// On failure the substitution may be left partially updated; callers
+    /// that need transactional behaviour clone first (component-level
+    /// unification in the SCC algorithm does exactly that).
+    pub fn unify_atoms(&mut self, a: &Atom, b: &Atom) -> Result<(), UnifyError> {
+        if a.relation != b.relation {
+            return Err(UnifyError::RelationMismatch {
+                left: a.relation.to_string(),
+                right: b.relation.to_string(),
+            });
+        }
+        if a.arity() != b.arity() {
+            return Err(UnifyError::ArityMismatch {
+                relation: a.relation.to_string(),
+                left: a.arity(),
+                right: b.arity(),
+            });
+        }
+        for (ta, tb) in a.terms.iter().zip(&b.terms) {
+            self.unify_terms(ta, tb)?;
+        }
+        Ok(())
+    }
+}
+
+/// Syntactic unifiability test used to build coordination graphs
+/// (Section 2.3): two atoms are unifiable if they are over the same
+/// relation (with the same arity) and no position has two distinct
+/// constants. This is a *stateless* check — it ignores any existing
+/// substitution context, exactly as in the paper's definition.
+pub fn atoms_unifiable(a: &Atom, b: &Atom) -> bool {
+    a.relation == b.relation
+        && a.arity() == b.arity()
+        && a.terms.iter().zip(&b.terms).all(|(x, y)| match (x, y) {
+            (Term::Const(cx), Term::Const(cy)) => cx == cy,
+            _ => true,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: &str, terms: Vec<Term>) -> Atom {
+        Atom::new(rel, terms)
+    }
+
+    #[test]
+    fn paper_unifiability_examples() {
+        // R(C, x1) unifies with R(C, y1); R(C, x1) does not unify with
+        // R(G, y1). (Section 2.3.)
+        let c_x1 = atom("R", vec![Term::constant("C"), Term::var(0)]);
+        let c_y1 = atom("R", vec![Term::constant("C"), Term::var(1)]);
+        let g_y1 = atom("R", vec![Term::constant("G"), Term::var(1)]);
+        assert!(atoms_unifiable(&c_x1, &c_y1));
+        assert!(!atoms_unifiable(&c_x1, &g_y1));
+    }
+
+    #[test]
+    fn unifiable_ignores_variable_positions() {
+        let a = atom("R", vec![Term::var(0), Term::constant(1i64)]);
+        let b = atom("R", vec![Term::constant("u"), Term::var(5)]);
+        assert!(atoms_unifiable(&a, &b));
+    }
+
+    #[test]
+    fn different_relations_or_arity_not_unifiable() {
+        let a = atom("R", vec![Term::var(0)]);
+        let b = atom("Q", vec![Term::var(0)]);
+        assert!(!atoms_unifiable(&a, &b));
+        let c = atom("R", vec![Term::var(0), Term::var(1)]);
+        assert!(!atoms_unifiable(&a, &c));
+    }
+
+    #[test]
+    fn union_and_find() {
+        let mut s = Substitution::identity(4);
+        s.union(Var(0), Var(1)).unwrap();
+        s.union(Var(2), Var(3)).unwrap();
+        assert_eq!(s.find(Var(0)), s.find(Var(1)));
+        assert_ne!(s.find(Var(0)), s.find(Var(2)));
+        s.union(Var(1), Var(2)).unwrap();
+        assert_eq!(s.find(Var(0)), s.find(Var(3)));
+    }
+
+    #[test]
+    fn bind_propagates_through_classes() {
+        let mut s = Substitution::identity(3);
+        s.union(Var(0), Var(1)).unwrap();
+        s.bind(Var(0), Value::int(7)).unwrap();
+        assert_eq!(s.value_of(Var(1)), Some(Value::int(7)));
+        // Joining an unbound class keeps the binding.
+        s.union(Var(2), Var(1)).unwrap();
+        assert_eq!(s.value_of(Var(2)), Some(Value::int(7)));
+    }
+
+    #[test]
+    fn conflicting_bindings_fail() {
+        let mut s = Substitution::identity(2);
+        s.bind(Var(0), Value::int(1)).unwrap();
+        s.bind(Var(1), Value::int(2)).unwrap();
+        assert!(s.union(Var(0), Var(1)).is_err());
+        // The failed union must not corrupt bindings.
+        assert_eq!(s.value_of(Var(0)), Some(Value::int(1)));
+        assert_eq!(s.value_of(Var(1)), Some(Value::int(2)));
+    }
+
+    #[test]
+    fn rebind_same_value_is_ok() {
+        let mut s = Substitution::identity(1);
+        s.bind(Var(0), Value::str("a")).unwrap();
+        s.bind(Var(0), Value::str("a")).unwrap();
+        assert!(s.bind(Var(0), Value::str("b")).is_err());
+    }
+
+    #[test]
+    fn unify_atoms_mgu() {
+        // R(C, x) ≐ R(y, 5) ⇒ y ↦ C, x ↦ 5.
+        let mut s = Substitution::identity(2);
+        let a = atom("R", vec![Term::constant("C"), Term::var(0)]);
+        let b = atom("R", vec![Term::var(1), Term::constant(5i64)]);
+        s.unify_atoms(&a, &b).unwrap();
+        assert_eq!(s.value_of(Var(0)), Some(Value::int(5)));
+        assert_eq!(s.value_of(Var(1)), Some(Value::str("C")));
+    }
+
+    #[test]
+    fn unify_atoms_relation_mismatch() {
+        let mut s = Substitution::identity(1);
+        let a = atom("R", vec![Term::var(0)]);
+        let b = atom("Q", vec![Term::var(0)]);
+        assert!(matches!(
+            s.unify_atoms(&a, &b),
+            Err(UnifyError::RelationMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_and_apply() {
+        let mut s = Substitution::identity(3);
+        s.union(Var(0), Var(1)).unwrap();
+        s.bind(Var(2), Value::str("Paris")).unwrap();
+        let a = atom("F", vec![Term::var(0), Term::var(1), Term::var(2)]);
+        let applied = s.apply(&a);
+        // Vars 0 and 1 resolve to the same representative; var 2 to Paris.
+        assert_eq!(applied.terms[0], applied.terms[1]);
+        assert_eq!(applied.terms[2], Term::Const(Value::str("Paris")));
+    }
+
+    #[test]
+    fn transitive_constant_conflict_detected() {
+        // x ≐ 1, y ≐ 2, then x ≐ y must fail through the classes.
+        let mut s = Substitution::identity(2);
+        let a1 = atom("R", vec![Term::var(0), Term::var(1)]);
+        let a2 = atom("R", vec![Term::constant(1i64), Term::constant(2i64)]);
+        s.unify_atoms(&a1, &a2).unwrap();
+        let a3 = atom("R", vec![Term::var(0), Term::var(0)]);
+        let a4 = atom("R", vec![Term::var(1), Term::var(1)]);
+        assert!(s.unify_atoms(&a3, &a4).is_err());
+    }
+}

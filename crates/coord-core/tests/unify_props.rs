@@ -1,0 +1,139 @@
+//! Property tests for the unification substrate: the substitution must
+//! behave like a congruence-closure over variable classes with constant
+//! bindings.
+
+use coord_core::unify::{atoms_unifiable, Substitution, UnifyError};
+use coord_db::{Atom, Term, Value, Var};
+use proptest::prelude::*;
+
+const N_VARS: u32 = 8;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Union(u32, u32),
+    Bind(u32, i64),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| Op::Union(a, b)),
+            (0..N_VARS, 0i64..3).prop_map(|(v, c)| Op::Bind(v, c)),
+        ],
+        0..24,
+    )
+}
+
+/// Apply ops, ignoring failures (conflicts), and return the substitution
+/// together with a naive model: per-variable class ids and class values
+/// maintained by brute force.
+fn apply_ops(ops: &[Op]) -> (Substitution, Vec<usize>, Vec<Option<i64>>) {
+    let mut s = Substitution::identity(N_VARS);
+    // Naive model: class id per var, value per class (indexed by class id).
+    let mut class: Vec<usize> = (0..N_VARS as usize).collect();
+    let mut value: Vec<Option<i64>> = vec![None; N_VARS as usize];
+
+    for op in ops {
+        match *op {
+            Op::Union(a, b) => {
+                let (ca, cb) = (class[a as usize], class[b as usize]);
+                let expect_conflict = matches!(
+                    (value[ca], value[cb]),
+                    (Some(x), Some(y)) if x != y
+                ) && ca != cb;
+                let r = s.union(Var(a), Var(b));
+                assert_eq!(r.is_err(), expect_conflict, "union({a},{b})");
+                if r.is_ok() && ca != cb {
+                    let merged = value[ca].or(value[cb]);
+                    for c in class.iter_mut() {
+                        if *c == cb {
+                            *c = ca;
+                        }
+                    }
+                    value[ca] = merged;
+                }
+            }
+            Op::Bind(v, c) => {
+                let cv = class[v as usize];
+                let expect_conflict = matches!(value[cv], Some(x) if x != c);
+                let r = s.bind(Var(v), Value::int(c));
+                assert_eq!(r.is_err(), expect_conflict, "bind({v},{c})");
+                if r.is_ok() {
+                    value[cv] = Some(c);
+                }
+            }
+        }
+    }
+    (s, class, value)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The union-find substitution agrees with a naive class model after
+    /// any sequence of unions and binds.
+    #[test]
+    fn substitution_matches_naive_model(ops in ops_strategy()) {
+        let (mut s, class, value) = apply_ops(&ops);
+        for a in 0..N_VARS {
+            for b in 0..N_VARS {
+                let same_naive = class[a as usize] == class[b as usize];
+                let same_uf = s.find(Var(a)) == s.find(Var(b));
+                prop_assert_eq!(same_naive, same_uf, "vars {} {}", a, b);
+            }
+            let naive_val = value[class[a as usize]].map(Value::int);
+            prop_assert_eq!(s.value_of(Var(a)), naive_val, "value of {}", a);
+        }
+    }
+
+    /// `resolve` is idempotent: resolving a resolved term changes nothing.
+    #[test]
+    fn resolve_is_idempotent(ops in ops_strategy(), v in 0..N_VARS) {
+        let (mut s, _, _) = apply_ops(&ops);
+        let once = s.resolve(&Term::Var(Var(v)));
+        let twice = s.resolve(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Unifying an atom with itself always succeeds and is a no-op on
+    /// class structure.
+    #[test]
+    fn self_unification_is_trivial(ops in ops_strategy(), args in prop::collection::vec(0..N_VARS, 1..4)) {
+        let (mut s, _, _) = apply_ops(&ops);
+        let atom = Atom::new("R", args.iter().map(|&v| Term::Var(Var(v))).collect());
+        let before: Vec<Var> = (0..N_VARS).map(|v| s.find(Var(v))).collect();
+        s.unify_atoms(&atom, &atom).unwrap();
+        let after: Vec<Var> = (0..N_VARS).map(|v| s.find(Var(v))).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// After successfully unifying two atoms, applying the substitution
+    /// to both yields syntactically identical atoms.
+    #[test]
+    fn unified_atoms_become_identical(
+        ops in ops_strategy(),
+        left in prop::collection::vec(prop_oneof![
+            (0..N_VARS).prop_map(|v| Term::Var(Var(v))),
+            (0i64..3).prop_map(Term::constant),
+        ], 2),
+        right in prop::collection::vec(prop_oneof![
+            (0..N_VARS).prop_map(|v| Term::Var(Var(v))),
+            (0i64..3).prop_map(Term::constant),
+        ], 2),
+    ) {
+        let (mut s, _, _) = apply_ops(&ops);
+        let a = Atom::new("R", left);
+        let b = Atom::new("R", right);
+        prop_assume!(atoms_unifiable(&a, &b));
+        match s.unify_atoms(&a, &b) {
+            Ok(()) => {
+                prop_assert_eq!(s.apply(&a), s.apply(&b));
+            }
+            Err(UnifyError::ConstantConflict { .. }) => {
+                // Legal: prior bindings may make pairwise-unifiable atoms
+                // inconsistent in context.
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+}

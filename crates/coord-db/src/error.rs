@@ -1,0 +1,84 @@
+//! Database errors.
+
+use std::fmt;
+
+/// Errors raised by the database layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A query or insert referred to a relation that does not exist.
+    UnknownRelation { relation: String },
+    /// A relation with this name already exists.
+    DuplicateRelation { relation: String },
+    /// A schema declared the same attribute twice.
+    DuplicateAttribute { relation: String, attribute: String },
+    /// An attribute name was not found in the relation's schema.
+    UnknownAttribute { relation: String, attribute: String },
+    /// A tuple or atom had the wrong number of values for its relation.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            DbError::DuplicateRelation { relation } => {
+                write!(f, "relation `{relation}` already exists")
+            }
+            DbError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "relation `{relation}` declares attribute `{attribute}` twice"
+                )
+            }
+            DbError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(f, "relation `{relation}` has no attribute `{attribute}`")
+            }
+            DbError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected}, got {actual} values"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_relation() {
+        let e = DbError::UnknownRelation {
+            relation: "Flights".into(),
+        };
+        assert!(e.to_string().contains("Flights"));
+    }
+
+    #[test]
+    fn arity_mismatch_mentions_counts() {
+        let e = DbError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            actual: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('2') && s.contains('3'));
+    }
+}

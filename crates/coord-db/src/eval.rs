@@ -1,0 +1,406 @@
+//! Backtracking evaluation of conjunctive queries.
+//!
+//! The evaluator performs a depth-first join over the query's atoms with
+//! *greedy dynamic atom ordering*: at each step it picks the not-yet-joined
+//! atom with the most bound argument positions, breaking ties by the
+//! estimated number of candidate rows. Bound positions are served from the
+//! per-column hash indexes of [`crate::Table`]; fully ground atoms become
+//! O(1) membership tests.
+//!
+//! This is a classic left-deep index-nested-loop strategy — entirely
+//! adequate for the paper's workloads, whose combined queries have few
+//! atoms per relation and highly selective constants.
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::query::{Atom, ConjunctiveQuery, Term, Var};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A (partial) mapping from query variables to database values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    map: HashMap<Var, Value>,
+}
+
+impl Assignment {
+    /// An empty assignment.
+    pub fn new() -> Self {
+        Assignment::default()
+    }
+
+    /// The value bound to `v`, if any.
+    pub fn get(&self, v: Var) -> Option<&Value> {
+        self.map.get(&v)
+    }
+
+    /// Bind `v` to `value`, returning the previous binding if one existed.
+    pub fn bind(&mut self, v: Var, value: Value) -> Option<Value> {
+        self.map.insert(v, value)
+    }
+
+    /// Remove the binding of `v`.
+    pub fn unbind(&mut self, v: Var) {
+        self.map.remove(&v);
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over (variable, value) bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Value)> {
+        self.map.iter().map(|(v, val)| (*v, val))
+    }
+
+    /// Resolve a term to a value under this assignment.
+    pub fn resolve(&self, term: &Term) -> Option<Value> {
+        match term {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => self.get(*v).cloned(),
+        }
+    }
+}
+
+impl FromIterator<(Var, Value)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (Var, Value)>>(iter: T) -> Self {
+        Assignment {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Find one satisfying assignment for `query`, if any.
+pub fn find_one(db: &Database, query: &ConjunctiveQuery) -> Result<Option<Assignment>, DbError> {
+    query.validate(db)?;
+    let mut result = None;
+    search(db, query, &mut |a| {
+        result = Some(a.clone());
+        true // stop at first answer: choose-1 semantics
+    })?;
+    Ok(result)
+}
+
+/// Enumerate satisfying assignments (up to `limit`).
+pub fn find_all(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    limit: Option<usize>,
+) -> Result<Vec<Assignment>, DbError> {
+    query.validate(db)?;
+    let mut out = Vec::new();
+    search(db, query, &mut |a| {
+        out.push(a.clone());
+        limit.is_some_and(|l| out.len() >= l)
+    })?;
+    Ok(out)
+}
+
+/// Depth-first join driver. Calls `on_answer` for every satisfying
+/// assignment; stops early when the callback returns `true`.
+fn search(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    on_answer: &mut dyn FnMut(&Assignment) -> bool,
+) -> Result<(), DbError> {
+    let mut used = vec![false; query.atoms.len()];
+    let mut binding = Assignment::new();
+    step(db, query, &mut used, &mut binding, on_answer)?;
+    Ok(())
+}
+
+/// One level of the join: pick the best remaining atom, enumerate its
+/// matches, recurse. Returns `true` if the search should stop.
+fn step(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    used: &mut [bool],
+    binding: &mut Assignment,
+    on_answer: &mut dyn FnMut(&Assignment) -> bool,
+) -> Result<bool, DbError> {
+    let Some(next) = pick_next_atom(db, query, used, binding)? else {
+        // All atoms joined: report the answer.
+        return Ok(on_answer(binding));
+    };
+    used[next] = true;
+    let atom = &query.atoms[next];
+    let stop = enumerate_matches(db, query, atom, used, binding, on_answer)?;
+    used[next] = false;
+    Ok(stop)
+}
+
+/// Greedy ordering: among unused atoms, prefer ground atoms, then atoms
+/// with the smallest candidate-row estimate given current bindings.
+fn pick_next_atom(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    used: &[bool],
+    binding: &Assignment,
+) -> Result<Option<usize>, DbError> {
+    let mut best: Option<(usize, usize)> = None; // (estimate, atom index)
+    for (i, atom) in query.atoms.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        let est = estimate(db, atom, binding)?;
+        if best.is_none_or(|(b, _)| est < b) {
+            best = Some((est, i));
+        }
+    }
+    Ok(best.map(|(_, i)| i))
+}
+
+/// Estimated number of candidate rows for `atom` under `binding`:
+/// the smallest index-bucket size over bound columns, or the full table
+/// size if no column is bound. Ground atoms estimate 0 or 1.
+fn estimate(db: &Database, atom: &Atom, binding: &Assignment) -> Result<usize, DbError> {
+    let table = db.table(&atom.relation)?;
+    let mut best = table.len();
+    let mut any_bound = false;
+    for (c, term) in atom.terms.iter().enumerate() {
+        if let Some(v) = binding.resolve(term) {
+            any_bound = true;
+            best = best.min(table.lookup(c, &v).len());
+        }
+    }
+    if !any_bound && !atom.terms.is_empty() {
+        // Unbound atoms are a last resort: full scan.
+        return Ok(table.len().max(1) + 1_000_000);
+    }
+    Ok(best)
+}
+
+/// Enumerate the rows of `atom`'s relation that are compatible with the
+/// current binding, extending the binding and recursing for each.
+fn enumerate_matches(
+    db: &Database,
+    query: &ConjunctiveQuery,
+    atom: &Atom,
+    used: &mut [bool],
+    binding: &mut Assignment,
+    on_answer: &mut dyn FnMut(&Assignment) -> bool,
+) -> Result<bool, DbError> {
+    let table = db.table(&atom.relation)?;
+
+    // Choose the most selective bound column to drive iteration.
+    let mut driver: Option<(usize, Value)> = None;
+    let mut driver_size = usize::MAX;
+    for (c, term) in atom.terms.iter().enumerate() {
+        if let Some(v) = binding.resolve(term) {
+            let size = table.lookup(c, &v).len();
+            if size < driver_size {
+                driver_size = size;
+                driver = Some((c, v));
+            }
+        }
+    }
+
+    let row_ids: Vec<usize> = match &driver {
+        Some((c, v)) => table.lookup(*c, v).to_vec(),
+        None => (0..table.len()).collect(),
+    };
+
+    for rid in row_ids {
+        let row = table.row(rid);
+        // Try to match the atom's terms against this row, recording which
+        // variables we newly bind so we can undo on backtrack.
+        let mut newly_bound: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (c, term) in atom.terms.iter().enumerate() {
+            match term {
+                Term::Const(v) => {
+                    if v != &row[c] {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(var) => match binding.get(*var) {
+                    Some(bound) => {
+                        if bound != &row[c] {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        binding.bind(*var, row[c].clone());
+                        newly_bound.push(*var);
+                    }
+                },
+            }
+        }
+        if ok {
+            let stop = step(db, query, used, binding, on_answer)?;
+            for v in &newly_bound {
+                binding.unbind(*v);
+            }
+            if stop {
+                return Ok(true);
+            }
+        } else {
+            for v in &newly_bound {
+                binding.unbind(*v);
+            }
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table("F", &["id", "dest"]).unwrap();
+        db.create_table("H", &["id", "loc"]).unwrap();
+        for (id, dest) in [(1, "Zurich"), (2, "Paris"), (3, "Paris"), (4, "Athens")] {
+            db.insert("F", vec![Value::int(id), Value::str(dest)])
+                .unwrap();
+        }
+        for (id, loc) in [(10, "Paris"), (11, "Athens")] {
+            db.insert("H", vec![Value::int(id), Value::str(loc)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn atom(rel: &str, terms: Vec<Term>) -> Atom {
+        Atom::new(rel, terms)
+    }
+
+    #[test]
+    fn empty_query_is_trivially_satisfiable() {
+        let db = db();
+        let q = ConjunctiveQuery::empty();
+        let a = find_one(&db, &q).unwrap().unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn constant_selection() {
+        let db = db();
+        let q = ConjunctiveQuery::new(vec![atom("F", vec![Term::var(0), Term::constant("Paris")])]);
+        let a = find_one(&db, &q).unwrap().unwrap();
+        let id = a.get(Var(0)).unwrap().as_int().unwrap();
+        assert!(id == 2 || id == 3);
+    }
+
+    #[test]
+    fn unsatisfiable_constant() {
+        let db = db();
+        let q = ConjunctiveQuery::new(vec![atom("F", vec![Term::var(0), Term::constant("Oslo")])]);
+        assert!(find_one(&db, &q).unwrap().is_none());
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        // F(x, d), H(y, d): flight destination with a hotel in the same city.
+        let db = db();
+        let q = ConjunctiveQuery::new(vec![
+            atom("F", vec![Term::var(0), Term::var(2)]),
+            atom("H", vec![Term::var(1), Term::var(2)]),
+        ]);
+        let all = find_all(&db, &q, None).unwrap();
+        // Paris: flights 2,3 × hotel 10 → 2 answers. Athens: flight 4 ×
+        // hotel 11 → 1 answer. Zurich: no hotel.
+        assert_eq!(all.len(), 3);
+        for a in &all {
+            let d = a.get(Var(2)).unwrap().as_str().unwrap().to_string();
+            assert!(d == "Paris" || d == "Athens");
+        }
+    }
+
+    #[test]
+    fn find_all_respects_limit() {
+        let db = db();
+        let q = ConjunctiveQuery::new(vec![atom("F", vec![Term::var(0), Term::var(1)])]);
+        let two = find_all(&db, &q, Some(2)).unwrap();
+        assert_eq!(two.len(), 2);
+        let all = find_all(&db, &q, None).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn repeated_variable_in_one_atom() {
+        // F(x, x) should have no answers (ids are ints, dests strings).
+        let db = db();
+        let q = ConjunctiveQuery::new(vec![atom("F", vec![Term::var(0), Term::var(0)])]);
+        assert!(find_one(&db, &q).unwrap().is_none());
+    }
+
+    #[test]
+    fn repeated_variable_matching() {
+        let mut db = Database::new();
+        db.create_table("E", &["a", "b"]).unwrap();
+        db.insert("E", vec![Value::int(1), Value::int(1)]).unwrap();
+        db.insert("E", vec![Value::int(1), Value::int(2)]).unwrap();
+        let q = ConjunctiveQuery::new(vec![atom("E", vec![Term::var(0), Term::var(0)])]);
+        let all = find_all(&db, &q, None).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].get(Var(0)), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn ground_atom_membership() {
+        let db = db();
+        let sat = ConjunctiveQuery::new(vec![atom(
+            "F",
+            vec![Term::constant(1i64), Term::constant("Zurich")],
+        )]);
+        assert!(find_one(&db, &sat).unwrap().is_some());
+        let unsat = ConjunctiveQuery::new(vec![atom(
+            "F",
+            vec![Term::constant(1i64), Term::constant("Paris")],
+        )]);
+        assert!(find_one(&db, &unsat).unwrap().is_none());
+    }
+
+    #[test]
+    fn triangle_join() {
+        // R(x,y), R(y,z), R(z,x) on a small cyclic relation.
+        let mut db = Database::new();
+        db.create_table("R", &["a", "b"]).unwrap();
+        db.insert("R", vec![Value::int(1), Value::int(2)]).unwrap();
+        db.insert("R", vec![Value::int(2), Value::int(3)]).unwrap();
+        db.insert("R", vec![Value::int(3), Value::int(1)]).unwrap();
+        db.insert("R", vec![Value::int(3), Value::int(4)]).unwrap();
+        let q = ConjunctiveQuery::new(vec![
+            atom("R", vec![Term::var(0), Term::var(1)]),
+            atom("R", vec![Term::var(1), Term::var(2)]),
+            atom("R", vec![Term::var(2), Term::var(0)]),
+        ]);
+        let all = find_all(&db, &q, None).unwrap();
+        // The triangle 1→2→3→1 in its three rotations.
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_relation_and_bad_arity() {
+        let db = db();
+        let bad_rel = ConjunctiveQuery::new(vec![atom("Nope", vec![Term::var(0)])]);
+        assert!(find_one(&db, &bad_rel).is_err());
+        let bad_arity = ConjunctiveQuery::new(vec![atom("F", vec![Term::var(0)])]);
+        assert!(find_one(&db, &bad_arity).is_err());
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_vars() {
+        let db = db();
+        let q = ConjunctiveQuery::new(vec![
+            atom("F", vec![Term::var(0), Term::constant("Zurich")]),
+            atom("H", vec![Term::var(1), Term::constant("Paris")]),
+        ]);
+        let all = find_all(&db, &q, None).unwrap();
+        assert_eq!(all.len(), 1); // 1 Zurich flight × 1 Paris hotel
+        let a = &all[0];
+        assert_eq!(a.get(Var(0)), Some(&Value::int(1)));
+        assert_eq!(a.get(Var(1)), Some(&Value::int(10)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Relation schemas: named attributes with positional access.
+
+use crate::error::DbError;
+use crate::symbol::Symbol;
+
+/// The schema of one relation: its name and ordered attribute names.
+///
+/// The first attribute is conventionally the key (as in the paper's
+/// `S(key, A_1, ..., A_d)` form used by the Consistent Coordination
+/// Algorithm), but the engine itself does not enforce key constraints —
+/// duplicate tuples are simply deduplicated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: Symbol,
+    attrs: Vec<Symbol>,
+}
+
+impl RelationSchema {
+    /// Create a schema for relation `name` with the given attribute names.
+    ///
+    /// Returns an error if two attributes share a name.
+    pub fn new(
+        name: impl Into<Symbol>,
+        attrs: impl IntoIterator<Item = impl Into<Symbol>>,
+    ) -> Result<Self, DbError> {
+        let name = name.into();
+        let attrs: Vec<Symbol> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(DbError::DuplicateAttribute {
+                    relation: name.to_string(),
+                    attribute: a.to_string(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attrs })
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &Symbol {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Ordered attribute names.
+    pub fn attrs(&self) -> &[Symbol] {
+        &self.attrs
+    }
+
+    /// Position of the attribute named `attr`, if any.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.as_str() == attr)
+    }
+
+    /// Position of `attr`, or a descriptive error.
+    pub fn require_attr(&self, attr: &str) -> Result<usize, DbError> {
+        self.attr_index(attr)
+            .ok_or_else(|| DbError::UnknownAttribute {
+                relation: self.name.to_string(),
+                attribute: attr.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let s = RelationSchema::new("Flights", ["flightId", "destination"]).unwrap();
+        assert_eq!(s.name(), &Symbol::new("Flights"));
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr_index("destination"), Some(1));
+        assert_eq!(s.attr_index("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = RelationSchema::new("R", ["a", "a"]).unwrap_err();
+        assert!(matches!(err, DbError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn require_attr_errors_are_descriptive() {
+        let s = RelationSchema::new("R", ["a"]).unwrap();
+        let err = s.require_attr("b").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains('R') && msg.contains('b'), "got: {msg}");
+    }
+
+    #[test]
+    fn zero_arity_allowed() {
+        // The hardness reductions use unary and nullary-ish relations; a
+        // zero-attribute schema is degenerate but legal.
+        let s = RelationSchema::new("T", Vec::<&str>::new()).unwrap();
+        assert_eq!(s.arity(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Instrumentation: counting database queries.
+//!
+//! The paper analyzes its algorithms partly by the *number of conjunctive
+//! queries issued to the database* (e.g., the SCC Coordination Algorithm
+//! issues at most |Q| queries, one per strongly connected component; the
+//! Consistent Coordination Algorithm issues O(n) queries). These counters
+//! let the tests and benchmarks check those bounds exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters of query activity against a [`crate::Database`].
+///
+/// Counters are atomic so the parallel ablation of the Consistent
+/// Coordination Algorithm (Section 6.2 "future work") can share one
+/// database across worker threads.
+#[derive(Debug, Default)]
+pub struct QueryStats {
+    find_one: AtomicU64,
+    find_all: AtomicU64,
+    distinct: AtomicU64,
+    membership: AtomicU64,
+}
+
+impl QueryStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_find_one(&self) {
+        self.find_one.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_find_all(&self) {
+        self.find_all.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_distinct(&self) {
+        self.distinct.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_membership(&self) {
+        self.membership.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of choose-1 (`find_one`) queries issued.
+    pub fn find_one_count(&self) -> u64 {
+        self.find_one.load(Ordering::Relaxed)
+    }
+
+    /// Number of all-answer enumerations issued.
+    pub fn find_all_count(&self) -> u64 {
+        self.find_all.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct-projection queries issued.
+    pub fn distinct_count(&self) -> u64 {
+        self.distinct.load(Ordering::Relaxed)
+    }
+
+    /// Number of grounded-tuple membership checks issued.
+    pub fn membership_count(&self) -> u64 {
+        self.membership.load(Ordering::Relaxed)
+    }
+
+    /// Total queries of all kinds.
+    pub fn total(&self) -> u64 {
+        self.find_one_count()
+            + self.find_all_count()
+            + self.distinct_count()
+            + self.membership_count()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.find_one.store(0, Ordering::Relaxed);
+        self.find_all.store(0, Ordering::Relaxed);
+        self.distinct.store(0, Ordering::Relaxed);
+        self.membership.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_and_reset() {
+        let s = QueryStats::new();
+        s.record_find_one();
+        s.record_find_one();
+        s.record_distinct();
+        assert_eq!(s.find_one_count(), 2);
+        assert_eq!(s.distinct_count(), 1);
+        assert_eq!(s.total(), 3);
+        s.reset();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn counters_are_independent() {
+        let s = QueryStats::new();
+        s.record_find_all();
+        s.record_membership();
+        assert_eq!(s.find_one_count(), 0);
+        assert_eq!(s.find_all_count(), 1);
+        assert_eq!(s.membership_count(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Interned names for relations and attributes.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A relation or attribute name.
+///
+/// Wraps `Arc<str>` so that names can be cloned freely while building
+/// coordination graphs and combined queries.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Create a symbol from a string.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// The symbol's textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equality_and_hash() {
+        let a = Symbol::new("Flights");
+        let b: Symbol = "Flights".into();
+        assert_eq!(a, b);
+        let mut m = HashMap::new();
+        m.insert(a.clone(), 1);
+        assert_eq!(m.get(&b), Some(&1));
+    }
+
+    #[test]
+    fn compares_with_str() {
+        let a = Symbol::new("R");
+        assert_eq!(a, "R");
+        assert_ne!(a, "Q");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Symbol::new("Hotels").to_string(), "Hotels");
+    }
+}

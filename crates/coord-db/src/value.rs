@@ -1,0 +1,156 @@
+//! Database values: 64-bit integers and cheaply cloneable strings.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value stored in a database tuple.
+///
+/// Strings are reference-counted (`Arc<str>`) so that cloning values while
+/// building substitutions, groundings and combined queries never copies
+/// string data.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer (keys, dates encoded as ordinals, truth values
+    /// in the hardness reductions).
+    Int(i64),
+    /// Interned string (user names, destinations, airline names, ...).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct an integer value.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Construct a string value.
+    pub fn str(v: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(v.as_ref()))
+    }
+
+    /// Return the integer payload, if this value is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Return the string payload, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn int_accessors() {
+        let v = Value::int(7);
+        assert_eq!(v.as_int(), Some(7));
+        assert_eq!(v.as_str(), None);
+    }
+
+    #[test]
+    fn str_accessors() {
+        let v = Value::str("Zurich");
+        assert_eq!(v.as_str(), Some("Zurich"));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn equality_distinguishes_variants() {
+        assert_ne!(Value::int(1), Value::str("1"));
+        assert_eq!(Value::str("a"), Value::str("a"));
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let v = Value::str("a-long-destination-name");
+        let w = v.clone();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn hashable_in_sets() {
+        let mut s = HashSet::new();
+        s.insert(Value::int(1));
+        s.insert(Value::str("x"));
+        s.insert(Value::int(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("Paris").to_string(), "Paris");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = [
+            Value::str("b"),
+            Value::int(2),
+            Value::str("a"),
+            Value::int(1),
+        ];
+        vs.sort();
+        // All ints sort before all strings (enum variant order).
+        assert_eq!(vs[0], Value::int(1));
+        assert_eq!(vs[1], Value::int(2));
+        assert_eq!(vs[2], Value::str("a"));
+        assert_eq!(vs[3], Value::str("b"));
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Value = 5i64.into();
+        let b: Value = "x".into();
+        let c: Value = String::from("y").into();
+        assert_eq!(a, Value::int(5));
+        assert_eq!(b, Value::str("x"));
+        assert_eq!(c, Value::str("y"));
+    }
+}

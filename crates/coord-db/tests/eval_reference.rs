@@ -1,0 +1,170 @@
+//! Property test: the backtracking join evaluator against a naive
+//! enumerate-all-assignments reference implementation.
+
+use coord_db::{Atom, ConjunctiveQuery, Database, Term, Value, Var};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Naive reference: enumerate every assignment of query variables to
+/// active-domain values and keep the ones where every grounded atom is in
+/// its table.
+fn naive_answers(db: &Database, q: &ConjunctiveQuery) -> HashSet<Vec<(Var, Value)>> {
+    // Active domain.
+    let mut domain: Vec<Value> = Vec::new();
+    for rel in db.relations() {
+        for row in db.table(rel).unwrap().rows() {
+            for v in row.values() {
+                if !domain.contains(v) {
+                    domain.push(v.clone());
+                }
+            }
+        }
+    }
+    let vars = q.vars();
+    let mut out = HashSet::new();
+    let mut stack = vec![Vec::<Value>::new()];
+    while let Some(partial) = stack.pop() {
+        if partial.len() == vars.len() {
+            let assignment: Vec<(Var, Value)> =
+                vars.iter().copied().zip(partial.iter().cloned()).collect();
+            let lookup = |v: Var| {
+                assignment
+                    .iter()
+                    .find(|(w, _)| *w == v)
+                    .map(|(_, val)| val.clone())
+                    .unwrap()
+            };
+            let ok = q.atoms.iter().all(|atom| {
+                let grounded: Vec<Value> = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => c.clone(),
+                        Term::Var(v) => lookup(*v),
+                    })
+                    .collect();
+                db.contains(&atom.relation, &grounded).unwrap()
+            });
+            if ok {
+                let mut sorted = assignment;
+                sorted.sort_by_key(|(v, _)| *v);
+                out.insert(sorted);
+            }
+            continue;
+        }
+        for val in &domain {
+            let mut next = partial.clone();
+            next.push(val.clone());
+            stack.push(next);
+        }
+    }
+    out
+}
+
+#[derive(Clone, Debug)]
+struct QuerySpec {
+    atoms: Vec<(usize, Vec<TermSpec>)>, // (relation index, terms)
+}
+
+#[derive(Clone, Debug)]
+enum TermSpec {
+    Var(u32),
+    Const(i64),
+}
+
+fn term_strategy() -> impl Strategy<Value = TermSpec> {
+    prop_oneof![
+        (0u32..3).prop_map(TermSpec::Var),
+        (0i64..4).prop_map(TermSpec::Const),
+    ]
+}
+
+fn query_strategy() -> impl Strategy<Value = QuerySpec> {
+    prop::collection::vec((0usize..2, prop::collection::vec(term_strategy(), 2)), 1..4)
+        .prop_map(|atoms| QuerySpec { atoms })
+}
+
+fn build_db(rows_a: &[(i64, i64)], rows_b: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.create_table("A", &["x", "y"]).unwrap();
+    db.create_table("B", &["x", "y"]).unwrap();
+    for &(a, b) in rows_a {
+        db.insert("A", vec![Value::int(a), Value::int(b)]).unwrap();
+    }
+    for &(a, b) in rows_b {
+        db.insert("B", vec![Value::int(a), Value::int(b)]).unwrap();
+    }
+    db
+}
+
+fn build_query(spec: &QuerySpec) -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
+        spec.atoms
+            .iter()
+            .map(|(rel, terms)| {
+                Atom::new(
+                    if *rel == 0 { "A" } else { "B" },
+                    terms
+                        .iter()
+                        .map(|t| match t {
+                            TermSpec::Var(v) => Term::Var(Var(*v)),
+                            TermSpec::Const(c) => Term::constant(*c),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn find_all_matches_naive_reference(
+        spec in query_strategy(),
+        rows_a in prop::collection::vec((0i64..4, 0i64..4), 0..6),
+        rows_b in prop::collection::vec((0i64..4, 0i64..4), 0..6),
+    ) {
+        let db = build_db(&rows_a, &rows_b);
+        let q = build_query(&spec);
+
+        let expected = naive_answers(&db, &q);
+        let actual: HashSet<Vec<(Var, Value)>> = db
+            .find_all(&q, None)
+            .unwrap()
+            .into_iter()
+            .map(|a| {
+                let mut v: Vec<(Var, Value)> =
+                    a.iter().map(|(var, val)| (var, val.clone())).collect();
+                v.sort_by_key(|(var, _)| *var);
+                v
+            })
+            .collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn find_one_agrees_with_satisfiability(
+        spec in query_strategy(),
+        rows_a in prop::collection::vec((0i64..4, 0i64..4), 0..6),
+        rows_b in prop::collection::vec((0i64..4, 0i64..4), 0..6),
+    ) {
+        let db = build_db(&rows_a, &rows_b);
+        let q = build_query(&spec);
+        let expected_sat = !naive_answers(&db, &q).is_empty();
+        let one = db.find_one(&q).unwrap();
+        prop_assert_eq!(one.is_some(), expected_sat);
+        // Any returned assignment must actually satisfy the query.
+        if let Some(a) = one {
+            for atom in &q.atoms {
+                let grounded: Vec<Value> = atom
+                    .terms
+                    .iter()
+                    .map(|t| a.resolve(t).expect("all query vars bound"))
+                    .collect();
+                prop_assert!(db.contains(&atom.relation, &grounded).unwrap());
+            }
+        }
+    }
+}

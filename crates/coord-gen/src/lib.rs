@@ -1,0 +1,21 @@
+//! # coord-gen — network, table, and workload generators
+//!
+//! Everything the Section 6 experiments need that isn't an algorithm:
+//!
+//! * [`networks`] — directed social-network topologies: the
+//!   Barabási–Albert scale-free model the paper uses for Figures 5–6
+//!   (citing the paper's reference \[1\]), plus chains, stars, complete graphs and Erdős–Rényi
+//!   controls,
+//! * [`social`] — a synthetic stand-in for the Slashdot social-network
+//!   table (82,168 entries) used by the SCC-algorithm experiments; the
+//!   real trace is not redistributable, and the paper uses it only as a
+//!   pool of queryable tuples, so a size-matched synthetic table preserves
+//!   the measured behaviour,
+//! * [`tables`] — flights/hotels/movies/concerts tables for the examples
+//!   and the Consistent-algorithm experiments,
+//! * [`workloads`] — per-figure instance builders (`fig4_instance`, ...).
+
+pub mod networks;
+pub mod social;
+pub mod tables;
+pub mod workloads;

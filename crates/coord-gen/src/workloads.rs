@@ -1,0 +1,210 @@
+//! Per-figure experiment instances (Section 6).
+
+use crate::networks::barabasi_albert;
+use crate::social::{complete_friendship_table, tag_for, tuple_pool, user_name};
+use crate::tables::flights_coordination;
+use coord_core::consistent::{ConsistentConfig, ConsistentQuery};
+use coord_core::{EntangledQuery, QueryBuilder};
+use coord_db::Database;
+use coord_graph::{DiGraph, NodeId};
+use rand::prelude::*;
+
+/// Name of the tuple-pool table used by the SCC-algorithm workloads.
+pub const POOL_TABLE: &str = "S";
+
+/// Build the query of user `i` whose coordination partners are `partners`
+/// (all in the list/scale-free workload family):
+///
+/// ```text
+/// q_i = {R(u_p, y_p) : p ∈ partners}  R(u_i, x)  :-  S(x, t_i)
+/// ```
+///
+/// The body selects exactly one pool tuple, so every body is satisfiable
+/// — the paper's "most demanding scenario for finding a coordinating
+/// set". Safety holds because each user has exactly one head `R(u_i, ·)`.
+pub fn partner_query(i: usize, partners: &[usize]) -> EntangledQuery {
+    let mut b = QueryBuilder::new(format!("q{i}"));
+    for &p in partners {
+        let y = format!("y{p}");
+        b = b.postcondition("R", |a| a.constant(user_name(p)).var(&y));
+    }
+    b.head("R", |a| a.constant(user_name(i)).var("x"))
+        .body(POOL_TABLE, |a| a.var("x").constant(tag_for(i)))
+        .build()
+        .expect("workload query is well-formed")
+}
+
+/// A database holding just the tuple-pool table with `rows` rows —
+/// build once and share across workload sizes (the table is the same for
+/// every point of Figures 4–6).
+pub fn pool_db(rows: usize) -> Database {
+    let mut db = Database::new();
+    tuple_pool(&mut db, POOL_TABLE, rows).expect("pool table");
+    db
+}
+
+/// The Figure 4 list-structure queries: each query coordinates with the
+/// next, the last requires nobody.
+pub fn fig4_queries(n: usize) -> Vec<EntangledQuery> {
+    (0..n)
+        .map(|i| {
+            let partners: Vec<usize> = if i + 1 < n { vec![i + 1] } else { vec![] };
+            partner_query(i, &partners)
+        })
+        .collect()
+}
+
+/// Figure 4 instance: `n` queries in a list structure over a pool table
+/// of `table_rows` tuples (82,168 in the paper).
+pub fn fig4_instance(n: usize, table_rows: usize) -> (Database, Vec<EntangledQuery>) {
+    (pool_db(table_rows.max(n)), fig4_queries(n))
+}
+
+/// The Figure 5/6 scale-free queries: coordination partners are the
+/// successors in a Barabási–Albert digraph.
+pub fn fig5_queries(n: usize, m_attach: usize, rng: &mut impl Rng) -> Vec<EntangledQuery> {
+    queries_from_graph(&barabasi_albert(n, m_attach, rng))
+}
+
+/// Figure 5/6 instance: `n` queries whose coordination structure is a
+/// Barabási–Albert scale-free digraph (each query's partners are its
+/// graph successors).
+pub fn fig5_instance(
+    n: usize,
+    m_attach: usize,
+    table_rows: usize,
+    rng: &mut impl Rng,
+) -> (Database, Vec<EntangledQuery>) {
+    (pool_db(table_rows.max(n)), fig5_queries(n, m_attach, rng))
+}
+
+/// Build partner queries from an arbitrary coordination digraph.
+pub fn queries_from_graph(graph: &DiGraph<usize>) -> Vec<EntangledQuery> {
+    (0..graph.node_count())
+        .map(|i| {
+            let mut partners: Vec<usize> = graph.successors(NodeId(i)).map(|s| s.index()).collect();
+            partners.sort_unstable();
+            partners.dedup();
+            partner_query(i, &partners)
+        })
+        .collect()
+}
+
+/// The flights schema-binding shared by the Figure 7–8 experiments:
+/// coordinate on (destination, day), personal attributes (source,
+/// airline).
+pub fn flights_config() -> ConsistentConfig {
+    ConsistentConfig::new(
+        "Fl",
+        "flightId",
+        &["destination", "day"],
+        &["source", "airline"],
+        "Fr",
+    )
+}
+
+/// Figure 7 instance: `n_queries` fully unconstrained queries (every
+/// user coordinates with any friend, "don't care" on every attribute)
+/// over a flights table with `flight_rows` rows, **all distinct**
+/// (destination, day) pairs, and a complete friendship graph — the
+/// worst case: nothing is ever pruned and every value is an option.
+pub fn fig7_instance(
+    n_queries: usize,
+    flight_rows: usize,
+) -> (Database, ConsistentConfig, Vec<ConsistentQuery>) {
+    let mut db = Database::new();
+    flights_coordination(&mut db, "Fl", flight_rows, true).expect("flights");
+    complete_friendship_table(&mut db, "Fr", n_queries).expect("friends");
+    let queries = worst_case_consistent_queries(n_queries);
+    (db, flights_config(), queries)
+}
+
+/// Figure 8 instance: flights table fixed at `flight_rows` (100 in the
+/// paper) rows with distinct (destination, day) combinations; the query
+/// count varies.
+pub fn fig8_instance(
+    n_queries: usize,
+    flight_rows: usize,
+) -> (Database, ConsistentConfig, Vec<ConsistentQuery>) {
+    let mut db = Database::new();
+    flights_coordination(&mut db, "Fl", flight_rows, false).expect("flights");
+    complete_friendship_table(&mut db, "Fr", n_queries).expect("friends");
+    let queries = worst_case_consistent_queries(n_queries);
+    (db, flights_config(), queries)
+}
+
+/// `n` queries with a single any-friend partner and no attribute
+/// constraints: "all the queries are such that every tuple in the DB
+/// satisfies them, which is the worst case for our algorithm".
+pub fn worst_case_consistent_queries(n: usize) -> Vec<ConsistentQuery> {
+    (0..n)
+        .map(|i| ConsistentQuery::for_user(user_name(i), 2, 2).with_any_friend())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coord_core::consistent::ConsistentCoordinator;
+    use coord_core::graphs::{is_safe, is_unique};
+    use coord_core::scc::SccCoordinator;
+    use coord_core::QuerySet;
+
+    #[test]
+    fn fig4_chain_is_safe_not_unique_and_fully_coordinates() {
+        let (db, queries) = fig4_instance(10, 100);
+        let qs = QuerySet::new(queries.clone());
+        assert!(is_safe(&qs));
+        assert!(!is_unique(&qs), "the list structure is non-unique");
+        let out = SccCoordinator::new(&db).run(&queries).unwrap();
+        // Every suffix of the chain is a candidate; the whole chain wins.
+        assert_eq!(out.found.len(), 10);
+        assert_eq!(out.best().unwrap().len(), 10);
+        assert_eq!(out.stats.db_queries, 10);
+    }
+
+    #[test]
+    fn fig5_scale_free_coordinates_everyone() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (db, queries) = fig5_instance(40, 2, 100, &mut rng);
+        let qs = QuerySet::new(queries.clone());
+        assert!(is_safe(&qs));
+        let out = SccCoordinator::new(&db).run(&queries).unwrap();
+        // All bodies satisfiable and all postconditions matched: the
+        // closure of any source node coordinates; the best covers at
+        // least the largest closure. With seeds having no out-edges,
+        // singleton seeds always coordinate.
+        assert!(out.best().is_some());
+        assert!(out.stats.db_queries <= out.stats.components);
+    }
+
+    #[test]
+    fn fig7_every_value_survives_cleaning() {
+        let (db, config, queries) = fig7_instance(8, 25);
+        let coord = ConsistentCoordinator::new(&db, config).unwrap();
+        let out = coord.run(&queries).unwrap();
+        // Worst case: 25 distinct values, none prunable; with a complete
+        // friendship graph every query survives at every value.
+        assert_eq!(out.stats.values_considered, 25);
+        assert!(out.per_value.iter().all(|(_, size)| *size == 8));
+        assert_eq!(out.best.as_ref().unwrap().members.len(), 8);
+    }
+
+    #[test]
+    fn fig8_option_count_is_capped_by_table() {
+        let (db, config, queries) = fig8_instance(12, 100);
+        let coord = ConsistentCoordinator::new(&db, config).unwrap();
+        let out = coord.run(&queries).unwrap();
+        assert_eq!(out.stats.values_considered, 100);
+        assert_eq!(out.best.as_ref().unwrap().members.len(), 12);
+    }
+
+    #[test]
+    fn partner_query_shape() {
+        let q = partner_query(3, &[5, 7]);
+        assert_eq!(q.postconditions().len(), 2);
+        assert_eq!(q.heads().len(), 1);
+        assert_eq!(q.body().len(), 1);
+        assert_eq!(q.name(), "q3");
+    }
+}

@@ -1,0 +1,157 @@
+//! Condensation: the components graph `G'` of Section 4.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::scc::tarjan_scc;
+use std::collections::HashSet;
+
+/// The condensation of a directed graph: one node per strongly connected
+/// component, with an edge `S1 → S2` whenever some `u ∈ S1`, `v ∈ S2` has
+/// an edge `(u, v)` in the original graph. The condensation is always a
+/// DAG.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// The components DAG; node weights are component indices into
+    /// [`Condensation::components`].
+    pub dag: DiGraph<usize>,
+    /// Original nodes of each component, indexed by component id.
+    pub components: Vec<Vec<NodeId>>,
+    /// Component id of each original node.
+    pub component_of: Vec<usize>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the original graph was empty.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component id containing an original node.
+    pub fn component_of(&self, node: NodeId) -> usize {
+        self.component_of[node.index()]
+    }
+
+    /// The original nodes of component `c`.
+    pub fn members(&self, c: usize) -> &[NodeId] {
+        &self.components[c]
+    }
+}
+
+/// Compute the condensation of `g`.
+///
+/// Component ids follow Tarjan output order, i.e. **reverse topological
+/// order**: successors of a component always have *smaller* ids. The SCC
+/// Coordination Algorithm exploits this by processing components in id
+/// order.
+pub fn condensation<N, E>(g: &DiGraph<N, E>) -> Condensation {
+    let components = tarjan_scc(g);
+    let mut component_of = vec![usize::MAX; g.node_count()];
+    for (ci, comp) in components.iter().enumerate() {
+        for node in comp {
+            component_of[node.index()] = ci;
+        }
+    }
+
+    let mut dag: DiGraph<usize> = DiGraph::with_capacity(components.len(), components.len());
+    for ci in 0..components.len() {
+        dag.add_node(ci);
+    }
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        let (cu, cv) = (component_of[u.index()], component_of[v.index()]);
+        if cu != cv && seen.insert((cu, cv)) {
+            dag.add_edge(NodeId(cu), NodeId(cv), ());
+        }
+    }
+
+    Condensation {
+        dag,
+        components,
+        component_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condensation_of_two_cycles() {
+        // 0 ↔ 1 → 2 ↔ 3
+        let mut g: DiGraph<()> = DiGraph::new();
+        for _ in 0..4 {
+            g.add_node(());
+        }
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(0), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        g.add_edge(NodeId(2), NodeId(3), ());
+        g.add_edge(NodeId(3), NodeId(2), ());
+        let c = condensation(&g);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dag.edge_count(), 1);
+        // Reverse topo ids: sink component {2,3} is component 0.
+        assert_eq!(c.component_of(NodeId(2)), 0);
+        assert_eq!(c.component_of(NodeId(0)), 1);
+        assert!(c.dag.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn parallel_cross_edges_are_collapsed() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        for _ in 0..2 {
+            g.add_node(());
+        }
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(0), NodeId(1), ());
+        let c = condensation(&g);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn dag_property_successors_have_smaller_ids() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let n = rng.random_range(1..15);
+            let mut g: DiGraph<()> = DiGraph::new();
+            for _ in 0..n {
+                g.add_node(());
+            }
+            for u in 0..n {
+                for v in 0..n {
+                    if rng.random_bool(0.2) {
+                        g.add_edge(NodeId(u), NodeId(v), ());
+                    }
+                }
+            }
+            let c = condensation(&g);
+            for e in c.dag.edge_ids() {
+                let (from, to) = c.dag.endpoints(e);
+                assert!(
+                    to.index() < from.index(),
+                    "condensation edge must point to a smaller (earlier) id"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn members_partition_the_nodes() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        for _ in 0..5 {
+            g.add_node(());
+        }
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(0), ());
+        let c = condensation(&g);
+        let total: usize = (0..c.len()).map(|i| c.members(i).len()).sum();
+        assert_eq!(total, 5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz (DOT) export, used by the examples to render the paper's
+//! coordination-graph figures.
+
+use crate::digraph::DiGraph;
+
+/// Render `g` in Graphviz DOT syntax. Node and edge labels are produced by
+/// the given closures.
+pub fn to_dot<N, E>(
+    g: &DiGraph<N, E>,
+    name: &str,
+    node_label: impl Fn(&N) -> String,
+    edge_label: impl Fn(&E) -> Option<String>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph {name} {{\n"));
+    for v in g.node_ids() {
+        out.push_str(&format!(
+            "  n{} [label=\"{}\"];\n",
+            v.index(),
+            escape(&node_label(g.node(v)))
+        ));
+    }
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        match edge_label(g.edge(e)) {
+            Some(lbl) => out.push_str(&format!(
+                "  n{} -> n{} [label=\"{}\"];\n",
+                u.index(),
+                v.index(),
+                escape(&lbl)
+            )),
+            None => out.push_str(&format!("  n{} -> n{};\n", u.index(), v.index())),
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::NodeId;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, &str> = DiGraph::new();
+        let a = g.add_node("qC");
+        let b = g.add_node("qG");
+        g.add_edge(a, b, "R");
+        let dot = to_dot(&g, "G", |n| n.to_string(), |e| Some(e.to_string()));
+        assert!(dot.contains("digraph G {"));
+        assert!(dot.contains("n0 [label=\"qC\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"R\"]"));
+    }
+
+    #[test]
+    fn unlabeled_edges() {
+        let mut g: DiGraph<u32> = DiGraph::new();
+        let a = g.add_node(1);
+        g.add_edge(a, a, ());
+        let dot = to_dot(&g, "G", |n| n.to_string(), |_| None);
+        assert!(dot.contains("n0 -> n0;"));
+        let _ = NodeId(0);
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut g: DiGraph<&str> = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot(&g, "G", |n| n.to_string(), |_| None);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

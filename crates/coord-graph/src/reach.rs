@@ -1,0 +1,172 @@
+//! Reachability, closures, weakly connected components, simple paths.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// All nodes reachable from `start` (including `start`), via BFS.
+///
+/// For a query `q` in the coordination graph this computes the closure
+/// `R(q)` of Section 4: the set of queries in SCCs reachable from `q`'s
+/// SCC — precisely the candidate coordinating sets among which the SCC
+/// Coordination Algorithm picks a maximum.
+pub fn reachable_from<N, E>(g: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; g.node_count()];
+    let mut queue = VecDeque::from([start]);
+    visited[start.index()] = true;
+    let mut out = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        out.push(v);
+        for w in g.successors(v) {
+            if !visited[w.index()] {
+                visited[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    out
+}
+
+/// Weakly connected components: partitions nodes ignoring edge direction.
+///
+/// The Youtopia evaluation loop dispatches each arriving query to its
+/// weakly connected component of the coordination graph.
+pub fn weakly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<NodeId>> = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let ci = comps.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        comp[start] = ci;
+        while let Some(v) = queue.pop_front() {
+            members.push(NodeId(v));
+            let nv = NodeId(v);
+            for w in g.successors(nv).chain(g.predecessors(nv)) {
+                if comp[w.index()] == usize::MAX {
+                    comp[w.index()] = ci;
+                    queue.push_back(w.index());
+                }
+            }
+        }
+        comps.push(members);
+    }
+    comps
+}
+
+/// Count simple paths (no repeated *nodes*) from `from` to `to`, giving up
+/// once the count exceeds `cap`. Used by the single-connectedness check
+/// (Definition 6 asks for at most one simple path between every pair), so
+/// `cap = 1` suffices there.
+pub fn count_simple_paths<N, E>(g: &DiGraph<N, E>, from: NodeId, to: NodeId, cap: usize) -> usize {
+    let mut visited = vec![false; g.node_count()];
+    let mut count = 0usize;
+    dfs_paths(g, from, to, &mut visited, &mut count, cap);
+    count
+}
+
+fn dfs_paths<N, E>(
+    g: &DiGraph<N, E>,
+    v: NodeId,
+    to: NodeId,
+    visited: &mut [bool],
+    count: &mut usize,
+    cap: usize,
+) {
+    if *count > cap {
+        return;
+    }
+    if v == to {
+        *count += 1;
+        return;
+    }
+    visited[v.index()] = true;
+    for w in g.successors(v) {
+        if !visited[w.index()] {
+            dfs_paths(g, w, to, visited, count, cap);
+            if *count > cap {
+                break;
+            }
+        }
+    }
+    visited[v.index()] = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn diamond() -> DiGraph<()> {
+        // 0 → 1 → 3, 0 → 2 → 3
+        let mut g = DiGraph::new();
+        for _ in 0..4 {
+            g.add_node(());
+        }
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(0), NodeId(2), ());
+        g.add_edge(NodeId(1), NodeId(3), ());
+        g.add_edge(NodeId(2), NodeId(3), ());
+        g
+    }
+
+    #[test]
+    fn reachable_closure() {
+        let g = diamond();
+        let r: HashSet<usize> = reachable_from(&g, NodeId(0))
+            .into_iter()
+            .map(NodeId::index)
+            .collect();
+        assert_eq!(r, HashSet::from([0, 1, 2, 3]));
+        let r1: HashSet<usize> = reachable_from(&g, NodeId(1))
+            .into_iter()
+            .map(NodeId::index)
+            .collect();
+        assert_eq!(r1, HashSet::from([1, 3]));
+    }
+
+    #[test]
+    fn weak_components_ignore_direction() {
+        let mut g = diamond();
+        // Island: 4, 5 connected by a directed edge.
+        g.add_node(());
+        g.add_node(());
+        g.add_edge(NodeId(5), NodeId(4), ());
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 4);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn simple_path_counting() {
+        let g = diamond();
+        assert_eq!(count_simple_paths(&g, NodeId(0), NodeId(3), 10), 2);
+        assert_eq!(count_simple_paths(&g, NodeId(1), NodeId(2), 10), 0);
+        assert_eq!(count_simple_paths(&g, NodeId(0), NodeId(0), 10), 1);
+    }
+
+    #[test]
+    fn simple_path_cap_short_circuits() {
+        let g = diamond();
+        // With cap 1 we only need to know "more than one": returns 2 and
+        // stops.
+        assert!(count_simple_paths(&g, NodeId(0), NodeId(3), 1) > 1);
+    }
+
+    #[test]
+    fn cycle_paths_are_simple() {
+        // 0 → 1 → 2 → 0: from 0 to 2 exactly one simple path.
+        let mut g: DiGraph<()> = DiGraph::new();
+        for _ in 0..3 {
+            g.add_node(());
+        }
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        g.add_edge(NodeId(2), NodeId(0), ());
+        assert_eq!(count_simple_paths(&g, NodeId(0), NodeId(2), 10), 1);
+    }
+}

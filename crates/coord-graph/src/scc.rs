@@ -1,0 +1,236 @@
+//! Strongly connected components (iterative Tarjan).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Compute the strongly connected components of `g` with Tarjan's
+/// algorithm, implemented iteratively with an explicit DFS stack so that
+/// long chains (e.g. the list workloads of Figure 4) cannot overflow the
+/// call stack.
+///
+/// Components are returned in **reverse topological order** of the
+/// condensation: if component `A` has an edge to component `B`, then `B`
+/// appears before `A` in the result. (This is the natural output order of
+/// Tarjan's algorithm and exactly the processing order the SCC
+/// Coordination Algorithm needs.)
+pub fn tarjan_scc<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+
+    // Materialize successor lists once: the DFS loop below revisits each
+    // frame once per child, and recomputing successors there would make
+    // high-degree nodes quadratic.
+    let succ: Vec<Vec<usize>> = (0..n)
+        .map(|v| g.successors(NodeId(v)).map(|w| w.index()).collect())
+        .collect();
+
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS frame: (node, iterator position into its successors).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        call_stack.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+            let out = &succ[v];
+            if *child_pos < out.len() {
+                let w = out[*child_pos];
+                *child_pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn comp_sets(comps: &[Vec<NodeId>]) -> Vec<HashSet<usize>> {
+        comps
+            .iter()
+            .map(|c| c.iter().map(|n| n.index()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn single_node_no_edges() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        g.add_node(());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // 0 ↔ 1 → 2 ↔ 3
+        let mut g: DiGraph<()> = DiGraph::new();
+        for _ in 0..4 {
+            g.add_node(());
+        }
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(0), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        g.add_edge(NodeId(2), NodeId(3), ());
+        g.add_edge(NodeId(3), NodeId(2), ());
+        let comps = comp_sets(&tarjan_scc(&g));
+        assert_eq!(comps.len(), 2);
+        // Reverse topological: {2,3} (the sink) comes first.
+        assert_eq!(comps[0], HashSet::from([2, 3]));
+        assert_eq!(comps[1], HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn dag_gives_singletons_in_reverse_topo_order() {
+        // 0 → 1 → 2
+        let mut g: DiGraph<()> = DiGraph::new();
+        for _ in 0..3 {
+            g.add_node(());
+        }
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId(2)]);
+        assert_eq!(comps[1], vec![NodeId(1)]);
+        assert_eq!(comps[2], vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn self_loop_is_a_component() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn full_cycle_is_one_component() {
+        let mut g: DiGraph<()> = DiGraph::new();
+        let n = 100;
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for i in 0..n {
+            g.add_edge(NodeId(i), NodeId((i + 1) % n), ());
+        }
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow() {
+        // 200k-node chain: a recursive Tarjan would blow the stack here.
+        let mut g: DiGraph<()> = DiGraph::new();
+        let n = 200_000;
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1), ());
+        }
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), n);
+    }
+
+    #[test]
+    fn matches_naive_reachability_on_small_graphs() {
+        // Cross-check Tarjan against the O(n^3) definition: u,v in the same
+        // SCC iff u reaches v and v reaches u.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _case in 0..50 {
+            let n = rng.random_range(1..9);
+            let mut g: DiGraph<()> = DiGraph::new();
+            for _ in 0..n {
+                g.add_node(());
+            }
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.random_bool(0.25) {
+                        g.add_edge(NodeId(u), NodeId(v), ());
+                    }
+                }
+            }
+            // Floyd–Warshall reachability.
+            let mut reach = vec![vec![false; n]; n];
+            for (u, row) in reach.iter_mut().enumerate() {
+                row[u] = true;
+                for v in g.successors(NodeId(u)) {
+                    row[v.index()] = true;
+                }
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    for j in 0..n {
+                        if reach[i][k] && reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+            let comps = tarjan_scc(&g);
+            // Build a component-id map.
+            let mut comp_of = vec![usize::MAX; n];
+            for (ci, comp) in comps.iter().enumerate() {
+                for node in comp {
+                    comp_of[node.index()] = ci;
+                }
+            }
+            for u in 0..n {
+                for v in 0..n {
+                    let same = reach[u][v] && reach[v][u];
+                    assert_eq!(
+                        comp_of[u] == comp_of[v],
+                        same,
+                        "nodes {u},{v} disagree (n={n})"
+                    );
+                }
+            }
+        }
+    }
+}

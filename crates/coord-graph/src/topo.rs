@@ -1,0 +1,106 @@
+//! Topological ordering (Kahn's algorithm).
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// A topological order of a DAG: every edge `u → v` has `u` before `v`.
+///
+/// Returns `None` if the graph contains a cycle.
+pub fn topological_order<N, E>(g: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|v| g.in_degree(NodeId(v))).collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| in_deg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(NodeId(v));
+        for w in g.successors(NodeId(v)) {
+            in_deg[w.index()] -= 1;
+            if in_deg[w.index()] == 0 {
+                queue.push_back(w.index());
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// A reverse topological order: every edge `u → v` has `v` before `u`,
+/// i.e. successors are processed before their predecessors — the order in
+/// which the SCC Coordination Algorithm visits the components graph.
+pub fn reverse_topological_order<N, E>(g: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
+    topological_order(g).map(|mut order| {
+        order.reverse();
+        order
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> DiGraph<()> {
+        let mut g = DiGraph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(NodeId(i), NodeId(i + 1), ());
+        }
+        g
+    }
+
+    #[test]
+    fn chain_order() {
+        let g = chain(5);
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order, (0..5).map(NodeId).collect::<Vec<_>>());
+        let rev = reverse_topological_order(&g).unwrap();
+        assert_eq!(rev, (0..5).rev().map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = chain(3);
+        g.add_edge(NodeId(2), NodeId(0), ());
+        assert!(topological_order(&g).is_none());
+        assert!(reverse_topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<()> = DiGraph::new();
+        assert_eq!(topological_order(&g).unwrap(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn order_respects_all_edges() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let n = rng.random_range(1..20);
+            let mut g: DiGraph<()> = DiGraph::new();
+            for _ in 0..n {
+                g.add_node(());
+            }
+            // Random DAG: edges only from smaller to larger index.
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_bool(0.3) {
+                        g.add_edge(NodeId(u), NodeId(v), ());
+                    }
+                }
+            }
+            let order = topological_order(&g).expect("random DAG is acyclic");
+            let pos: Vec<usize> = {
+                let mut p = vec![0; n];
+                for (i, node) in order.iter().enumerate() {
+                    p[node.index()] = i;
+                }
+                p
+            };
+            for e in g.edge_ids() {
+                let (u, v) = g.endpoints(e);
+                assert!(pos[u.index()] < pos[v.index()]);
+            }
+        }
+    }
+}

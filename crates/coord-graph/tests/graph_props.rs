@@ -1,0 +1,153 @@
+//! Property tests for the graph substrate against naive references.
+//!
+//! The reference implementations below intentionally use index loops over
+//! the reachability matrix for clarity.
+#![allow(clippy::needless_range_loop)]
+
+use coord_graph::reach::{count_simple_paths, reachable_from, weakly_connected_components};
+use coord_graph::{condensation, tarjan_scc, topological_order, DiGraph, NodeId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+struct GraphSpec {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = GraphSpec> {
+    (1..max_n).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..(2 * n))
+            .prop_map(move |edges| GraphSpec { n, edges })
+    })
+}
+
+fn build(spec: &GraphSpec) -> DiGraph<usize> {
+    let mut g = DiGraph::new();
+    for i in 0..spec.n {
+        g.add_node(i);
+    }
+    for &(u, v) in &spec.edges {
+        g.add_edge(NodeId(u), NodeId(v), ());
+    }
+    g
+}
+
+/// Floyd–Warshall reachability (reference).
+fn fw_reach(spec: &GraphSpec) -> Vec<Vec<bool>> {
+    let n = spec.n;
+    let mut r = vec![vec![false; n]; n];
+    for (i, row) in r.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    for &(u, v) in &spec.edges {
+        r[u][v] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if r[i][k] && r[k][j] {
+                    r[i][j] = true;
+                }
+            }
+        }
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reachable_from_matches_floyd_warshall(spec in graph_strategy(12)) {
+        let g = build(&spec);
+        let r = fw_reach(&spec);
+        for start in 0..spec.n {
+            let got: HashSet<usize> = reachable_from(&g, NodeId(start))
+                .into_iter()
+                .map(NodeId::index)
+                .collect();
+            let want: HashSet<usize> =
+                (0..spec.n).filter(|&j| r[start][j]).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn scc_partition_and_condensation_dag(spec in graph_strategy(12)) {
+        let g = build(&spec);
+        let comps = tarjan_scc(&g);
+        // Components partition the nodes.
+        let mut seen = vec![false; spec.n];
+        for comp in &comps {
+            for node in comp {
+                prop_assert!(!seen[node.index()], "node in two components");
+                seen[node.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+
+        // The condensation is acyclic and respects reverse-topo ids.
+        let cond = condensation(&g);
+        prop_assert!(topological_order(&cond.dag).is_some());
+        for e in cond.dag.edge_ids() {
+            let (u, v) = cond.dag.endpoints(e);
+            prop_assert!(v.index() < u.index());
+        }
+
+        // Mutual reachability characterizes same-component membership.
+        let r = fw_reach(&spec);
+        for u in 0..spec.n {
+            for v in 0..spec.n {
+                let same = cond.component_of(NodeId(u)) == cond.component_of(NodeId(v));
+                prop_assert_eq!(same, r[u][v] && r[v][u], "nodes {} {}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn weak_components_match_union_find(spec in graph_strategy(14)) {
+        let g = build(&spec);
+        // Union-find reference over undirected edges.
+        let mut parent: Vec<usize> = (0..spec.n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(u, v) in &spec.edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru] = rv;
+            }
+        }
+        let comps = weakly_connected_components(&g);
+        for comp in &comps {
+            let root = find(&mut parent, comp[0].index());
+            for node in comp {
+                prop_assert_eq!(find(&mut parent, node.index()), root);
+            }
+        }
+        // Count matches the number of distinct roots.
+        let roots: HashSet<usize> =
+            (0..spec.n).map(|x| find(&mut parent, x)).collect();
+        prop_assert_eq!(comps.len(), roots.len());
+    }
+
+    #[test]
+    fn simple_path_count_zero_iff_unreachable(spec in graph_strategy(9)) {
+        let g = build(&spec);
+        let r = fw_reach(&spec);
+        for u in 0..spec.n {
+            for v in 0..spec.n {
+                if u == v {
+                    continue;
+                }
+                let paths = count_simple_paths(&g, NodeId(u), NodeId(v), 5);
+                prop_assert_eq!(paths > 0, r[u][v], "{} -> {}", u, v);
+            }
+        }
+    }
+}

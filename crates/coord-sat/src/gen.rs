@@ -1,0 +1,63 @@
+//! Random 3SAT instance generation.
+
+use crate::cnf::{Clause, Cnf, Lit};
+use rand::prelude::*;
+use rand::seq::index::sample;
+
+/// Generate a uniform random 3SAT formula: each clause picks 3 distinct
+/// variables (or fewer if `n_vars < 3`) and independent random polarities.
+pub fn random_3sat(n_vars: usize, n_clauses: usize, rng: &mut impl Rng) -> Cnf {
+    assert!(n_vars > 0, "need at least one variable");
+    let width = n_vars.min(3);
+    let clauses = (0..n_clauses)
+        .map(|_| {
+            let vars = sample(rng, n_vars, width);
+            Clause(
+                vars.iter()
+                    .map(|v| Lit {
+                        var: v,
+                        positive: rng.random_bool(0.5),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Cnf::new(n_vars, clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = random_3sat(10, 42, &mut rng);
+        assert_eq!(f.n_vars, 10);
+        assert_eq!(f.n_clauses(), 42);
+        for c in &f.clauses {
+            assert_eq!(c.0.len(), 3);
+            // Distinct variables within a clause.
+            let mut vars: Vec<usize> = c.0.iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn small_var_counts_shrink_clauses() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = random_3sat(2, 5, &mut rng);
+        for c in &f.clauses {
+            assert_eq!(c.0.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f1 = random_3sat(6, 10, &mut StdRng::seed_from_u64(7));
+        let f2 = random_3sat(6, 10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(f1, f2);
+    }
+}

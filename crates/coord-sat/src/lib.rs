@@ -1,0 +1,29 @@
+//! # coord-sat — 3SAT, DPLL, and the paper's hardness reductions
+//!
+//! Section 3 of *"The Complexity of Social Coordination"* pins down the
+//! hardness of entangled-query evaluation with reductions from 3SAT that
+//! use a database so trivial (a single unary relation over `{0, 1}`) that
+//! conjunctive-query satisfiability is polynomial — isolating the
+//! *coordination* as the source of NP-hardness. This crate makes those
+//! reductions executable:
+//!
+//! * [`cnf`] — CNF formulas and assignments,
+//! * [`dpll`] — a DPLL SAT solver (unit propagation + pure literals),
+//!   the efficient baseline the reductions are verified against,
+//! * [`gen`] — random 3SAT instance generation,
+//! * [`reduction1`] — Theorem 1: `Entangled(Q_all)` is NP-complete,
+//! * [`reduction2`] — Theorem 2: `EntangledMax(Q_safe)` is NP-hard
+//!   (the one-literal-witness gadget of Figure 9),
+//! * [`reduction_b`] — Appendix B: mixed coordination-attribute sets are
+//!   NP-hard (the limit of the Consistent Coordination Algorithm).
+
+pub mod cnf;
+pub mod dpll;
+pub mod gen;
+pub mod reduction1;
+pub mod reduction2;
+pub mod reduction_b;
+
+pub use cnf::{Clause, Cnf, Lit};
+pub use dpll::solve as dpll_solve;
+pub use gen::random_3sat;

@@ -1,0 +1,184 @@
+//! Theorem 2: `EntangledMax(Q_safe)` is NP-hard — even for *safe* query
+//! sets, finding a **maximum-size** coordinating set encodes 3SAT.
+//!
+//! For each variable `x_j` a selection query
+//!
+//! ```text
+//! q(x_j) = {} R_j(x_j) :- D(x_j)
+//! ```
+//!
+//! and for each clause `C_i = x_{j1}^{v1} ∨ x_{j2}^{v2} ∨ x_{j3}^{v3}` the
+//! one-literal-witness gadget (Figure 9): the first literal's query is
+//! unconstrained, each later literal's query is "constrained" so it can
+//! only coordinate when every earlier literal is false:
+//!
+//! ```text
+//! {R_{j1}(v1)}                       C_i(1) :- ∅
+//! {R_{j2}(v2), R_{j1}(¬v1)}          C_i(1) :- ∅
+//! {R_{j3}(v3), R_{j2}(¬v2), R_{j1}(¬v1)}  C_i(1) :- ∅
+//! ```
+//!
+//! Every postcondition `R_j(c)` unifies with exactly one head (the
+//! selection query's) — the set is **safe** — yet at most one query per
+//! clause can join any coordinating set, so the maximum size is `k + m`
+//! iff the formula is satisfiable.
+
+use crate::cnf::Cnf;
+use coord_core::{EntangledQuery, QueryBuilder};
+use coord_db::{Database, Value};
+
+/// The reduced instance.
+pub struct Reduction2 {
+    pub queries: Vec<EntangledQuery>,
+    pub db: Database,
+    /// `k + m`: the target maximum size iff satisfiable.
+    pub target_size: usize,
+}
+
+/// Build the Theorem 2 instance for `formula`.
+pub fn reduce(formula: &Cnf) -> Reduction2 {
+    let mut db = Database::new();
+    db.create_table("D", &["v"]).expect("fresh database");
+    db.insert("D", vec![Value::int(0)]).expect("insert 0");
+    db.insert("D", vec![Value::int(1)]).expect("insert 1");
+
+    let mut queries = Vec::new();
+
+    // Selection queries q(x_j).
+    for j in 0..formula.n_vars {
+        queries.push(
+            QueryBuilder::new(format!("q(x{})", j + 1))
+                .head(format!("R{}", j + 1), |a| a.var("x"))
+                .body("D", |a| a.var("x"))
+                .build()
+                .expect("selection query"),
+        );
+    }
+
+    // Clause gadgets.
+    for (i, clause) in formula.clauses.iter().enumerate() {
+        for (b, lit) in clause.0.iter().enumerate() {
+            let mut q = QueryBuilder::new(format!("q(C{},{})", i + 1, b + 1));
+            // This literal must hold...
+            q = q.postcondition(format!("R{}", lit.var + 1), |a| {
+                a.constant(if lit.positive { 1i64 } else { 0i64 })
+            });
+            // ...and all earlier literals must fail.
+            for earlier in clause.0[..b].iter() {
+                q = q.postcondition(format!("R{}", earlier.var + 1), |a| {
+                    a.constant(if earlier.positive { 0i64 } else { 1i64 })
+                });
+            }
+            queries.push(
+                q.head(format!("C{}", i + 1), |a| a.constant(1i64))
+                    .build()
+                    .expect("clause gadget query"),
+            );
+        }
+    }
+
+    let target_size = formula.n_clauses() + formula.n_vars;
+    Reduction2 {
+        queries,
+        db,
+        target_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit};
+    use crate::dpll;
+    use crate::gen::random_3sat;
+    use coord_core::bruteforce;
+    use coord_core::graphs::is_safe;
+    use coord_core::QuerySet;
+    use rand::prelude::*;
+
+    #[test]
+    fn figure_9_example_shape() {
+        // C1 = x1 ∨ ¬x2 ∨ x3, C2 = x2 ∨ ¬x3 ∨ ¬x4 (the paper's Figure 9).
+        let f = Cnf::new(
+            4,
+            vec![
+                Clause(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+                Clause(vec![Lit::pos(1), Lit::neg(2), Lit::neg(3)]),
+            ],
+        );
+        let r = reduce(&f);
+        // 4 selection queries + 3 gadget queries per clause.
+        assert_eq!(r.queries.len(), 4 + 6);
+        assert_eq!(r.target_size, 2 + 4);
+        // The constrained third query of C1: {R3(1), R2(1), R1(0)} C1(1).
+        let third = &r.queries[4 + 2];
+        assert_eq!(third.postconditions().len(), 3);
+    }
+
+    #[test]
+    fn instance_is_safe() {
+        let f = Cnf::new(3, vec![Clause(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)])]);
+        let r = reduce(&f);
+        assert!(is_safe(&QuerySet::new(r.queries.clone())));
+    }
+
+    #[test]
+    fn satisfiable_reaches_target_size() {
+        // (x1 ∨ ¬x2): satisfiable; target = 1 clause + 2 vars = 3.
+        let f = Cnf::new(2, vec![Clause(vec![Lit::pos(0), Lit::neg(1)])]);
+        let r = reduce(&f);
+        let res = bruteforce::max_coordinating_set(&r.db, &r.queries).unwrap();
+        assert_eq!(res.best.unwrap().len(), r.target_size);
+    }
+
+    #[test]
+    fn unsatisfiable_stays_below_target() {
+        // x1 ∧ ¬x1: max set should be 1 var query + 1 clause query = 2 < 3.
+        let f = Cnf::new(
+            1,
+            vec![Clause(vec![Lit::pos(0)]), Clause(vec![Lit::neg(0)])],
+        );
+        let r = reduce(&f);
+        assert_eq!(r.target_size, 3);
+        let res = bruteforce::max_coordinating_set(&r.db, &r.queries).unwrap();
+        let best = res.best.unwrap();
+        assert!(best.len() < r.target_size, "got size {}", best.len());
+    }
+
+    #[test]
+    fn at_most_one_witness_per_clause() {
+        // For C = x1 ∨ x2, queries {R1(1)}C(1) and {R2(1), R1(0)}C(1)
+        // cannot both coordinate (they force x1 = 1 and x1 = 0).
+        let f = Cnf::new(2, vec![Clause(vec![Lit::pos(0), Lit::pos(1)])]);
+        let r = reduce(&f);
+        let qs = QuerySet::new(r.queries.clone());
+        let all: Vec<coord_core::QueryId> = qs.ids().collect();
+        let mut tried = 0;
+        let res = bruteforce::coordinate_subset(&r.db, &qs, &all, &mut tried).unwrap();
+        assert!(res.is_none(), "the full set must not coordinate");
+    }
+
+    #[test]
+    fn target_size_iff_satisfiable_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _case in 0..10 {
+            let n = rng.random_range(1..4usize);
+            let k = rng.random_range(1..3usize);
+            let f = random_3sat(n, k, &mut rng);
+            let r = reduce(&f);
+            let best = bruteforce::max_coordinating_set(&r.db, &r.queries)
+                .unwrap()
+                .best
+                .map(|b| b.len())
+                .unwrap_or(0);
+            let sat = dpll::solve(&f).is_some();
+            assert_eq!(
+                best == r.target_size,
+                sat,
+                "max={} target={} for {f}",
+                best,
+                r.target_size
+            );
+        }
+    }
+}

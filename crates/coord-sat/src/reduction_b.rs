@@ -1,0 +1,197 @@
+//! Appendix B: relaxing the Consistent-Coordination fragment brings back
+//! NP-hardness.
+//!
+//! Section 5's Consistent Coordination Algorithm requires *all* users to
+//! coordinate on the *same* attribute set `A`. Appendix B shows the
+//! smallest relaxation — some queries coordinating on attribute `A_0`
+//! (the flight date) and some on `A_0, A_1` — already encodes 3SAT:
+//!
+//! ```text
+//! qC:   {R(y_1, C_1), ..., R(y_k, C_k)}  R(x, C)   :- Fl(x, 1MAR), ∧_i Fl(y_i, 1MAR)
+//! qCj:  {R(y, f)}                        R(x, C_j) :- Fr(C_j, f), Fl(x, 1MAR), Fl(y, d)
+//! qXi:  {R(y, S_i)}                      R(x, X_i) :- Fl(x, 1MAR), Fl(y, 1MAR)
+//! qX*i: {R(y, S_i)}                      R(x, X*_i):- Fl(x, 2MAR), Fl(y, 2MAR)
+//! Si:   {R(y, C)}                        R(x, S_i) :- Fl(x, d), Fl(y, d')
+//! ```
+//!
+//! `Fr` lists, for each clause, the literals that can satisfy it. The
+//! "selection gadget" `S_i` forces at most one of `qX_i` / `qX*_i` to
+//! coordinate: both postconditions must ground to `S_i`'s single head,
+//! but their bodies put the witnessed flight on different dates.
+//! A coordinating set exists iff the formula is satisfiable.
+
+use crate::cnf::Cnf;
+use coord_core::{EntangledQuery, QueryBuilder};
+use coord_db::{Database, Value};
+
+/// The reduced instance.
+pub struct ReductionB {
+    pub queries: Vec<EntangledQuery>,
+    pub db: Database,
+}
+
+/// Build the Appendix B instance for `formula`.
+pub fn reduce(formula: &Cnf) -> ReductionB {
+    let mut db = Database::new();
+    db.create_table("Fl", &["id", "date"])
+        .expect("fresh database");
+    // A couple of flights per date (ids are unique across dates, so no
+    // flight exists on both days — the selection gadget depends on this).
+    db.insert("Fl", vec![Value::int(1), Value::str("1MAR")])
+        .expect("insert");
+    db.insert("Fl", vec![Value::int(2), Value::str("1MAR")])
+        .expect("insert");
+    db.insert("Fl", vec![Value::int(3), Value::str("2MAR")])
+        .expect("insert");
+    db.insert("Fl", vec![Value::int(4), Value::str("2MAR")])
+        .expect("insert");
+
+    // Fr: clause → the literal names that satisfy it.
+    db.create_table("Fr", &["clause", "literal"])
+        .expect("fresh table");
+    for (j, clause) in formula.clauses.iter().enumerate() {
+        for lit in &clause.0 {
+            let lit_name = if lit.positive {
+                format!("X{}", lit.var + 1)
+            } else {
+                format!("X*{}", lit.var + 1)
+            };
+            db.insert(
+                "Fr",
+                vec![Value::str(format!("C{}", j + 1)), Value::str(lit_name)],
+            )
+            .expect("insert friend");
+        }
+    }
+
+    let mut queries = Vec::new();
+
+    // qC: requires every clause to be witnessed.
+    let mut qc = QueryBuilder::new("qC");
+    for j in 0..formula.n_clauses() {
+        let yj = format!("y{}", j + 1);
+        qc = qc.postcondition("R", |a| a.var(&yj).constant(format!("C{}", j + 1)));
+    }
+    qc = qc.head("R", |a| a.var("x").constant("C"));
+    qc = qc.body("Fl", |a| a.var("x").constant("1MAR"));
+    for j in 0..formula.n_clauses() {
+        let yj = format!("y{}", j + 1);
+        qc = qc.body("Fl", |a| a.var(&yj).constant("1MAR"));
+    }
+    queries.push(qc.build().expect("qC"));
+
+    // qCj: each clause wants one satisfying literal ("friend").
+    for j in 0..formula.n_clauses() {
+        queries.push(
+            QueryBuilder::new(format!("qC{}", j + 1))
+                .postcondition("R", |a| a.var("y").var("f"))
+                .head("R", |a| a.var("x").constant(format!("C{}", j + 1)))
+                .body("Fr", |a| a.constant(format!("C{}", j + 1)).var("f"))
+                .body("Fl", |a| a.var("x").constant("1MAR"))
+                .body("Fl", |a| a.var("y").var("d"))
+                .build()
+                .expect("clause query"),
+        );
+    }
+
+    // Literal queries and selection gadgets.
+    for i in 0..formula.n_vars {
+        queries.push(
+            QueryBuilder::new(format!("qX{}", i + 1))
+                .postcondition("R", |a| a.var("y").constant(format!("S{}", i + 1)))
+                .head("R", |a| a.var("x").constant(format!("X{}", i + 1)))
+                .body("Fl", |a| a.var("x").constant("1MAR"))
+                .body("Fl", |a| a.var("y").constant("1MAR"))
+                .build()
+                .expect("positive literal query"),
+        );
+        queries.push(
+            QueryBuilder::new(format!("qX*{}", i + 1))
+                .postcondition("R", |a| a.var("y").constant(format!("S{}", i + 1)))
+                .head("R", |a| a.var("x").constant(format!("X*{}", i + 1)))
+                .body("Fl", |a| a.var("x").constant("2MAR"))
+                .body("Fl", |a| a.var("y").constant("2MAR"))
+                .build()
+                .expect("negative literal query"),
+        );
+        queries.push(
+            QueryBuilder::new(format!("S{}", i + 1))
+                .postcondition("R", |a| a.var("y").constant("C"))
+                .head("R", |a| a.var("x").constant(format!("S{}", i + 1)))
+                .body("Fl", |a| a.var("x").var("d"))
+                .body("Fl", |a| a.var("y").var("dp"))
+                .build()
+                .expect("selection gadget"),
+        );
+    }
+
+    ReductionB { queries, db }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Lit};
+    use coord_core::bruteforce;
+    use coord_core::graphs::is_safe;
+    use coord_core::QuerySet;
+
+    #[test]
+    fn instance_is_unsafe() {
+        // qCj's postcondition R(y, f) has a variable partner: it unifies
+        // with every literal head — the construction is deliberately
+        // outside the safe fragment.
+        let f = Cnf::new(1, vec![Clause(vec![Lit::pos(0)])]);
+        let r = reduce(&f);
+        assert!(!is_safe(&QuerySet::new(r.queries.clone())));
+    }
+
+    #[test]
+    fn satisfiable_single_clause() {
+        // (x1): the set {qC, qC1, qX1, S1} coordinates.
+        let f = Cnf::new(1, vec![Clause(vec![Lit::pos(0)])]);
+        let r = reduce(&f);
+        let res = bruteforce::any_coordinating_set(&r.db, &r.queries).unwrap();
+        let best = res
+            .best
+            .expect("satisfiable formula needs a coordinating set");
+        // The set must include qC and the positive literal query.
+        let qs = QuerySet::new(r.queries.clone());
+        let names: Vec<&str> = best.queries.iter().map(|&q| qs.query(q).name()).collect();
+        assert!(names.contains(&"qC"));
+        assert!(names.contains(&"qX1"));
+    }
+
+    #[test]
+    fn unsatisfiable_two_unit_clauses() {
+        // x1 ∧ ¬x1: needs both qX1 and qX*1, which the S1 gadget forbids.
+        let f = Cnf::new(
+            1,
+            vec![Clause(vec![Lit::pos(0)]), Clause(vec![Lit::neg(0)])],
+        );
+        let r = reduce(&f);
+        let res = bruteforce::any_coordinating_set(&r.db, &r.queries).unwrap();
+        assert!(res.best.is_none());
+    }
+
+    #[test]
+    fn two_clause_satisfiable() {
+        // (x1 ∨ x2) ∧ (¬x1): satisfied by x1=false, x2=true.
+        let f = Cnf::new(
+            2,
+            vec![
+                Clause(vec![Lit::pos(0), Lit::pos(1)]),
+                Clause(vec![Lit::neg(0)]),
+            ],
+        );
+        let r = reduce(&f);
+        let res = bruteforce::any_coordinating_set(&r.db, &r.queries).unwrap();
+        let best = res.best.expect("coordinating set must exist");
+        let qs = QuerySet::new(r.queries.clone());
+        let names: Vec<&str> = best.queries.iter().map(|&q| qs.query(q).name()).collect();
+        // ¬x1 forces qX*1; clause 1 must then be witnessed by x2.
+        assert!(names.contains(&"qX*1"));
+        assert!(names.contains(&"qX2"));
+        assert!(!names.contains(&"qX1"), "x1 cannot be both true and false");
+    }
+}

@@ -1,0 +1,120 @@
+//! The introduction's Example 2: Coldplay fans coordinating flights to a
+//! concert.
+//!
+//! Each fan wants to attend a concert with at least one friend: same
+//! destination and date (the coordination attributes), while flying from
+//! their own city with their own airline preferences (personal
+//! attributes) — and a Coldplay concert must take place at the
+//! destination. Fans live in different cities, so they cannot share a
+//! flight; the coordination is on *where and when*, not on the tuple.
+//!
+//! Run with: `cargo run --example concert_trip`
+
+use social_coordination::core::consistent::{
+    ConsistentConfig, ConsistentCoordinator, ConsistentQuery,
+};
+use social_coordination::db::{Database, Value};
+
+fn main() {
+    let mut db = Database::new();
+
+    // Flights(flightId, destination, day, source, airline).
+    db.create_table(
+        "Fl",
+        &["flightId", "destination", "day", "source", "airline"],
+    )
+    .unwrap();
+    let flights = [
+        (1, "Zurich", 10, "NYC", "Swiss"),
+        (2, "Zurich", 10, "London", "BA"),
+        (3, "Zurich", 10, "Tokyo", "ANA"),
+        (4, "Paris", 12, "NYC", "AF"),
+        (5, "Paris", 12, "London", "AF"),
+        (6, "Madrid", 15, "NYC", "Iberia"),
+        (7, "Madrid", 15, "Tokyo", "JAL"),
+    ];
+    for (id, dest, day, src, air) in flights {
+        db.insert(
+            "Fl",
+            vec![
+                Value::int(id),
+                Value::str(dest),
+                Value::int(day),
+                Value::str(src),
+                Value::str(air),
+            ],
+        )
+        .unwrap();
+    }
+
+    // Friendships.
+    db.create_table("Fr", &["user", "friend"]).unwrap();
+    for (u, f) in [
+        ("alice", "bob"),
+        ("bob", "alice"),
+        ("bob", "carol"),
+        ("carol", "bob"),
+        ("dave", "alice"),
+    ] {
+        db.insert("Fr", vec![Value::str(u), Value::str(f)]).unwrap();
+    }
+
+    // Coordinate on (destination, day); (source, airline) are personal.
+    let config = ConsistentConfig::new(
+        "Fl",
+        "flightId",
+        &["destination", "day"],
+        &["source", "airline"],
+        "Fr",
+    );
+
+    // Alice flies from NYC; Bob from London; Carol from Tokyo (she also
+    // insists on a Zurich concert); Dave (from NYC, friends with Alice
+    // only) wants any concert with a friend.
+    let queries = vec![
+        ConsistentQuery::for_user("alice", 2, 2)
+            .with_any_friend()
+            .personal_const(0, "NYC"),
+        ConsistentQuery::for_user("bob", 2, 2)
+            .with_any_friend()
+            .personal_const(0, "London"),
+        ConsistentQuery::for_user("carol", 2, 2)
+            .with_any_friend()
+            .coord_const(0, "Zurich")
+            .personal_const(0, "Tokyo"),
+        ConsistentQuery::for_user("dave", 2, 2)
+            .with_any_friend()
+            .personal_const(0, "NYC"),
+    ];
+
+    let coordinator = ConsistentCoordinator::new(&db, config).unwrap();
+    let outcome = coordinator.run(&queries).unwrap();
+
+    println!("Fans and their flight options (destination, day):");
+    let names = ["alice", "bob", "carol", "dave"];
+    for (i, list) in outcome.option_lists.iter().enumerate() {
+        let opts: Vec<String> = list
+            .iter()
+            .map(|v| format!("({}, day {})", v[0], v[1]))
+            .collect();
+        println!("  {:<6} {}", names[i], opts.join(", "));
+    }
+
+    println!("\nSurviving group size per (destination, day):");
+    for (v, size) in &outcome.per_value {
+        println!("  ({}, day {}) → {}", v[0], v[1], size);
+    }
+
+    match &outcome.best {
+        Some(best) => {
+            println!(
+                "\nThe group meets in {} on day {}:",
+                best.value[0], best.value[1]
+            );
+            for (user, flight) in &best.assignment {
+                println!("  {user} takes flight {flight}");
+            }
+        }
+        None => println!("\nNo coordinating set exists."),
+    }
+}

@@ -1,0 +1,124 @@
+//! The flight-hotel coordination example of Section 2.2 / Figure 1, run
+//! through the SCC Coordination Algorithm of Section 4.
+//!
+//! Chris wants to fly with Guy; Guy wants Paris plus Chris's flight and
+//! hotel; Jonny wants Athens on Chris and Guy's flight; Will wants Madrid
+//! on Chris's flight and Jonny's hotel. The requirements are safe but not
+//! unique — the Gupta et al. baseline cannot evaluate them, while the SCC
+//! algorithm finds the largest satisfiable subgroup.
+//!
+//! Also prints the coordination graph in Graphviz DOT form (the paper's
+//! Figure 2/3 shapes).
+//!
+//! Run with: `cargo run --example flight_hotel`
+
+use social_coordination::core::graphs::{coordination_graph, is_safe, is_unique};
+use social_coordination::core::scc::{preprocess, SccCoordinator};
+use social_coordination::core::{QueryBuilder, QuerySet};
+use social_coordination::db::{Database, Value};
+use social_coordination::graph::dot::to_dot;
+
+fn main() {
+    // Flights F(id, dest) and hotels H(id, loc). Paris and Athens have
+    // both a flight and a hotel; Madrid only a flight.
+    let mut db = Database::new();
+    db.create_table("F", &["flightId", "destination"]).unwrap();
+    db.create_table("H", &["hotelId", "location"]).unwrap();
+    for (id, d) in [(1, "Paris"), (2, "Athens"), (3, "Madrid")] {
+        db.insert("F", vec![Value::int(id), Value::str(d)]).unwrap();
+    }
+    for (id, l) in [(10, "Paris"), (11, "Athens")] {
+        db.insert("H", vec![Value::int(id), Value::str(l)]).unwrap();
+    }
+
+    // The four queries of Figure 1.
+    let qc = QueryBuilder::new("qC")
+        .postcondition("R", |a| a.constant("G").var("x1"))
+        .head("R", |a| a.constant("C").var("x1"))
+        .head("Q", |a| a.constant("C").var("x2"))
+        .body("F", |a| a.var("x1").var("x"))
+        .body("H", |a| a.var("x2").var("x"))
+        .build()
+        .unwrap();
+    let qg = QueryBuilder::new("qG")
+        .postcondition("R", |a| a.constant("C").var("y1"))
+        .postcondition("Q", |a| a.constant("C").var("y2"))
+        .head("R", |a| a.constant("G").var("y1"))
+        .head("Q", |a| a.constant("G").var("y2"))
+        .body("F", |a| a.var("y1").constant("Paris"))
+        .body("H", |a| a.var("y2").constant("Paris"))
+        .build()
+        .unwrap();
+    let qj = QueryBuilder::new("qJ")
+        .postcondition("R", |a| a.constant("C").var("z1"))
+        .postcondition("R", |a| a.constant("G").var("z1"))
+        .head("R", |a| a.constant("J").var("z1"))
+        .head("Q", |a| a.constant("J").var("z2"))
+        .body("F", |a| a.var("z1").constant("Athens"))
+        .body("H", |a| a.var("z2").constant("Athens"))
+        .build()
+        .unwrap();
+    let qw = QueryBuilder::new("qW")
+        .postcondition("R", |a| a.constant("C").var("w1"))
+        .postcondition("Q", |a| a.constant("J").var("w2"))
+        .head("R", |a| a.constant("W").var("w1"))
+        .head("Q", |a| a.constant("W").var("w2"))
+        .body("F", |a| a.var("w1").constant("Madrid"))
+        .body("H", |a| a.var("w2").constant("Madrid"))
+        .build()
+        .unwrap();
+
+    let queries = vec![qc, qg, qj, qw];
+    for q in &queries {
+        println!("{q}");
+    }
+
+    let qs = QuerySet::new(queries.clone());
+    println!("\nsafe: {}, unique: {}", is_safe(&qs), is_unique(&qs));
+
+    // The coordination graph (Figure 2, collapsed form).
+    let graph = coordination_graph(&qs);
+    println!(
+        "\nCoordination graph (DOT):\n{}",
+        to_dot(
+            &graph,
+            "coordination",
+            |q| qs.query(*q).name().to_string(),
+            |_| None
+        )
+    );
+
+    // SCCs and components.
+    let pre = preprocess(&db, &queries).unwrap();
+    println!("Strongly connected components:");
+    for c in 0..pre.cond.len() {
+        let names: Vec<&str> = pre
+            .cond
+            .members(c)
+            .iter()
+            .map(|n| {
+                pre.qs
+                    .query(social_coordination::core::QueryId(n.index()))
+                    .name()
+            })
+            .collect();
+        println!("  component {c}: {names:?}");
+    }
+
+    // Run the SCC Coordination Algorithm.
+    let outcome = SccCoordinator::new(&db).run(&queries).unwrap();
+    println!("\nCandidate coordinating sets (closures R(q) that ground):");
+    for f in &outcome.found {
+        let names: Vec<&str> = f
+            .queries
+            .iter()
+            .map(|&q| outcome.qs.query(q).name())
+            .collect();
+        println!("  {names:?}");
+    }
+    println!("Best: {:?}", outcome.best_names());
+    println!(
+        "({} DB queries over {} components; {} candidates)",
+        outcome.stats.db_queries, outcome.stats.components, outcome.stats.candidates
+    );
+}

@@ -1,0 +1,93 @@
+//! Streaming coordination: the Youtopia-style online evaluation loop
+//! (Section 6.1's system context; the on-line setting of Section 7).
+//!
+//! Queries arrive one at a time. Each arrival updates the coordination
+//! graph and evaluates the affected connected component; as soon as a
+//! coordinating set forms, its members are answered and retired.
+//!
+//! Run with: `cargo run --example online_engine`
+
+use social_coordination::core::engine::CoordinationEngine;
+use social_coordination::core::QueryBuilder;
+use social_coordination::db::{Database, Value};
+use social_coordination::gen::social::user_name;
+
+fn main() {
+    // A pool of bookable resources: S(id, tag).
+    let mut db = Database::new();
+    db.create_table("S", &["id", "tag"]).unwrap();
+    for i in 0..50 {
+        db.insert("S", vec![Value::int(i), Value::str(format!("t{}", i % 5))])
+            .unwrap();
+    }
+
+    let mut engine = CoordinationEngine::new(&db);
+
+    // A wave of users: u0 waits for u1, u1 waits for u2, u2 is free;
+    // independently, u3 waits for u4 and vice versa (a cycle).
+    let chain_query = |i: usize, partner: Option<usize>| {
+        let mut b = QueryBuilder::new(format!("user{i}"));
+        if let Some(p) = partner {
+            let y = format!("y{p}");
+            b = b.postcondition("R", move |a| a.constant(user_name(p)).var(&y));
+        }
+        b.head("R", |a| a.constant(user_name(i)).var("x"))
+            .body("S", |a| a.var("x").constant(format!("t{}", i % 5)))
+            .build()
+            .unwrap()
+    };
+
+    println!("--- chain arrivals: u0 → u1 → u2 ---");
+    for (i, partner) in [(0, Some(1)), (1, Some(2)), (2, None)] {
+        let result = engine.submit(chain_query(i, partner)).unwrap();
+        println!(
+            "submit user{i}: {} (pending: {})",
+            if result.coordinated() {
+                format!(
+                    "coordinated {:?}",
+                    result
+                        .answers
+                        .iter()
+                        .map(|a| a.query.as_str())
+                        .collect::<Vec<_>>()
+                )
+            } else {
+                "waiting".to_string()
+            },
+            engine.pending().len()
+        );
+        for a in &result.answers {
+            let bindings: Vec<String> =
+                a.bindings.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            println!("    {} ⇒ {}", a.query, bindings.join(", "));
+        }
+    }
+
+    println!("\n--- mutual arrivals: u3 ↔ u4 ---");
+    let u3 = QueryBuilder::new("user3")
+        .postcondition("R", |a| a.constant(user_name(4)).var("y"))
+        .head("R", |a| a.constant(user_name(3)).var("x"))
+        .body("S", |a| a.var("x").constant("t3"))
+        .build()
+        .unwrap();
+    let u4 = QueryBuilder::new("user4")
+        .postcondition("R", |a| a.constant(user_name(3)).var("y"))
+        .head("R", |a| a.constant(user_name(4)).var("x"))
+        .body("S", |a| a.var("x").constant("t4"))
+        .build()
+        .unwrap();
+    let r3 = engine.submit(u3).unwrap();
+    println!("submit user3: coordinated = {}", r3.coordinated());
+    let r4 = engine.submit(u4).unwrap();
+    println!(
+        "submit user4: coordinated = {} ({} answers)",
+        r4.coordinated(),
+        r4.answers.len()
+    );
+
+    println!(
+        "\ntotal delivered: {}, still pending: {}",
+        engine.delivered(),
+        engine.pending().len()
+    );
+}

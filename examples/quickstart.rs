@@ -1,0 +1,65 @@
+//! Quickstart: the paper's Section 2.1 example.
+//!
+//! Gwyneth wants to fly with Chris to Zurich. She submits an entangled
+//! query whose *postcondition* requires Chris to be booked on the same
+//! flight; Chris submits a plain query for any Zurich flight. The SCC
+//! Coordination Algorithm finds the coordinating set and a witnessing
+//! flight.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use social_coordination::core::scc::SccCoordinator;
+use social_coordination::core::QueryBuilder;
+use social_coordination::db::{Database, Value};
+
+fn main() {
+    // A flights database: F(flightId, destination).
+    let mut db = Database::new();
+    db.create_table("Flights", &["flightId", "destination"])
+        .unwrap();
+    for (id, dest) in [(101, "Zurich"), (102, "Paris"), (103, "Zurich")] {
+        db.insert("Flights", vec![Value::int(id), Value::str(dest)])
+            .unwrap();
+    }
+
+    // q1 = {R(Chris, x)} R(Gwyneth, x) :- Flights(x, Zurich)
+    let gwyneth = QueryBuilder::new("gwyneth")
+        .postcondition("R", |a| a.constant("Chris").var("x"))
+        .head("R", |a| a.constant("Gwyneth").var("x"))
+        .body("Flights", |a| a.var("x").constant("Zurich"))
+        .build()
+        .unwrap();
+
+    // q2 = {} R(Chris, y) :- Flights(y, Zurich)
+    let chris = QueryBuilder::new("chris")
+        .head("R", |a| a.constant("Chris").var("y"))
+        .body("Flights", |a| a.var("y").constant("Zurich"))
+        .build()
+        .unwrap();
+
+    println!("Queries:");
+    println!("  {gwyneth}");
+    println!("  {chris}");
+
+    let outcome = SccCoordinator::new(&db).run(&[gwyneth, chris]).unwrap();
+    let best = outcome
+        .best()
+        .expect("a Zurich flight exists, so they coordinate");
+
+    println!("\nCoordinating set: {:?}", outcome.best_names());
+    println!("Chosen bindings:");
+    for &q in &best.queries {
+        let query = outcome.qs.query(q);
+        for local in 0..query.var_count() {
+            let v = social_coordination::db::Var(local);
+            let g = outcome.qs.global_var(q, v);
+            if let Some(value) = best.grounding.get(g) {
+                println!("  {}.{} = {}", query.name(), query.var_name(v), value);
+            }
+        }
+    }
+    println!(
+        "\nDatabase queries issued: {} (≤ {} components)",
+        outcome.stats.db_queries, outcome.stats.components
+    );
+}

@@ -1,0 +1,128 @@
+//! Stress and concurrency tests for the online coordination engine.
+
+use social_coordination::core::engine::{CoordinationEngine, SharedEngine};
+use social_coordination::core::QueryBuilder;
+use social_coordination::db::{Database, Value};
+use social_coordination::gen::social::user_name;
+
+fn pool(rows: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table("S", &["id", "tag"]).unwrap();
+    for i in 0..rows {
+        db.insert(
+            "S",
+            vec![Value::int(i as i64), Value::str(format!("t{}", i % 7))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn chain_query(i: usize, partner: Option<usize>) -> social_coordination::core::EntangledQuery {
+    let mut b = QueryBuilder::new(format!("user{i}"));
+    if let Some(p) = partner {
+        b = b.postcondition("R", |a| a.constant(user_name(p)).var("y"));
+    }
+    b.head("R", |a| a.constant(user_name(i)).var("x"))
+        .body("S", |a| a.var("x").constant(format!("t{}", i % 7)))
+        .build()
+        .unwrap()
+}
+
+/// A long chain arriving head-first only coordinates when the free tail
+/// arrives; everyone is answered at once.
+#[test]
+fn chain_resolves_only_on_final_arrival() {
+    let db = pool(100);
+    let mut engine = CoordinationEngine::new(&db);
+    let n = 40;
+    for i in 0..n - 1 {
+        let r = engine.submit(chain_query(i, Some(i + 1))).unwrap();
+        assert!(!r.coordinated(), "query {i} must wait for its successor");
+    }
+    assert_eq!(engine.pending().len(), n - 1);
+    let r = engine.submit(chain_query(n - 1, None)).unwrap();
+    assert_eq!(r.answers.len(), n);
+    assert_eq!(engine.pending().len(), 0);
+    assert_eq!(engine.delivered(), n);
+}
+
+/// A chain arriving tail-first coordinates pairwise: each arrival
+/// completes exactly one waiting predecessor... actually the tail is
+/// answered as a singleton immediately, and each later arrival is
+/// answered immediately too (its successor has already left the buffer,
+/// so its postcondition can never be satisfied — preprocessing removes
+/// the stale requirement and fails the query). This pins the engine's
+/// delete-after-answer semantics from the paper's system description.
+#[test]
+fn tail_first_arrivals_strand_predecessors() {
+    let db = pool(100);
+    let mut engine = CoordinationEngine::new(&db);
+    // Tail (free) arrives first and is answered alone.
+    let r = engine.submit(chain_query(9, None)).unwrap();
+    assert_eq!(r.answers.len(), 1);
+    // Its predecessor now waits forever: the partner is gone.
+    let r = engine.submit(chain_query(8, Some(9))).unwrap();
+    assert!(!r.coordinated());
+    assert_eq!(engine.pending().len(), 1);
+}
+
+/// Many independent pairs over a shared engine from multiple threads:
+/// every pair eventually coordinates, nothing is lost.
+#[test]
+fn shared_engine_parallel_pairs() {
+    let db = pool(100);
+    let engine = SharedEngine::new(&db);
+    let n_pairs = 16;
+    std::thread::scope(|s| {
+        for p in 0..n_pairs {
+            let engine = &engine;
+            s.spawn(move || {
+                let a = 2 * p;
+                let b = 2 * p + 1;
+                // a waits for b; order of the two submissions within a
+                // pair is fixed, pairs race freely.
+                engine.submit(chain_query(a, Some(b))).unwrap();
+                let r = engine.submit(chain_query(b, None)).unwrap();
+                assert!(r.coordinated());
+                assert_eq!(r.answers.len(), 2);
+            });
+        }
+    });
+    assert_eq!(engine.pending_count(), 0);
+    assert_eq!(engine.delivered(), 2 * n_pairs);
+}
+
+/// Mixed workload: cycles, chains and singletons interleaved.
+#[test]
+fn interleaved_components_do_not_interfere() {
+    let db = pool(100);
+    let mut engine = CoordinationEngine::new(&db);
+
+    // Cycle pair (mutual requirements).
+    let a = QueryBuilder::new("a")
+        .postcondition("R", |x| x.constant("B").var("p"))
+        .head("R", |x| x.constant("A").var("p"))
+        .body("S", |x| x.var("p").constant("t1"))
+        .build()
+        .unwrap();
+    // Note the same tag as `a`: unification forces both queries onto one
+    // tuple (their variables merge through the R-atoms), so the bodies
+    // must be co-satisfiable by a single row.
+    let b = QueryBuilder::new("b")
+        .postcondition("R", |x| x.constant("A").var("q"))
+        .head("R", |x| x.constant("B").var("q"))
+        .body("S", |x| x.var("q").constant("t1"))
+        .build()
+        .unwrap();
+
+    assert!(!engine.submit(a).unwrap().coordinated());
+    // Unrelated singleton coordinates without disturbing the cycle half.
+    let free = chain_query(30, None);
+    assert!(engine.submit(free).unwrap().coordinated());
+    assert_eq!(engine.pending().len(), 1);
+    // The cycle completes.
+    let r = engine.submit(b).unwrap();
+    assert_eq!(r.answers.len(), 2);
+    assert_eq!(engine.pending().len(), 0);
+}

@@ -1,0 +1,114 @@
+//! Integration tests: selection criteria plugged into the SCC algorithm,
+//! and the practical algorithms exercised on the hardness-reduction
+//! instances (which are valid — if adversarial — inputs).
+
+use social_coordination::core::scc::SccCoordinator;
+use social_coordination::core::selector::{PreferQuery, Weighted};
+use social_coordination::core::{bruteforce, check_coordinating_set, QueryBuilder, QueryId};
+use social_coordination::db::{Database, Value};
+use social_coordination::sat::{reduction2, Clause, Cnf, Lit};
+
+/// The Section 4 components-graph example: q3+q4 → q1+q2 ← q5+q6, giving
+/// candidates {q1,q2}, {q1..q4} and {q1,q2,q5,q6}.
+fn section4_example() -> (Database, Vec<social_coordination::core::EntangledQuery>) {
+    let mut db = Database::new();
+    db.create_table("T", &["id"]).unwrap();
+    db.insert("T", vec![Value::int(1)]).unwrap();
+    let pair = |i: usize, j: usize, dep: Option<usize>| {
+        let mut a = QueryBuilder::new(format!("q{i}"))
+            .postcondition("R", |x| x.constant(format!("u{j}")).var("v"))
+            .head("R", |x| x.constant(format!("u{i}")).var("v"))
+            .body("T", |x| x.var("v"));
+        if let Some(d) = dep {
+            a = a.postcondition("R", |x| x.constant(format!("u{d}")).var("v"));
+        }
+        let b = QueryBuilder::new(format!("q{j}"))
+            .postcondition("R", |x| x.constant(format!("u{i}")).var("w"))
+            .head("R", |x| x.constant(format!("u{j}")).var("w"))
+            .body("T", |x| x.var("w"))
+            .build()
+            .unwrap();
+        (a.build().unwrap(), b)
+    };
+    let (q1, q2) = pair(1, 2, None);
+    let (q3, q4) = pair(3, 4, Some(1));
+    let (q5, q6) = pair(5, 6, Some(1));
+    (db, vec![q1, q2, q3, q4, q5, q6])
+}
+
+#[test]
+fn vip_selector_steers_the_choice() {
+    let (db, queries) = section4_example();
+    // Default: one of the size-4 candidates.
+    let max = SccCoordinator::new(&db).run(&queries).unwrap();
+    assert_eq!(max.best().unwrap().len(), 4);
+
+    // VIP q5 (index 4): the {q1,q2,q5,q6} candidate must win.
+    let vip = SccCoordinator::with_selector(&db, PreferQuery { vip: QueryId(4) })
+        .run(&queries)
+        .unwrap();
+    let best = vip.best().unwrap();
+    assert!(best.contains(QueryId(4)));
+    assert_eq!(best.len(), 4);
+
+    // VIP q1 is in every candidate; the selector then maximizes size.
+    let vip1 = SccCoordinator::with_selector(&db, PreferQuery { vip: QueryId(0) })
+        .run(&queries)
+        .unwrap();
+    assert_eq!(vip1.best().unwrap().len(), 4);
+}
+
+#[test]
+fn weighted_selector_can_prefer_smaller_sets() {
+    let (db, queries) = section4_example();
+    // Heavy weight on q3 (index 2): {q1..q4} must win over {q1,q2,q5,q6}.
+    let sel = Weighted::new([(QueryId(2), 100)]);
+    let out = SccCoordinator::with_selector(&db, sel)
+        .run(&queries)
+        .unwrap();
+    assert!(out.best().unwrap().contains(QueryId(2)));
+}
+
+#[test]
+fn scc_algorithm_on_theorem2_instances_is_sound_but_not_maximal() {
+    // Theorem 2 instances are safe, so the SCC algorithm accepts them; it
+    // guarantees a maximum among closures R(q), not a global maximum —
+    // exactly the gap Theorem 2 proves unavoidable for efficient
+    // algorithms.
+    // Two unit clauses over distinct variables: the global maximum needs
+    // one witness per clause plus both variable queries (size 4), but no
+    // single closure R(q) spans more than one clause gadget (max size 2).
+    let f = Cnf::new(
+        2,
+        vec![Clause(vec![Lit::pos(0)]), Clause(vec![Lit::pos(1)])],
+    );
+    let r = reduction2::reduce(&f);
+    let out = SccCoordinator::new(&r.db).run(&r.queries).unwrap();
+    let best = out.best().expect("variable queries always coordinate");
+    check_coordinating_set(&r.db, &out.qs, &best.queries, &best.grounding).unwrap();
+
+    let bf = bruteforce::max_coordinating_set(&r.db, &r.queries).unwrap();
+    let true_max = bf.best.unwrap().len();
+    assert_eq!(true_max, r.target_size, "the formula is satisfiable");
+    assert!(best.len() <= true_max);
+    // The largest closure here is a clause query + its variable query
+    // (plus nothing else): strictly below the global maximum.
+    assert!(best.len() < true_max);
+}
+
+#[test]
+fn scc_closures_on_theorem2_match_structure() {
+    // Closure of a constrained literal query covers the literal's
+    // variable queries; each closure that unifies consistently grounds
+    // (the database D = {0,1} always satisfies D(x)).
+    let f = Cnf::new(3, vec![Clause(vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)])]);
+    let r = reduction2::reduce(&f);
+    let out = SccCoordinator::new(&r.db).run(&r.queries).unwrap();
+    for found in &out.found {
+        check_coordinating_set(&r.db, &out.qs, &found.queries, &found.grounding).unwrap();
+    }
+    // 3 variable-query singletons + 3 literal-query closures (sizes 2, 3, 4).
+    let mut sizes: Vec<usize> = out.found.iter().map(|f| f.len()).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![1, 1, 1, 2, 3, 4]);
+}

@@ -1,0 +1,100 @@
+//! Property-based validation of the single-connected solver (Theorem 3)
+//! against exhaustive search.
+
+use proptest::prelude::*;
+use social_coordination::core::graphs::check_single_connected;
+use social_coordination::core::single_connected::single_connected_coordinate;
+use social_coordination::core::{
+    bruteforce, check_coordinating_set, EntangledQuery, QueryBuilder, QuerySet,
+};
+use social_coordination::db::{Database, Value};
+
+/// Random single-postcondition instances: node `i > 0` requires the head
+/// *label* of its parent in a random forest; labels may repeat, which
+/// creates the alternative branches (unsafe sets) that single-connected
+/// solving is about.
+#[derive(Clone, Debug)]
+struct Spec {
+    /// parent[i] < i, or usize::MAX for roots; parent[0] is a root.
+    parents: Vec<usize>,
+    /// Head label of each node (repeats allowed).
+    labels: Vec<usize>,
+    /// Body tag of each node (tags ≥ 4 are unsatisfiable).
+    body_tags: Vec<usize>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (2usize..7).prop_flat_map(|n| {
+        (
+            // parent[i] uniform in 0..i (converted to a real forest below).
+            prop::collection::vec(0usize..6, n),
+            prop::collection::vec(0usize..4, n),
+            prop::collection::vec(0usize..6, n),
+        )
+            .prop_map(move |(rawp, labels, body_tags)| {
+                let parents = (0..n)
+                    .map(|i| {
+                        if i == 0 || rawp[i] % 3 == 0 {
+                            usize::MAX // root
+                        } else {
+                            rawp[i] % i
+                        }
+                    })
+                    .collect();
+                Spec {
+                    parents,
+                    labels,
+                    body_tags,
+                }
+            })
+    })
+}
+
+fn build(spec: &Spec) -> (Database, Vec<EntangledQuery>) {
+    let mut db = Database::new();
+    db.create_table("S", &["id", "tag"]).unwrap();
+    for i in 0..8i64 {
+        db.insert("S", vec![Value::int(i), Value::str(format!("t{}", i % 4))])
+            .unwrap();
+    }
+    let n = spec.parents.len();
+    let queries = (0..n)
+        .map(|i| {
+            let mut b = QueryBuilder::new(format!("q{i}"));
+            if spec.parents[i] != usize::MAX {
+                let lbl = spec.labels[spec.parents[i]];
+                b = b.postcondition("R", |a| a.constant(format!("L{lbl}")).var("y"));
+            }
+            b.head("R", |a| a.constant(format!("L{}", spec.labels[i])).var("x"))
+                .body("S", |a| {
+                    a.var("x").constant(format!("t{}", spec.body_tags[i]))
+                })
+                .build()
+                .unwrap()
+        })
+        .collect();
+    (db, queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On single-connected instances the dedicated solver matches
+    /// exhaustive search on existence, and its output always verifies.
+    #[test]
+    fn single_connected_matches_bruteforce(spec in spec_strategy()) {
+        let (db, queries) = build(&spec);
+        // Repeated labels can break path-uniqueness; only keep instances
+        // inside the fragment.
+        prop_assume!(check_single_connected(&QuerySet::new(queries.clone())).is_ok());
+
+        let sc = single_connected_coordinate(&db, &queries).unwrap();
+        let bf = bruteforce::any_coordinating_set(&db, &queries).unwrap();
+        prop_assert_eq!(sc.best().is_some(), bf.best.is_some(), "spec: {:?}", spec);
+
+        for f in &sc.found {
+            check_coordinating_set(&db, &sc.qs, &f.queries, &f.grounding)
+                .map_err(|v| TestCaseError::fail(format!("invalid set: {v}")))?;
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Medium-scale workload tests: the experiment generators driven end to
+//! end, with every reported coordinating set re-verified against
+//! Definition 1 and the paper's resource bounds asserted.
+
+use rand::prelude::*;
+use social_coordination::core::check_coordinating_set;
+use social_coordination::core::consistent::ConsistentCoordinator;
+use social_coordination::core::scc::{preprocess, SccCoordinator};
+use social_coordination::gen::workloads::{
+    fig4_instance, fig5_instance, fig7_instance, fig8_instance,
+};
+
+#[test]
+fn fig4_workload_all_candidates_verify() {
+    let (db, queries) = fig4_instance(60, 2_000);
+    db.stats().reset();
+    let out = SccCoordinator::new(&db).run(&queries).unwrap();
+    // One candidate per suffix; every one is a real coordinating set.
+    assert_eq!(out.found.len(), 60);
+    for f in &out.found {
+        check_coordinating_set(&db, &out.qs, &f.queries, &f.grounding).unwrap();
+    }
+    // Bound from Section 4: at most |Q| database queries.
+    assert!(db.stats().find_one_count() <= 60);
+    assert_eq!(out.stats.components, 60);
+    assert_eq!(out.stats.graph_edges, 59);
+}
+
+#[test]
+fn fig5_workload_verifies_across_seeds() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (db, queries) = fig5_instance(80, 3, 1_000, &mut rng);
+        let out = SccCoordinator::new(&db).run(&queries).unwrap();
+        let best = out.best().expect("all bodies satisfiable");
+        check_coordinating_set(&db, &out.qs, &best.queries, &best.grounding).unwrap();
+        assert!(out.stats.db_queries <= queries.len());
+    }
+}
+
+#[test]
+fn fig6_preprocessing_scales_and_is_sound() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let (db, queries) = fig5_instance(500, 2, 1_000, &mut rng);
+    let pre = preprocess(&db, &queries).unwrap();
+    assert!(pre.removed.is_empty(), "all postconditions are matchable");
+    // Every query sits in exactly one component.
+    let total: usize = (0..pre.cond.len()).map(|c| pre.cond.members(c).len()).sum();
+    assert_eq!(total, 500);
+}
+
+#[test]
+fn fig7_worst_case_keeps_everyone() {
+    let (db, config, queries) = fig7_instance(30, 200);
+    db.stats().reset();
+    let coordinator = ConsistentCoordinator::new(&db, config).unwrap();
+    let out = coordinator.run(&queries).unwrap();
+    assert_eq!(out.stats.values_considered, 200);
+    assert!(out.per_value.iter().all(|(_, size)| *size == 30));
+    // DB queries linear in n (options + friends + groundings), never per
+    // value.
+    assert!(db.stats().total() as usize <= 2 * 30 + 30 + 1);
+}
+
+#[test]
+fn fig8_groundings_map_every_member_to_a_real_flight() {
+    let (db, config, queries) = fig8_instance(25, 100);
+    let coordinator = ConsistentCoordinator::new(&db, config.clone()).unwrap();
+    let out = coordinator.run(&queries).unwrap();
+    let best = out.best.unwrap();
+    assert_eq!(best.members.len(), 25);
+    // Each assigned flight must actually have the agreed (dest, day).
+    let fl = db.table_named("Fl").unwrap();
+    for (_user, key) in &best.assignment {
+        let rows = fl.distinct_project(&[1, 2], &[(0, key.clone())]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], best.value);
+    }
+}
+
+#[test]
+fn parallel_sweep_agrees_at_scale() {
+    let (db, config, queries) = fig7_instance(20, 300);
+    let coordinator = ConsistentCoordinator::new(&db, config).unwrap();
+    let seq = coordinator.run(&queries).unwrap();
+    for threads in [2, 3, 8] {
+        let par = coordinator.run_parallel(&queries, threads).unwrap();
+        assert_eq!(seq.per_value, par.per_value);
+    }
+}

@@ -2,7 +2,7 @@
 //! algorithm naturally breaks into parallel processes, where each
 //! possible value can be easily checked independently". This ablation
 //! compares the sequential per-value sweep of the Consistent
-//! Coordination Algorithm against the crossbeam-parallel sweep.
+//! Coordination Algorithm against the scoped-thread parallel sweep.
 
 use coord_core::consistent::ConsistentCoordinator;
 use coord_gen::workloads::fig7_instance;

@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 /// One measured point of a figure's series.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct MeasuredPoint {
     /// The x-axis value (number of queries, table size, ...).
     pub x: u64,
@@ -15,7 +15,7 @@ pub struct MeasuredPoint {
 }
 
 /// A named series of measured points (one figure line).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     pub name: String,
     pub points: Vec<MeasuredPoint>,

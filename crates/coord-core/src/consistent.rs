@@ -511,20 +511,18 @@ impl<'a> ConsistentCoordinator<'a> {
             Some(t) => {
                 // Every option value is independent: chunk the sweep
                 // across scoped threads sharing the read-only state.
-                let results: Vec<(usize, Vec<usize>, usize)> = crossbeam::thread::scope(|scope| {
+                let results: Vec<(usize, Vec<usize>, usize)> = std::thread::scope(|scope| {
                     let chunk = all_values.len().div_ceil(t);
                     let mut handles = Vec::new();
                     for ch in all_values.chunks(chunk.max(1)) {
                         let sweep = &sweep;
-                        handles
-                            .push(scope.spawn(move |_| ch.iter().map(sweep).collect::<Vec<_>>()));
+                        handles.push(scope.spawn(move || ch.iter().map(sweep).collect::<Vec<_>>()));
                     }
                     handles
                         .into_iter()
                         .flat_map(|h| h.join().expect("sweep worker panicked"))
                         .collect()
-                })
-                .expect("crossbeam scope");
+                });
                 for (v, (size, members, rounds)) in all_values.iter().zip(results) {
                     stats.cleaning_rounds += rounds;
                     per_value.push((v.clone(), size));

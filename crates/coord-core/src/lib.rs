@@ -28,6 +28,39 @@
 //!   form,
 //! * [`selector`] — pluggable selection among coordinating sets,
 //! * [`engine`] — a Youtopia-style online evaluation loop.
+//!
+//! ## Quickstart
+//!
+//! The Section 2.1 flight example — Gwyneth and Chris coordinate on a
+//! flight to Zurich:
+//!
+//! ```
+//! use coord_core::scc::SccCoordinator;
+//! use coord_core::QueryBuilder;
+//! use coord_db::{Database, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table("Flights", &["flightId", "destination"]).unwrap();
+//! db.insert("Flights", vec![Value::int(101), Value::str("Zurich")]).unwrap();
+//!
+//! // q1 = {R(Chris, x)} R(Gwyneth, x) :- Flights(x, Zurich)
+//! let q1 = QueryBuilder::new("q1")
+//!     .postcondition("R", |a| a.constant("Chris").var("x"))
+//!     .head("R", |a| a.constant("Gwyneth").var("x"))
+//!     .body("Flights", |a| a.var("x").constant("Zurich"))
+//!     .build()
+//!     .unwrap();
+//! // q2 = {} R(Chris, y) :- Flights(y, Zurich)
+//! let q2 = QueryBuilder::new("q2")
+//!     .head("R", |a| a.constant("Chris").var("y"))
+//!     .body("Flights", |a| a.var("y").constant("Zurich"))
+//!     .build()
+//!     .unwrap();
+//!
+//! let outcome = SccCoordinator::new(&db).run(&[q1, q2]).unwrap();
+//! let set = outcome.best().expect("a coordinating set exists");
+//! assert_eq!(set.queries.len(), 2); // both fly on flight 101
+//! ```
 
 pub mod bruteforce;
 pub mod classify;

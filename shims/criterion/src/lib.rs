@@ -1,0 +1,179 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! The build container has no network access to crates.io, so this path
+//! dependency stands in for the real crate. Benchmarks keep criterion's
+//! API shape (`Criterion`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`) but the analysis
+//! is a plain wall-clock loop: each benchmark runs `sample_size`
+//! iterations after one warm-up and reports min/mean per iteration.
+//!
+//! Honors `--bench`/`--test` harness flags by running everything; with
+//! `--test` (as passed by `cargo test --benches`) each benchmark runs a
+//! single iteration so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each registered benchmark function.
+pub struct Criterion {
+    /// One-iteration smoke mode (`--test`).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.into();
+        run_one(&label, 10, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            &label,
+            self.sample_size,
+            self.criterion.test_mode,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks `f` with no input, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Ends the group. (The shim reports per-benchmark, so this is a
+    /// no-op kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `iters` measured times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.reserve(self.iters);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        iters: if test_mode { 1 } else { sample_size },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no measurement)");
+        return;
+    }
+    let min = b.samples.iter().min().unwrap();
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    println!(
+        "{label:<50} min {:>12.3?}  mean {:>12.3?}  ({} samples)",
+        min,
+        mean,
+        b.samples.len(),
+    );
+}
+
+/// Bundles benchmark functions under one name, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,50 @@
+//! `any::<T>()`: full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Full-domain strategy for `T` (see [`any`]).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T> Debug for AnyStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "any::<{}>()", std::any::type_name::<T>())
+    }
+}
+
+/// Generates values uniformly over `T`'s whole domain.
+pub fn any<T>() -> AnyStrategy<T>
+where
+    AnyStrategy<T>: Strategy,
+{
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.bits() as $t
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}

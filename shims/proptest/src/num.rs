@@ -1,0 +1,5 @@
+//! Numeric strategy helpers. Range strategies themselves are implemented
+//! directly on `std::ops::Range`/`RangeInclusive` in [`crate::strategy`];
+//! this module exists so `prop::num::*` paths resolve.
+
+pub use crate::arbitrary::any;

@@ -1,0 +1,124 @@
+//! Runner configuration, the case-level error type, and the
+//! deterministic RNG behind every strategy.
+
+use rand::{Rng, RngCore, SeedableRng};
+use std::hash::{Hash, Hasher};
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!`); the runner generates a
+    /// replacement instead of failing.
+    Reject(String),
+    /// The case failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A discard with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result of one test-case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG strategies draw from. Deterministic per test so failures
+/// reproduce; override the base seed with `PROPTEST_SHIM_SEED=<u64>`.
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seeds from a stable hash of `name` (the test's module path and
+    /// function name) combined with the optional env override.
+    pub fn deterministic(name: &str) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x005c_00d1_a7e5);
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(base ^ hasher.finish()),
+        }
+    }
+
+    /// Uniform value in `range`.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: rand::SampleUniform,
+        R: rand::SampleRange<T>,
+    {
+        self.inner.random_range(range)
+    }
+
+    /// Uniform value in the inclusive `range`.
+    pub fn range_inclusive<T, R>(&mut self, range: R) -> T
+    where
+        T: rand::SampleUniform,
+        R: rand::SampleRange<T>,
+    {
+        self.inner.random_range(range)
+    }
+
+    /// Uniform index below `n` (`n > 0`).
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        self.inner.random_range(0..n)
+    }
+
+    /// A coin flip with probability `p` of `true`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.inner.random_bool(p)
+    }
+
+    /// Raw 64 random bits, for full-domain `any::<T>()` strategies.
+    pub fn bits(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline shim for the subset of the `rand` 0.9 API this workspace uses.
+//!
+//! The build container has no network access to crates.io, so this path
+//! dependency stands in for the real crate. It provides:
+//!
+//! * [`RngCore`] / [`Rng`] with `random_range`, `random_bool`, `random`,
+//! * [`SeedableRng`] with `seed_from_u64` and [`rngs::StdRng`] /
+//!   [`rngs::SmallRng`] (both xoshiro256** here),
+//! * [`seq::IndexedRandom::choose`] and [`seq::SliceRandom::shuffle`] for
+//!   slices, and [`seq::index::sample`] for distinct-index sampling,
+//! * a [`prelude`] matching the imports used by the workspace.
+//!
+//! All generators are deterministic for a fixed seed, which the seed
+//! tests rely on (`deterministic_for_fixed_seed` and friends).
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::{SmallRng, StdRng};
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (mirroring rand 0.9's `Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        // 53 uniform mantissa bits, the standard f64-from-u64 recipe.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples a value of a [`StandardUniform`]-distributed type.
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly from their full domain via [`Rng::random`].
+pub trait StandardUniform: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Marker for types [`Rng::random_range`] can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`; `high` is exclusive.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                // Debiased multiply-shift (Lemire); span of 0 means the full
+                // 2^64 domain which these integer widths cannot produce here.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                let offset = (m >> 64) as u64;
+                ((low as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+/// Range shapes accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = self.into_inner();
+                if high == <$t>::MAX {
+                    if low == <$t>::MIN {
+                        return rng.next_u64() as $t;
+                    }
+                    return <$t>::sample_half_open(rng, low - 1, high).wrapping_add(1);
+                }
+                <$t>::sample_half_open(rng, low, high + 1)
+            }
+        }
+    )*};
+}
+impl_sample_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Seedable generators (rand 0.9's `SeedableRng`, `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Entropy-seeded generator (stands in for rand 0.9's free function
+/// `rng()`). Unlike the real `ThreadRng`, each call advances one cached
+/// per-thread counter to seed a **new owned** `StdRng` — streams from
+/// separate calls are independent, not continuations of one generator.
+pub fn rng() -> StdRng {
+    use std::cell::Cell;
+    use std::time::{SystemTime, UNIX_EPOCH};
+    thread_local! {
+        static CALL_COUNTER: Cell<u64> = const { Cell::new(0) };
+    }
+    let call = CALL_COUNTER.with(|c| {
+        let n = c.get();
+        c.set(n.wrapping_add(1));
+        n
+    });
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x9e3779b97f4a7c15);
+    let tid = std::thread::current().id();
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    use std::hash::{Hash, Hasher};
+    tid.hash(&mut h);
+    call.hash(&mut h);
+    StdRng::seed_from_u64(nanos ^ h.finish())
+}
+
+/// Deprecated alias kept for rand 0.8-style call sites.
+pub fn thread_rng() -> StdRng {
+    rng()
+}
+
+/// One-stop imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::{IndexedRandom, SliceRandom};
+    pub use crate::{rng, thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&y));
+            let z: u32 = rng.random_range(0..=4);
+            assert!(z <= 4);
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn every_range_value_is_reachable() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,140 @@
+//! Sequence-related sampling: slice helpers and distinct-index sampling.
+
+use crate::{Rng, RngCore};
+
+/// Random read-only access into slices (rand 0.9's `IndexedRandom`).
+pub trait IndexedRandom {
+    type Output;
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+/// In-place slice shuffling (rand 0.9's `SliceRandom`).
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.random_range(0..=i));
+        }
+    }
+}
+
+/// Distinct-index sampling, mirroring `rand::seq::index`.
+pub mod index {
+    use super::*;
+
+    /// A set of sampled indices (subset of rand's `IndexVec`).
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, usize>> {
+            self.0.iter().copied()
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Consumes the sample into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, uniformly and
+    /// in random order, via a sparse Fisher–Yates over a swap map.
+    pub fn sample<R: RngCore>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from 0..{length}"
+        );
+        let mut swaps: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = crate::Rng::random_range(&mut *rng, i..length);
+            let vi = *swaps.get(&i).unwrap_or(&i);
+            let vj = *swaps.get(&j).unwrap_or(&j);
+            out.push(vj);
+            swaps.insert(j, vi);
+        }
+        IndexVec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index::sample;
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn sample_yields_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample(&mut rng, 10, 3);
+            let mut v = s.into_vec();
+            assert_eq!(v.len(), 3);
+            assert!(v.iter().all(|&x| x < 10));
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), 3, "indices must be distinct");
+        }
+    }
+
+    #[test]
+    fn sample_full_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v = sample(&mut rng, 6, 6).into_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = [1, 2, 3, 4];
+        assert!(xs.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut ys = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        ys.shuffle(&mut rng);
+        let mut sorted = ys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

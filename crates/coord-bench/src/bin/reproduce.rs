@@ -1,11 +1,13 @@
 //! Regenerate every figure of the paper's Section 6 evaluation as text
 //! series (the data recorded in EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p coord-bench --bin reproduce [--quick]`
+//! Usage: `cargo run --release -p coord-bench --bin reproduce [--quick] [--json]`
 //!
-//! `--quick` shrinks repetition counts for a fast smoke run.
+//! `--quick` shrinks repetition counts for a fast smoke run. `--json`
+//! emits every series as one machine-readable JSON array on stdout
+//! instead of the aligned text tables.
 
-use coord_bench::{measure, Series};
+use coord_bench::{measure, series_to_json, Series};
 use coord_core::bruteforce;
 use coord_core::consistent::ConsistentCoordinator;
 use coord_core::scc::{preprocess, SccCoordinator};
@@ -14,23 +16,58 @@ use coord_gen::workloads::{fig4_queries, fig5_queries, fig7_instance, fig8_insta
 use coord_sat::{dpll_solve, random_3sat, reduction1};
 use rand::prelude::*;
 
+/// Collects every measured series; prints tables as it goes unless the
+/// run asked for JSON, in which case one array is emitted at the end.
+struct Report {
+    json: bool,
+    series: Vec<Series>,
+}
+
+impl Report {
+    fn add(&mut self, series: Series) {
+        if !self.json {
+            print!("{}", series.to_table());
+        }
+        self.series.push(series);
+    }
+
+    /// A commentary line (slope, paper expectation); suppressed in JSON
+    /// mode to keep stdout parseable.
+    fn note(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.json {
+            println!("{msg}");
+        }
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
     let runs: u32 = if quick { 2 } else { 10 };
 
-    println!("Reproducing the evaluation of \"The Complexity of Social Coordination\"");
-    println!("(VLDB 2012). One table per paper figure; times are means over {runs} runs.\n");
+    let mut report = Report {
+        json,
+        series: Vec::new(),
+    };
+    report.note(format_args!(
+        "Reproducing the evaluation of \"The Complexity of Social Coordination\"\n\
+         (VLDB 2012). One table per paper figure; times are means over {runs} runs.\n"
+    ));
 
-    fig4(runs, quick);
-    fig5(runs, quick);
-    fig6(if quick { 1 } else { 3 }, quick);
-    fig7(runs, quick);
-    fig8(runs, quick);
-    hardness(quick);
+    fig4(runs, quick, &mut report);
+    fig5(runs, quick, &mut report);
+    fig6(if quick { 1 } else { 3 }, quick, &mut report);
+    fig7(runs, quick, &mut report);
+    fig8(runs, quick, &mut report);
+    hardness(quick, &mut report);
+
+    if json {
+        println!("{}", series_to_json(&report.series));
+    }
 }
 
 /// Figure 4: SCC algorithm, list structure, Slashdot-sized pool.
-fn fig4(runs: u32, quick: bool) {
+fn fig4(runs: u32, quick: bool, report: &mut Report) {
     let rows = if quick { 5_000 } else { SLASHDOT_ROWS };
     let db = pool_db(rows);
     let mut series = Series::new(format!(
@@ -44,15 +81,15 @@ fn fig4(runs: u32, quick: bool) {
         });
         series.push(n as u64, d.as_secs_f64() * 1e3, runs);
     }
-    print!("{}", series.to_table());
-    println!(
-        "slope ≈ {:.4} ms/query (paper: linear growth)\n",
-        series.slope()
-    );
+    let slope = series.slope();
+    report.add(series);
+    report.note(format_args!(
+        "slope ≈ {slope:.4} ms/query (paper: linear growth)\n"
+    ));
 }
 
 /// Figure 5: SCC algorithm, scale-free structure, averaged over 10 seeds.
-fn fig5(runs: u32, quick: bool) {
+fn fig5(runs: u32, quick: bool, report: &mut Report) {
     let rows = if quick { 5_000 } else { SLASHDOT_ROWS };
     let db = pool_db(rows);
     let mut series = Series::new(format!(
@@ -71,15 +108,15 @@ fn fig5(runs: u32, quick: bool) {
         // Report the per-graph mean, matching the paper's averaging.
         series.push(n as u64, d.as_secs_f64() * 1e3 / 10.0, runs * 10);
     }
-    print!("{}", series.to_table());
-    println!(
-        "slope ≈ {:.4} ms/query (paper: linear, faster than Figure 4)\n",
-        series.slope()
-    );
+    let slope = series.slope();
+    report.add(series);
+    report.note(format_args!(
+        "slope ≈ {slope:.4} ms/query (paper: linear, faster than Figure 4)\n"
+    ));
 }
 
 /// Figure 6: graph construction + preprocessing only, 100–1000 queries.
-fn fig6(runs: u32, quick: bool) {
+fn fig6(runs: u32, quick: bool, report: &mut Report) {
     let db = pool_db(1_000);
     let sizes: &[usize] = if quick {
         &[100, 400, 1000]
@@ -99,12 +136,12 @@ fn fig6(runs: u32, quick: bool) {
         });
         series.push(n as u64, d.as_secs_f64() * 1e3 / 10.0, runs * 10);
     }
-    print!("{}", series.to_table());
-    println!("(paper: negligible, grows very slowly)\n");
+    report.add(series);
+    report.note(format_args!("(paper: negligible, grows very slowly)\n"));
 }
 
 /// Figure 7: Consistent algorithm vs number of option values.
-fn fig7(runs: u32, quick: bool) {
+fn fig7(runs: u32, quick: bool, report: &mut Report) {
     let sizes: &[usize] = if quick {
         &[100, 400, 1000]
     } else {
@@ -121,15 +158,15 @@ fn fig7(runs: u32, quick: bool) {
         });
         series.push(rows as u64, d.as_secs_f64() * 1e3, runs);
     }
-    print!("{}", series.to_table());
-    println!(
-        "slope ≈ {:.4} ms/value (paper: linear growth)\n",
-        series.slope()
-    );
+    let slope = series.slope();
+    report.add(series);
+    report.note(format_args!(
+        "slope ≈ {slope:.4} ms/value (paper: linear growth)\n"
+    ));
 }
 
 /// Figure 8: Consistent algorithm vs number of queries.
-fn fig8(runs: u32, quick: bool) {
+fn fig8(runs: u32, quick: bool, report: &mut Report) {
     let sizes: &[usize] = if quick {
         &[10, 50, 100]
     } else {
@@ -146,16 +183,16 @@ fn fig8(runs: u32, quick: bool) {
         });
         series.push(n as u64, d.as_secs_f64() * 1e3, runs);
     }
-    print!("{}", series.to_table());
-    println!(
-        "slope ≈ {:.4} ms/query (paper: linear growth)\n",
-        series.slope()
-    );
+    let slope = series.slope();
+    report.add(series);
+    report.note(format_args!(
+        "slope ≈ {slope:.4} ms/query (paper: linear growth)\n"
+    ));
 }
 
 /// Section 3 (extra experiment): the hardness separation — DPLL vs
 /// exhaustive entangled search on the Theorem 1 reduction.
-fn hardness(quick: bool) {
+fn hardness(quick: bool, report: &mut Report) {
     let max_vars = if quick { 3 } else { 5 };
     let mut dpll_series = Series::new("Hardness — DPLL on random 3SAT");
     let mut bf_series =
@@ -199,7 +236,9 @@ fn hardness(quick: bool) {
         });
         bf_series.push(n_vars as u64, d2.as_secs_f64() * 1e3 / 4.0, 12);
     }
-    print!("{}", dpll_series.to_table());
-    print!("{}", bf_series.to_table());
-    println!("(Theorem 1: the entangled side grows exponentially; DPLL stays flat)");
+    report.add(dpll_series);
+    report.add(bf_series);
+    report.note(format_args!(
+        "(Theorem 1: the entangled side grows exponentially; DPLL stays flat)"
+    ));
 }

@@ -6,4 +6,4 @@
 
 pub mod harness;
 
-pub use harness::{measure, MeasuredPoint, Series};
+pub use harness::{measure, series_to_json, MeasuredPoint, Series};

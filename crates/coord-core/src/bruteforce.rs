@@ -17,8 +17,9 @@ use crate::unify::{atoms_unifiable, Substitution};
 use coord_db::{Atom, Database};
 
 /// Hard cap on instance size: the subset enumeration materializes 2^n
-/// masks, so 20 queries (1M subsets) is the sensible ceiling.
-const MAX_QUERIES: usize = 20;
+/// masks, so 20 queries (1M subsets) is the sensible ceiling. Public so
+/// the SCC coordinator's small-instance fast path can cap its cutoff.
+pub const MAX_QUERIES: usize = 20;
 
 /// Result of an exhaustive search.
 #[derive(Clone, Debug)]

@@ -27,7 +27,9 @@
 //!   general entangled query is A-consistent and recovers its structured
 //!   form,
 //! * [`selector`] — pluggable selection among coordinating sets,
-//! * [`engine`] — a Youtopia-style online evaluation loop.
+//! * [`engine`] — a Youtopia-style online evaluation loop: a thin
+//!   adapter wiring the SCC algorithm into the `coord-engine` service
+//!   crate's incremental, sharded machinery.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,39 @@
+//! # coord-engine — sharded, incremental online coordination service
+//!
+//! The paper's Section 7 raises the on-line setting (and its Youtopia
+//! prototype lives it): queries arrive one at a time, the system updates
+//! the coordination graph and evaluates only the affected connected
+//! component. This crate is that loop as a *service*, replacing the
+//! per-submit full rebuild with incrementally maintained state:
+//!
+//! * [`index::AtomIndex`] — a persistent index of pending heads and
+//!   postconditions keyed by (relation, coordination-attribute constant),
+//!   so a new query unifies only against candidate partners instead of
+//!   all pairs,
+//! * [`engine::IncrementalEngine`] — union-find component maintenance on
+//!   submit/retire around a pluggable [`engine::ComponentEvaluator`],
+//! * [`sharded::ShardedEngine`] — per-component shards, each behind its
+//!   own lock, with a read-mostly routing table and cross-shard
+//!   component migration, so submitters touching disjoint components
+//!   proceed concurrently,
+//! * [`metrics::EngineMetrics`] — submit/pairing/evaluation counters
+//!   (including the rebuild-avoided figure benchmarked by
+//!   `online_throughput`) and per-shard contention stats.
+//!
+//! The crate is generic over the query type ([`engine::
+//! CoordinationQuery`]) and the evaluation algorithm, which keeps it
+//! *below* `coord-core` in the workspace DAG: `coord_core::engine` wires
+//! the SCC Coordination Algorithm in as the evaluator and re-exports the
+//! familiar `CoordinationEngine` / `SharedEngine` API on top.
+
+pub mod engine;
+pub mod index;
+pub mod metrics;
+pub mod sharded;
+
+pub use engine::{
+    ComponentEvaluator, CoordinationQuery, EvalVerdict, IncrementalEngine, SubmitOutcome,
+};
+pub use index::{AtomIndex, KeyPattern, Polarity};
+pub use metrics::{EngineMetrics, MetricsSnapshot, ShardStats, ShardStatsSnapshot};
+pub use sharded::ShardedEngine;

@@ -1,0 +1,655 @@
+//! Per-component sharding: concurrent submitters touching disjoint
+//! components proceed in parallel instead of serializing behind one
+//! engine mutex.
+//!
+//! ## Design
+//!
+//! Each shard owns an [`IncrementalEngine`] behind its own mutex. A
+//! read-mostly **routing table** ([`parking_lot::RwLock`]) maps every key
+//! pattern held by a pending query to the shard that owns it, with the
+//! invariant that *all holders of related keys are co-sharded* — so any
+//! two queries that could ever coordinate always meet inside one shard.
+//!
+//! * A query whose keys are unclaimed is routed round-robin.
+//! * A query whose keys hit one shard is routed there.
+//! * A query bridging several shards triggers a **migration**: under the
+//!   exclusive router lock, the bridged components are extracted from the
+//!   losing shards (transitively over shared keys, preserving the
+//!   invariant) and re-inserted into the target before the query lands.
+//!
+//! ## Lock discipline
+//!
+//! A submitter takes the router write lock only *briefly* — to route and
+//! claim its keys, and to release keys afterwards — then submits under
+//! its shard lock alone, so disjoint submitters run truly in parallel.
+//! Because a migration can re-route keys between those two steps, the
+//! submitter re-validates *after* acquiring the shard lock that every
+//! one of its keys still points at the target (re-merging their owners
+//! if a racing migration split them), using a non-blocking `try_read`:
+//! if a writer is active (possibly a migrator waiting for this very
+//! shard), the submitter backs off — releases the shard lock, re-reads
+//! the route, retries. No thread ever
+//! blocks on the router while holding a shard lock, so the two lock
+//! levels cannot deadlock; and once a query is inserted under its shard
+//! lock, any concurrent migration that re-routed its keys is still
+//! waiting for that same shard lock and will extract the query when it
+//! gets it.
+
+use crate::engine::{ComponentEvaluator, CoordinationQuery, IncrementalEngine, SubmitOutcome};
+use crate::index::{keys_related, KeyPattern};
+use crate::metrics::{EngineMetrics, ShardStats, ShardStatsSnapshot};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One key pattern's routing entry.
+struct KeySlot {
+    shard: usize,
+    /// How many pending queries hold this key.
+    refs: usize,
+}
+
+/// The routing table: key pattern → owning shard.
+struct Router<R, C> {
+    keys: HashMap<KeyPattern<R, C>, KeySlot>,
+    /// relation → shard → number of distinct keys (for wildcard lookups).
+    by_rel: HashMap<R, HashMap<usize, usize>>,
+}
+
+impl<R: Clone + Eq + std::hash::Hash, C: Clone + Eq + std::hash::Hash> Router<R, C> {
+    fn new() -> Self {
+        Router {
+            keys: HashMap::new(),
+            by_rel: HashMap::new(),
+        }
+    }
+
+    /// Shards owning any key related to one of `keys`.
+    fn owners_related(&self, keys: &[KeyPattern<R, C>]) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for key in keys {
+            match &key.1 {
+                Some(_) => {
+                    for k in [key.clone(), (key.0.clone(), None)] {
+                        if let Some(slot) = self.keys.get(&k) {
+                            out.insert(slot.shard);
+                        }
+                    }
+                }
+                None => {
+                    // Wildcard: every shard holding any key of the
+                    // relation.
+                    if let Some(shards) = self.by_rel.get(&key.0) {
+                        out.extend(shards.keys().copied());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn register(&mut self, key: &KeyPattern<R, C>, shard: usize) {
+        match self.keys.get_mut(key) {
+            Some(slot) => {
+                debug_assert_eq!(slot.shard, shard, "key registered on two shards");
+                slot.refs += 1;
+            }
+            None => {
+                self.keys.insert(key.clone(), KeySlot { shard, refs: 1 });
+                *self
+                    .by_rel
+                    .entry(key.0.clone())
+                    .or_default()
+                    .entry(shard)
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn unregister(&mut self, key: &KeyPattern<R, C>) {
+        let Some(slot) = self.keys.get_mut(key) else {
+            return;
+        };
+        slot.refs -= 1;
+        if slot.refs == 0 {
+            let shard = slot.shard;
+            self.keys.remove(key);
+            if let Some(shards) = self.by_rel.get_mut(&key.0) {
+                if let Some(n) = shards.get_mut(&shard) {
+                    *n -= 1;
+                    if *n == 0 {
+                        shards.remove(&shard);
+                    }
+                }
+                if shards.is_empty() {
+                    self.by_rel.remove(&key.0);
+                }
+            }
+        }
+    }
+
+    /// Point an existing key at a new shard (during migration).
+    fn reassign(&mut self, key: &KeyPattern<R, C>, to: usize) {
+        let Some(slot) = self.keys.get_mut(key) else {
+            return;
+        };
+        let from = slot.shard;
+        if from == to {
+            return;
+        }
+        slot.shard = to;
+        if let Some(shards) = self.by_rel.get_mut(&key.0) {
+            if let Some(n) = shards.get_mut(&from) {
+                *n -= 1;
+                if *n == 0 {
+                    shards.remove(&from);
+                }
+            }
+            *shards.entry(to).or_insert(0) += 1;
+        }
+    }
+}
+
+struct Shard<Q: CoordinationQuery, V> {
+    engine: Mutex<IncrementalEngine<Q, V>>,
+    stats: ShardStats,
+}
+
+/// Key groups moved by migrations performed for one submission:
+/// `(source shard, moved queries' keys)` — enough to undo the merges if
+/// the submission is rejected.
+type MigrationRecord<Q> = Vec<(
+    usize,
+    Vec<KeyPattern<<Q as CoordinationQuery>::Rel, <Q as CoordinationQuery>::Cst>>,
+)>;
+
+/// The sharded online coordination service: replaces the pre-incremental
+/// `SharedEngine`'s single global mutex with per-component shards.
+pub struct ShardedEngine<Q: CoordinationQuery, V> {
+    shards: Vec<Shard<Q, V>>,
+    router: RwLock<Router<Q::Rel, Q::Cst>>,
+    metrics: Arc<EngineMetrics>,
+    next_shard: AtomicUsize,
+}
+
+impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V> {
+    /// A service with `shards` shards, each evaluating components with a
+    /// clone of `evaluator`.
+    pub fn new(evaluator: V, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        let metrics = Arc::new(EngineMetrics::new());
+        let shards = (0..shards)
+            .map(|_| Shard {
+                engine: Mutex::new(IncrementalEngine::with_metrics(
+                    evaluator.clone(),
+                    Arc::clone(&metrics),
+                )),
+                stats: ShardStats::default(),
+            })
+            .collect();
+        ShardedEngine {
+            shards,
+            router: RwLock::new(Router::new()),
+            metrics,
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregated metrics across all shards.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// Per-shard contention statistics.
+    pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        self.shards.iter().map(|s| s.stats.snapshot()).collect()
+    }
+
+    /// Total pending queries across shards.
+    pub fn pending_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.engine.lock().pending_count())
+            .sum()
+    }
+
+    /// Total maintained components across shards.
+    pub fn component_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.engine.lock().component_count())
+            .sum()
+    }
+
+    /// Total queries answered and retired.
+    pub fn delivered(&self) -> u64 {
+        self.metrics.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Clones of all pending queries (shard by shard; a moving snapshot
+    /// under concurrent submits).
+    pub fn pending(&self) -> Vec<Q> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.engine.lock().pending().cloned());
+        }
+        out
+    }
+
+    /// Submit a query: route it to the shard owning its keys (migrating
+    /// bridged components first if it spans shards), then run the
+    /// incremental submit under that shard's lock only.
+    pub fn submit(&self, query: Q) -> Result<SubmitOutcome<Q, V::Delivery>, V::Error> {
+        let qkeys = route_keys(&query);
+
+        // Migrations performed for this submission, kept so a rejected
+        // submission can undo its merges.
+        let mut migrated: MigrationRecord<Q> = Vec::new();
+
+        // Phase 1 (exclusive, brief): route and claim the keys.
+        let mut target = {
+            let mut router = self.router.write();
+            let target = self.route(&mut router, &qkeys, &mut migrated);
+            for k in &qkeys {
+                router.register(k, target);
+            }
+            target
+        };
+
+        // Phase 2: submit under the shard lock alone. A migration may
+        // have re-routed some of the claimed keys between phases, so
+        // re-validate — *every* key must still point at the target —
+        // after acquiring the shard lock (see the module docs for why
+        // this cannot deadlock or lose the query).
+        let outcome = loop {
+            let shard = &self.shards[target];
+            let mut engine = match shard.engine.try_lock() {
+                Some(guard) => guard,
+                None => {
+                    EngineMetrics::add(&shard.stats.contended, 1);
+                    shard.engine.lock()
+                }
+            };
+            if !qkeys.is_empty() {
+                match self.router.try_read() {
+                    Some(router) => {
+                        let consistent = qkeys.iter().all(|k| router.keys[k].shard == target);
+                        if !consistent {
+                            // A migration raced our claim and moved some
+                            // (or all) of our keys: merge the owners of
+                            // our key set again and follow.
+                            drop(router);
+                            drop(engine);
+                            let mut router = self.router.write();
+                            target = self.route(&mut router, &qkeys, &mut migrated);
+                            continue;
+                        }
+                    }
+                    None => {
+                        // A writer is active — possibly a migrator
+                        // waiting for this very shard. Back off and
+                        // retry without holding the shard lock.
+                        drop(engine);
+                        target = self.router.read().keys[&qkeys[0]].shard;
+                        continue;
+                    }
+                }
+            }
+            EngineMetrics::add(&shard.stats.submits, 1);
+            break engine.submit(query);
+        };
+
+        // Phase 3 (exclusive, brief): release the keys of whatever left
+        // the pending set — the rejected query, or the retired set.
+        match outcome {
+            Err(e) => {
+                let mut router = self.router.write();
+                for k in &qkeys {
+                    router.unregister(k);
+                }
+                // Undo the merges performed for this submission: they
+                // were justified only by the now-rejected bridging
+                // query. Without this, repeated rejected bridges would
+                // progressively collapse unrelated components onto one
+                // shard with no way to re-split before retirement.
+                for (src, keys) in &migrated {
+                    // The group may have retired or moved meanwhile —
+                    // follow its keys to wherever they live now.
+                    let Some(cur) = keys
+                        .iter()
+                        .find_map(|k| router.keys.get(k).map(|slot| slot.shard))
+                    else {
+                        continue;
+                    };
+                    if cur == *src {
+                        continue;
+                    }
+                    let moved_back = self.shards[cur].engine.lock().extract_related(keys);
+                    EngineMetrics::add(
+                        &self.shards[cur].stats.migrated_out,
+                        moved_back.len() as u64,
+                    );
+                    let mut src_engine = self.shards[*src].engine.lock();
+                    for q in moved_back {
+                        for k in route_keys(&q) {
+                            router.reassign(&k, *src);
+                        }
+                        src_engine.insert_pending(q);
+                    }
+                }
+                Err(e)
+            }
+            Ok(out) => {
+                if !out.retired.is_empty() {
+                    let mut router = self.router.write();
+                    for q in &out.retired {
+                        for k in route_keys(q) {
+                            router.unregister(&k);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Route a key set to one shard: unclaimed keys go round-robin, a
+    /// single owner wins directly, and multiple owners are merged by a
+    /// migration first (recorded in `migrated` for possible rollback).
+    /// Requires the exclusive router lock.
+    fn route(
+        &self,
+        router: &mut Router<Q::Rel, Q::Cst>,
+        qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
+        migrated: &mut MigrationRecord<Q>,
+    ) -> usize {
+        let owners = router.owners_related(qkeys);
+        match owners.len() {
+            0 => self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
+            1 => *owners.iter().next().unwrap(),
+            _ => {
+                let target = *owners.iter().next().unwrap();
+                self.migrate(router, &owners, target, qkeys, migrated);
+                target
+            }
+        }
+    }
+
+    /// Merge the components bridged by a new query into `target`. Runs
+    /// under the exclusive router lock. Shard locks are taken one at a
+    /// time; a submitter may be holding one of them through a long
+    /// evaluation (submits do NOT hold any router lock while evaluating),
+    /// so this can block — but never deadlocks, because shard-lock
+    /// holders only ever poll the router with non-blocking `try_read`.
+    /// Holding the write lock across these waits stalls other submitters;
+    /// acceptable while migrations are rare (see ROADMAP).
+    fn migrate(
+        &self,
+        router: &mut Router<Q::Rel, Q::Cst>,
+        owners: &BTreeSet<usize>,
+        target: usize,
+        qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
+        migrated: &mut MigrationRecord<Q>,
+    ) {
+        EngineMetrics::add(&self.metrics.migrations, 1);
+        // Seed with every *registered* key related to the query's keys,
+        // so the extraction in each source shard starts from the exact
+        // conflict set.
+        let seed: Vec<KeyPattern<Q::Rel, Q::Cst>> = router
+            .keys
+            .keys()
+            .filter(|k| qkeys.iter().any(|q| keys_related(q, k)))
+            .cloned()
+            .collect();
+        for &src in owners {
+            if src == target {
+                continue;
+            }
+            let moved = self.shards[src].engine.lock().extract_related(&seed);
+            EngineMetrics::add(&self.shards[src].stats.migrated_out, moved.len() as u64);
+            let mut tgt = self.shards[target].engine.lock();
+            let mut moved_keys: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::new();
+            for q in moved {
+                for k in route_keys(&q) {
+                    router.reassign(&k, target);
+                    if !moved_keys.contains(&k) {
+                        moved_keys.push(k);
+                    }
+                }
+                tgt.insert_pending(q);
+            }
+            if !moved_keys.is_empty() {
+                migrated.push((src, moved_keys));
+            }
+        }
+        // Re-point every related key — not just those held by moved
+        // queries. A key claimed by an in-flight submitter (registered in
+        // its phase 1, query not yet inserted anywhere) has no holder to
+        // extract; leaving it on a losing shard would split related keys
+        // across shards. The claimant's phase-2 validation sees the move
+        // and follows it here.
+        for k in &seed {
+            router.reassign(k, target);
+        }
+    }
+}
+
+/// A query's deduplicated routing keys: every provided and required key
+/// pattern.
+fn route_keys<Q: CoordinationQuery>(q: &Q) -> Vec<KeyPattern<Q::Rel, Q::Cst>> {
+    let mut keys = q.provides();
+    for k in q.requires() {
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    // Dedup the provides side too (keys are Hash+Eq, not Ord).
+    let mut out: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::with_capacity(keys.len());
+    for k in keys {
+        if !out.contains(&k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::tests::{SaturationEvaluator, TestQuery};
+    use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
+
+    fn chain_query(i: i64, next: Option<i64>) -> TestQuery {
+        let requires = next.map(|n| ("R", Some(n))).into_iter().collect();
+        TestQuery::new(format!("q{i}"), vec![("R", Some(i))], requires)
+    }
+
+    #[test]
+    fn disjoint_chains_land_on_distinct_shards() {
+        let engine = ShardedEngine::new(SaturationEvaluator, 4);
+        // Four disjoint waiting pairs → round-robin over all shards.
+        for g in 0..4 {
+            engine
+                .submit(chain_query(100 * g, Some(100 * g + 1)))
+                .unwrap();
+        }
+        assert_eq!(engine.pending_count(), 4);
+        let stats = engine.shard_stats();
+        assert!(stats.iter().all(|s| s.submits == 1), "{stats:?}");
+        // Completing each chain coordinates within its shard.
+        for g in 0..4 {
+            let r = engine.submit(chain_query(100 * g + 1, None)).unwrap();
+            assert!(r.coordinated());
+        }
+        assert_eq!(engine.pending_count(), 0);
+        assert_eq!(engine.delivered(), 8);
+    }
+
+    #[test]
+    fn bridging_query_migrates_components_to_one_shard() {
+        let engine = ShardedEngine::new(SaturationEvaluator, 2);
+        // Two disjoint waiters on different shards…
+        engine.submit(chain_query(0, Some(1))).unwrap();
+        engine.submit(chain_query(10, Some(11))).unwrap();
+        assert_eq!(engine.pending_count(), 2);
+        // …bridged by a query that requires both: it provides R(1)
+        // (wanted by q0) and requires R(11) (provided by nobody yet) plus
+        // R(10)'s chain — make it provide 11's need and need 10.
+        let bridge = TestQuery::new(
+            "bridge",
+            vec![("R", Some(1)), ("R", Some(11))],
+            vec![("R", Some(10))],
+        );
+        let r = engine.submit(bridge).unwrap();
+        // Everything is now mutually satisfied: q0 needs R(1) ✓ (bridge),
+        // q10 needs R(11) ✓ (bridge), bridge needs R(10) ✓ (q10).
+        assert!(r.coordinated());
+        assert_eq!(r.retired.len(), 3);
+        assert_eq!(engine.pending_count(), 0);
+        assert_eq!(engine.metrics().snapshot().migrations, 1);
+        // All routing state was released.
+        assert!(engine.router.read().keys.is_empty());
+    }
+
+    #[test]
+    fn router_refcounts_shared_keys() {
+        let engine = ShardedEngine::new(SaturationEvaluator, 2);
+        // Two queries requiring the same (unprovided) key share a route
+        // key and must co-shard.
+        engine
+            .submit(TestQuery::new(
+                "a",
+                vec![("A", Some(1))],
+                vec![("X", Some(9))],
+            ))
+            .unwrap();
+        engine
+            .submit(TestQuery::new(
+                "b",
+                vec![("B", Some(1))],
+                vec![("X", Some(9))],
+            ))
+            .unwrap();
+        {
+            let router = engine.router.read();
+            let slot = &router.keys[&("X", Some(9))];
+            assert_eq!(slot.refs, 2);
+        }
+        let stats = engine.shard_stats();
+        assert_eq!(stats.iter().filter(|s| s.submits > 0).count(), 1);
+    }
+
+    /// The concurrency proof: two submitters to disjoint components must
+    /// both be *inside* component evaluation at the same time. A
+    /// single-mutex engine would serialize them and time out.
+    #[test]
+    fn disjoint_submitters_evaluate_concurrently() {
+        #[derive(Clone)]
+        struct Rendezvous(Arc<AtomicU64>);
+        impl ComponentEvaluator<TestQuery> for Rendezvous {
+            type Delivery = ();
+            type Error = String;
+            fn evaluate(&self, _queries: &[TestQuery]) -> Result<Option<(Vec<usize>, ())>, String> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while self.0.load(Ordering::SeqCst) < 2 {
+                    if Instant::now() > deadline {
+                        return Err("no concurrent evaluation within 10s".into());
+                    }
+                    std::thread::yield_now();
+                }
+                Ok(None)
+            }
+        }
+
+        let inside = Arc::new(AtomicU64::new(0));
+        let engine = ShardedEngine::new(Rendezvous(Arc::clone(&inside)), 2);
+        std::thread::scope(|s| {
+            let e1 = &engine;
+            let e2 = &engine;
+            let t1 = s.spawn(move || e1.submit(chain_query(0, Some(1))));
+            let t2 = s.spawn(move || e2.submit(chain_query(100, Some(101))));
+            t1.join().unwrap().expect("first submitter");
+            t2.join().unwrap().expect("second submitter");
+        });
+        assert_eq!(inside.load(Ordering::SeqCst), 2);
+        assert_eq!(engine.pending_count(), 2);
+    }
+
+    #[test]
+    fn rejected_bridge_rolls_back_its_migration() {
+        #[derive(Clone)]
+        struct RejectBridge;
+        impl ComponentEvaluator<TestQuery> for RejectBridge {
+            type Delivery = ();
+            type Error = String;
+            fn evaluate(&self, queries: &[TestQuery]) -> Result<Option<(Vec<usize>, ())>, String> {
+                if queries.iter().any(|q| q.name == "bridge") {
+                    Err("bridge poisons the component".into())
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+        let engine = ShardedEngine::new(RejectBridge, 2);
+        engine.submit(chain_query(0, Some(1))).unwrap(); // shard 0
+        engine.submit(chain_query(10, Some(11))).unwrap(); // shard 1
+                                                           // A bridge touching both groups, rejected by the evaluator: the
+                                                           // phase-1 merge it forced must be undone.
+        let bridge = TestQuery::new("bridge", vec![("R", Some(1)), ("R", Some(11))], vec![]);
+        engine.submit(bridge).unwrap_err();
+        assert_eq!(engine.pending_count(), 2);
+        assert_eq!(engine.metrics().snapshot().migrations, 1);
+        let per_shard: Vec<usize> = engine
+            .shards
+            .iter()
+            .map(|s| s.engine.lock().pending_count())
+            .collect();
+        assert_eq!(
+            per_shard.iter().filter(|&&n| n == 1).count(),
+            2,
+            "merge not rolled back: {per_shard:?}"
+        );
+        // Routing reflects the split: reaching group 0 afterwards needs
+        // no further migration.
+        let stats_before = engine.metrics().snapshot().migrations;
+        engine
+            .submit(TestQuery::new(
+                "w0",
+                vec![("R", Some(99))],
+                vec![("R", Some(0))],
+            ))
+            .unwrap();
+        assert_eq!(
+            engine.metrics().snapshot().migrations,
+            stats_before,
+            "no further migration needed to reach group 0"
+        );
+    }
+
+    #[test]
+    fn rejected_query_releases_its_keys() {
+        #[derive(Clone)]
+        struct AlwaysFail;
+        impl ComponentEvaluator<TestQuery> for AlwaysFail {
+            type Delivery = ();
+            type Error = String;
+            fn evaluate(&self, _queries: &[TestQuery]) -> Result<Option<(Vec<usize>, ())>, String> {
+                Err("nope".into())
+            }
+        }
+        let engine = ShardedEngine::new(AlwaysFail, 2);
+        engine.submit(chain_query(0, Some(1))).unwrap_err();
+        assert_eq!(engine.pending_count(), 0);
+        assert!(engine.router.read().keys.is_empty());
+    }
+}

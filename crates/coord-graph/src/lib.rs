@@ -14,6 +14,9 @@
 //! * [`reach`]: DFS reachability, closures `R(q)`, weakly connected
 //!   components, and simple-path counting (for the single-connectedness
 //!   check of Definition 6),
+//! * [`unionfind::UnionFind`]: disjoint-set union — the incremental
+//!   weakly-connected-component index used by the online coordination
+//!   service,
 //! * [`dot`]: Graphviz export used by the examples to render the paper's
 //!   Figures 2, 3, and 9.
 
@@ -23,8 +26,10 @@ pub mod dot;
 pub mod reach;
 pub mod scc;
 pub mod topo;
+pub mod unionfind;
 
 pub use condense::{condensation, Condensation};
 pub use digraph::{DiGraph, EdgeId, NodeId};
 pub use scc::tarjan_scc;
 pub use topo::{reverse_topological_order, topological_order};
+pub use unionfind::UnionFind;

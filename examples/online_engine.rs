@@ -1,13 +1,16 @@
 //! Streaming coordination: the Youtopia-style online evaluation loop
 //! (Section 6.1's system context; the on-line setting of Section 7).
 //!
-//! Queries arrive one at a time. Each arrival updates the coordination
-//! graph and evaluates the affected connected component; as soon as a
-//! coordinating set forms, its members are answered and retired.
+//! Queries arrive one at a time. Each arrival updates the *incrementally
+//! maintained* coordination state (atom index + union-find components)
+//! and evaluates only the affected component; as soon as a coordinating
+//! set forms, its members are answered and retired. The final section
+//! drives the sharded service from concurrent submitter threads and
+//! prints the engine metrics.
 //!
 //! Run with: `cargo run --example online_engine`
 
-use social_coordination::core::engine::CoordinationEngine;
+use social_coordination::core::engine::{CoordinationEngine, SharedEngine};
 use social_coordination::core::QueryBuilder;
 use social_coordination::db::{Database, Value};
 use social_coordination::gen::social::user_name;
@@ -90,4 +93,54 @@ fn main() {
         engine.delivered(),
         engine.pending().len()
     );
+    let snap = engine.metrics();
+    println!(
+        "engine metrics: {} submits, {:.1} queries evaluated/submit, {} pending re-scans avoided",
+        snap.submits,
+        snap.evaluated_per_submit(),
+        snap.rebuild_avoided
+    );
+
+    // --- the sharded service: concurrent submitters, disjoint waves ----
+    //
+    // Four threads each drive their own wave of mutually-coordinating
+    // pairs. Disjoint components live in different shards, so the
+    // submitters proceed in parallel instead of serializing behind one
+    // engine mutex.
+    println!("\n--- sharded engine: 4 concurrent submitter threads ---");
+    let shared = SharedEngine::with_shards(&db, 4);
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let shared = &shared;
+            s.spawn(move || {
+                for pair in 0..5usize {
+                    let a = 100 * (t + 1) + 2 * pair;
+                    let b = a + 1;
+                    let mutual = |me: usize, partner: usize| {
+                        QueryBuilder::new(format!("user{me}"))
+                            .postcondition("R", |x| x.constant(user_name(partner)).var("y"))
+                            .head("R", |x| x.constant(user_name(me)).var("x"))
+                            .body("S", |x| x.var("x").constant(format!("t{}", me % 5)))
+                            .build()
+                            .unwrap()
+                    };
+                    shared.submit(mutual(a, b)).unwrap();
+                    let r = shared.submit(mutual(b, a)).unwrap();
+                    assert!(r.coordinated());
+                }
+            });
+        }
+    });
+    println!(
+        "delivered {} answers across {} shards (pending: {})",
+        shared.delivered(),
+        shared.shard_count(),
+        shared.pending_count()
+    );
+    for (i, stats) in shared.shard_stats().iter().enumerate() {
+        println!(
+            "  shard {i}: {} submits, {} contended, {} migrated out",
+            stats.submits, stats.contended, stats.migrated_out
+        );
+    }
 }

@@ -2,11 +2,13 @@
 //!
 //! The build container has no network access to crates.io, so this
 //! path-dependency stands in for the real crate. It wraps
-//! [`std::sync::Mutex`] and mirrors parking_lot's panic-free `lock()`
-//! signature (no `LockResult`); poisoning is ignored, matching
-//! parking_lot's semantics of not poisoning on panic.
+//! [`std::sync::Mutex`] / [`std::sync::RwLock`] and mirrors parking_lot's
+//! panic-free `lock()`/`read()`/`write()` signatures (no `LockResult`);
+//! poisoning is ignored, matching parking_lot's semantics of not
+//! poisoning on panic.
 
 use std::sync::MutexGuard as StdMutexGuard;
+use std::sync::{RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard};
 
 /// A mutual-exclusion primitive with parking_lot's `lock()` signature.
 pub struct Mutex<T: ?Sized> {
@@ -43,6 +45,17 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
+    /// Attempts to acquire the mutex without blocking. Returns `None` if
+    /// it is currently held elsewhere (parking_lot returns `Option`, not
+    /// `TryLockResult`).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutably borrows the protected value without locking.
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {
@@ -59,6 +72,94 @@ impl<T: Default> Default for Mutex<T> {
 }
 
 impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A reader-writer lock with parking_lot's panic-free `read()`/`write()`
+/// signatures. Backed by [`std::sync::RwLock`]; used by the sharded
+/// coordination engine's read-mostly routing table.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// RAII shared-read guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = StdRwLockReadGuard<'a, T>;
+
+/// RAII exclusive-write guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = StdRwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available. Never
+    /// returns a poison error.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available. Never
+    /// returns a poison error.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attempts shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutably borrows the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         self.inner.fmt(f)
     }
@@ -94,5 +195,60 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(1);
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
+        assert_eq!(*m.try_lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn rwlock_read_write_round_trips() {
+        let l = RwLock::new(5);
+        {
+            // Multiple concurrent readers.
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!((*r1, *r2), (5, 5));
+            // A writer cannot get in while readers hold the lock.
+            assert!(l.try_write().is_none());
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_try_read_blocked_by_writer() {
+        let l = RwLock::new(0);
+        let w = l.write();
+        assert!(l.try_read().is_none());
+        drop(w);
+        assert!(l.try_read().is_some());
+    }
+
+    #[test]
+    fn rwlock_shared_across_threads() {
+        let l = Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let before = *l.read();
+                        *l.write() += 1;
+                        assert!(*l.read() > before);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 2000);
     }
 }

@@ -16,6 +16,9 @@
 //!   safety/uniqueness, the SCC Coordination Algorithm, the Consistent
 //!   Coordination Algorithm, the Gupta et al. baseline, a brute-force exact
 //!   solver, and an online coordination engine.
+//! * [`engine`] — the sharded, incremental online coordination service
+//!   (atom index, union-find components, per-component shards) that
+//!   `core::engine` builds on.
 //! * [`sat`] — 3SAT, DPLL, and the paper's hardness reductions.
 //! * [`gen`] — social-network and workload generators for the experiments.
 //!
@@ -51,6 +54,7 @@
 
 pub use coord_core as core;
 pub use coord_db as db;
+pub use coord_engine as engine;
 pub use coord_gen as gen;
 pub use coord_graph as graph;
 pub use coord_sat as sat;

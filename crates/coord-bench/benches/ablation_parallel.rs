@@ -1,11 +1,18 @@
 //! The parallelism the paper leaves as future work (Section 6.2): "our
 //! algorithm naturally breaks into parallel processes, where each
 //! possible value can be easily checked independently". This ablation
-//! compares the sequential per-value sweep of the Consistent
-//! Coordination Algorithm against the scoped-thread parallel sweep.
+//! compares the sequential sweeps against their scoped-thread parallel
+//! versions for *both* coordination algorithms:
+//!
+//! * the Consistent algorithm's per-value sweep (each option value is
+//!   checked independently), and
+//! * the SCC algorithm's condensation sweep (independent components of
+//!   a reverse-topological wavefront are evaluated concurrently) —
+//!   asserted equal to the sequential outcome while measuring.
 
 use coord_core::consistent::ConsistentCoordinator;
-use coord_gen::workloads::fig7_instance;
+use coord_core::scc::SccCoordinator;
+use coord_gen::workloads::{fig7_instance, partner_query, pool_db};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_parallel_sweep(c: &mut Criterion) {
@@ -37,5 +44,59 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_sweep);
+/// A forest of `chains` independent list-structured chains of length
+/// `len`: within each chain query i requires query i+1, and the chains
+/// share nothing. The condensation is `chains` disjoint paths, so every
+/// reverse-topological wavefront holds `chains` independent components —
+/// the shape the wavefront-parallel sweep exists for. (A single list is
+/// the *worst* case: its condensation is one chain, waves of width 1.)
+fn forest_queries(chains: usize, len: usize) -> Vec<coord_core::EntangledQuery> {
+    (0..chains)
+        .flat_map(|ch| {
+            let base = ch * len;
+            (0..len).map(move |i| {
+                let partners: Vec<usize> = if i + 1 < len {
+                    vec![base + i + 1]
+                } else {
+                    vec![]
+                };
+                partner_query(base + i, &partners)
+            })
+        })
+        .collect()
+}
+
+fn bench_scc_parallel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scc_parallel_sweep");
+    group.sample_size(5);
+    // 8 independent chains of 40: waves of width 8, with nontrivial
+    // suffix-closure work per component.
+    let db = pool_db(1_000);
+    let queries = forest_queries(8, 40);
+    let coordinator = SccCoordinator::new(&db);
+    let sequential = coordinator.run(&queries).unwrap();
+
+    group.bench_function(BenchmarkId::new("threads", 1), |b| {
+        b.iter(|| {
+            let out = coordinator.run(&queries).unwrap();
+            assert_eq!(out.stats.db_queries, queries.len());
+            out.found.len()
+        })
+    });
+    for threads in [2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let out = coordinator.run_parallel(&queries, threads).unwrap();
+                // Assert-while-measuring: per-closure candidates and
+                // stats must match the sequential sweep exactly.
+                assert_eq!(out.found, sequential.found);
+                assert_eq!(out.stats, sequential.stats);
+                out.found.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sweep, bench_scc_parallel_sweep);
 criterion_main!(benches);

@@ -10,11 +10,20 @@
 //!   database work.
 //! * **algorithm vs exhaustive**: the SCC algorithm against brute force
 //!   on the same (small) safe instances.
+//! * **indexing matters** (the `analysis` section, asserted while
+//!   measuring and gated in CI via `--quick`): candidate enumeration
+//!   through the shared (relation, first-arg constant) index performs
+//!   ≥ 10× fewer atom-unifiability tests than the all-pairs sweep at
+//!   n = 100, and grows near-linearly from n = 20 to n = 100.
 
 use coord_core::bruteforce;
-use coord_core::scc::SccCoordinator;
+use coord_core::scc::{preprocess, SccCoordinator};
 use coord_gen::workloads::{fig4_queries, partner_query, pool_db};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
 
 /// A unique cycle: query i coordinates with query (i+1) mod n.
 fn cycle_queries(n: usize) -> Vec<coord_core::EntangledQuery> {
@@ -24,7 +33,7 @@ fn cycle_queries(n: usize) -> Vec<coord_core::EntangledQuery> {
 fn bench_cycle_vs_list(c: &mut Criterion) {
     let db = pool_db(1000);
     let mut group = c.benchmark_group("ablation_cycle_vs_list");
-    group.sample_size(20);
+    group.sample_size(if quick_mode() { 3 } else { 20 });
     for n in [20, 60, 100] {
         let list = fig4_queries(n);
         let cycle = cycle_queries(n);
@@ -44,12 +53,42 @@ fn bench_cycle_vs_list(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Assert-while-measuring: the indexed candidate enumeration must be
+    // near-linear where the all-pairs sweep is quadratic. The all-pairs
+    // baseline for one sweep of the list workload is posts × heads
+    // = (n−1)·n unifiability tests; the indexed pipeline (safety +
+    // preprocessing fixpoint + graph construction combined) must sit at
+    // least 10× below it at n = 100, and grow ≤ 8× over the 5× size
+    // step from n = 20 (quadratic growth would be 25×). Asserted in
+    // `--quick` too, so the CI run gates superlinear regressions.
+    let calls_at = |n: usize| {
+        let pre = preprocess(&db, &fig4_queries(n)).unwrap();
+        assert!(pre.removed.is_empty());
+        pre.unify_calls
+    };
+    let (small, large) = (calls_at(20), calls_at(100));
+    let all_pairs = (100u64 - 1) * 100;
+    assert!(
+        large * 10 <= all_pairs,
+        "indexed enumeration did {large} unify calls at n = 100; \
+         all-pairs baseline is {all_pairs} (< 10× saving)"
+    );
+    assert!(
+        large <= 8 * small,
+        "unify calls grew {small} → {large} (> 8×) over a 5× size step"
+    );
+    println!(
+        "ablation_cycle_vs_list/analysis: unify calls {small} @ n=20 → {large} @ n=100 \
+         ({:.1}× below the {all_pairs}-test all-pairs baseline)",
+        all_pairs as f64 / large as f64,
+    );
 }
 
 fn bench_preprocessing_cut(c: &mut Criterion) {
     let db = pool_db(1000);
     let mut group = c.benchmark_group("ablation_preprocessing");
-    group.sample_size(20);
+    group.sample_size(if quick_mode() { 3 } else { 20 });
     for n in [20, 60, 100] {
         // A list whose head query demands a partner nobody provides: the
         // whole prefix is removed by preprocessing, leaving only suffix
@@ -70,7 +109,7 @@ fn bench_preprocessing_cut(c: &mut Criterion) {
 fn bench_scc_vs_bruteforce(c: &mut Criterion) {
     let db = pool_db(100);
     let mut group = c.benchmark_group("ablation_scc_vs_bruteforce");
-    group.sample_size(10);
+    group.sample_size(if quick_mode() { 3 } else { 10 });
     for n in [6, 10, 14] {
         let queries = fig4_queries(n);
         group.bench_with_input(BenchmarkId::new("scc", n), &queries, |b, qs| {

@@ -3,76 +3,61 @@
 
 use crate::instance::QuerySet;
 use crate::query::QueryId;
-use crate::unify::atoms_unifiable;
+use crate::unify::UnifyCounter;
 use coord_db::{Atom, Symbol, Term, Value};
+use coord_graph::index::{KeyPattern, PatternIndex};
 use coord_graph::{condensation, reach, DiGraph, NodeId};
-use std::collections::HashMap;
 
-/// First-argument shape of an atom, used as an index key: most entangled
-/// workloads write answer atoms as `R(user, tuple)` with a constant user,
-/// so bucketing heads by (relation, first argument) turns the quadratic
-/// all-pairs unifiability scans of graph construction and safety checking
-/// into near-linear lookups.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum FirstArg {
-    /// Zero-arity atom.
-    NoArg,
-    /// First argument is this constant.
-    Const(Value),
-    /// First argument is a variable (matches anything).
-    Var,
+/// The index key of an atom: relation plus the first-argument constant
+/// (`None` for a variable or zero-arity first argument, which matches
+/// every bucket of the relation). Most entangled workloads write answer
+/// atoms as `R(user, tuple)` with a constant user, so this bucketing
+/// turns the quadratic all-pairs unifiability scans of graph
+/// construction, safety checking and preprocessing into near-linear
+/// lookups. Zero-arity atoms lose no precision by sharing the wildcard
+/// bucket: candidates are confirmed positionally, and answer relations
+/// have one arity across a set anyway.
+pub fn atom_key(atom: &Atom) -> KeyPattern<Symbol, Value> {
+    let first = match atom.terms.first() {
+        Some(Term::Const(c)) => Some(c.clone()),
+        Some(Term::Var(_)) | None => None,
+    };
+    (atom.relation.clone(), first)
 }
 
-fn first_arg(atom: &Atom) -> FirstArg {
-    match atom.terms.first() {
-        None => FirstArg::NoArg,
-        Some(Term::Const(c)) => FirstArg::Const(c.clone()),
-        Some(Term::Var(_)) => FirstArg::Var,
-    }
-}
-
-/// An index over the head atoms of a query set.
+/// An index over the head atoms of a query set: the batch-side
+/// instantiation of the shared [`coord_graph::index`] layer, with
+/// `(query, head position)` tokens.
 pub struct HeadIndex {
-    buckets: HashMap<(Symbol, FirstArg), Vec<(QueryId, usize)>>,
+    index: PatternIndex<Symbol, Value, (QueryId, usize)>,
 }
 
 impl HeadIndex {
     /// Index all heads of `qs` (query-local atoms).
     pub fn build(qs: &QuerySet) -> Self {
-        let mut buckets: HashMap<(Symbol, FirstArg), Vec<(QueryId, usize)>> = HashMap::new();
+        let mut index = PatternIndex::new();
         for id in qs.ids() {
             for (hi, h) in qs.query(id).heads().iter().enumerate() {
-                buckets
-                    .entry((h.relation.clone(), first_arg(h)))
-                    .or_default()
-                    .push((id, hi));
+                index.insert((id, hi), &atom_key(h));
             }
         }
-        HeadIndex { buckets }
+        HeadIndex { index }
     }
 
     /// Candidate heads that *may* unify with postcondition `p` (callers
-    /// still confirm with [`atoms_unifiable`], which checks every
+    /// still confirm with [`crate::unify::atoms_unifiable`], which checks every
     /// position).
-    pub fn candidates(&self, p: &Atom) -> impl Iterator<Item = (QueryId, usize)> + '_ {
-        let keys: Vec<(Symbol, FirstArg)> = match first_arg(p) {
-            FirstArg::NoArg => vec![(p.relation.clone(), FirstArg::NoArg)],
-            FirstArg::Const(c) => vec![
-                (p.relation.clone(), FirstArg::Const(c)),
-                (p.relation.clone(), FirstArg::Var),
-            ],
-            FirstArg::Var => {
-                // A variable first argument matches every bucket of the
-                // relation; collect the relation's keys.
-                self.buckets
-                    .keys()
-                    .filter(|(rel, _)| rel == &p.relation)
-                    .cloned()
-                    .collect()
-            }
-        };
-        keys.into_iter()
-            .flat_map(move |k| self.buckets.get(&k).into_iter().flatten().copied())
+    pub fn candidates(&self, p: &Atom) -> impl Iterator<Item = (QueryId, usize)> {
+        let mut out = Vec::new();
+        self.index.candidates_into(&atom_key(p), &mut out);
+        out.into_iter()
+    }
+
+    /// Candidate heads for `p`, appended to `out`; returns the number of
+    /// candidates examined (what the instrumented paths feed into a
+    /// [`UnifyCounter`]).
+    pub fn candidates_into(&self, p: &Atom, out: &mut Vec<(QueryId, usize)>) -> u64 {
+        self.index.candidates_into(&atom_key(p), out)
     }
 }
 
@@ -92,17 +77,30 @@ pub struct EdgeLabel {
 /// for every postcondition atom `a_p` of `q` that unifies with a head atom
 /// `a_h` of `q'`.
 pub fn extended_coordination_graph(qs: &QuerySet) -> DiGraph<QueryId, EdgeLabel> {
+    extended_coordination_graph_counted(qs, &mut UnifyCounter::new())
+}
+
+/// [`extended_coordination_graph`], tallying every unifiability test
+/// into `counter` — near-linear via the head index, where the all-pairs
+/// sweep would perform Θ(posts × heads) tests.
+pub fn extended_coordination_graph_counted(
+    qs: &QuerySet,
+    counter: &mut UnifyCounter,
+) -> DiGraph<QueryId, EdgeLabel> {
     let index = HeadIndex::build(qs);
     let mut g: DiGraph<QueryId, EdgeLabel> = DiGraph::with_capacity(qs.len(), qs.len());
     for id in qs.ids() {
         g.add_node(id);
     }
+    let mut cands: Vec<(QueryId, usize)> = Vec::new();
     for src in qs.ids() {
         let posts = qs.query(src).postconditions();
         for (pi, p) in posts.iter().enumerate() {
-            for (dst, hi) in index.candidates(p) {
+            cands.clear();
+            index.candidates_into(p, &mut cands);
+            for &(dst, hi) in &cands {
                 let h = &qs.query(dst).heads()[hi];
-                if atoms_unifiable(p, h) {
+                if counter.check(p, h) {
                     g.add_edge(
                         NodeId(src.index()),
                         NodeId(dst.index()),
@@ -122,7 +120,12 @@ pub fn extended_coordination_graph(qs: &QuerySet) -> DiGraph<QueryId, EdgeLabel>
 /// edges collapsed — an edge `(q, q')` whenever *some* postcondition of
 /// `q` unifies with *some* head of `q'`.
 pub fn coordination_graph(qs: &QuerySet) -> DiGraph<QueryId> {
-    let ext = extended_coordination_graph(qs);
+    coordination_graph_counted(qs, &mut UnifyCounter::new())
+}
+
+/// [`coordination_graph`], tallying unifiability tests into `counter`.
+pub fn coordination_graph_counted(qs: &QuerySet, counter: &mut UnifyCounter) -> DiGraph<QueryId> {
+    let ext = extended_coordination_graph_counted(qs, counter);
     let mut g: DiGraph<QueryId> = DiGraph::with_capacity(qs.len(), ext.edge_count());
     for id in qs.ids() {
         g.add_node(id);
@@ -149,13 +152,24 @@ pub struct SafetyViolation {
 /// query unifies with at most one head atom appearing in the set. Returns
 /// all violations (empty = safe).
 pub fn safety_violations(qs: &QuerySet) -> Vec<SafetyViolation> {
+    safety_violations_counted(qs, &mut UnifyCounter::new())
+}
+
+/// [`safety_violations`], tallying unifiability tests into `counter`.
+pub fn safety_violations_counted(
+    qs: &QuerySet,
+    counter: &mut UnifyCounter,
+) -> Vec<SafetyViolation> {
     let index = HeadIndex::build(qs);
     let mut out = Vec::new();
+    let mut cands: Vec<(QueryId, usize)> = Vec::new();
     for src in qs.ids() {
         for (pi, p) in qs.query(src).postconditions().iter().enumerate() {
             let mut matches = 0usize;
-            for (dst, hi) in index.candidates(p) {
-                if atoms_unifiable(p, &qs.query(dst).heads()[hi]) {
+            cands.clear();
+            index.candidates_into(p, &mut cands);
+            for &(dst, hi) in &cands {
+                if counter.check(p, &qs.query(dst).heads()[hi]) {
                     matches += 1;
                     if matches > 1 {
                         out.push(SafetyViolation {

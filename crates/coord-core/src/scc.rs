@@ -22,13 +22,13 @@
 use crate::bruteforce;
 use crate::combined::{ground_members, unify_members};
 use crate::error::CoordError;
-use crate::graphs::{coordination_graph, safety_violations};
+use crate::graphs::{coordination_graph_counted, safety_violations_counted, HeadIndex};
 use crate::instance::QuerySet;
 use crate::outcome::FoundSet;
 use crate::query::{EntangledQuery, QueryId};
 use crate::selector::{MaxSize, Selector};
 use crate::semantics::Grounding;
-use crate::unify::Substitution;
+use crate::unify::{Substitution, UnifyCounter};
 use coord_db::Database;
 use coord_graph::{condensation, Condensation, DiGraph, NodeId};
 use std::collections::BTreeSet;
@@ -47,6 +47,13 @@ pub struct SccStats {
     pub db_queries: usize,
     /// Candidate coordinating sets discovered.
     pub candidates: usize,
+    /// Syntactic atom-unifiability tests performed by the safety check,
+    /// preprocessing and graph construction. Near-linear in the number
+    /// of atoms thanks to the shared head index — the all-pairs sweep
+    /// would be Θ(posts × heads) — and asserted against exactly that
+    /// bound by the scaling tests and the ablation bench's `--quick`
+    /// gate.
+    pub unify_calls: u64,
 }
 
 /// Everything the algorithm computes before touching the database:
@@ -65,6 +72,10 @@ pub struct Preprocessed {
     /// Condensation of the coordination graph. Component ids are in
     /// reverse topological order (successors have smaller ids).
     pub cond: Condensation,
+    /// Atom-unifiability tests performed so far (safety check +
+    /// preprocessing fixpoint + graph construction) — the candidate-
+    /// enumeration cost the head index keeps near-linear.
+    pub unify_calls: u64,
 }
 
 /// Run validation, the safety check, preprocessing and graph construction
@@ -72,8 +83,8 @@ pub struct Preprocessed {
 /// schema validation).
 /// Check safety (Definition 2), reporting the first violation as the
 /// error the coordination algorithms raise.
-fn check_safety(qs: &QuerySet) -> Result<(), CoordError> {
-    if let Some(v) = safety_violations(qs).first() {
+fn check_safety(qs: &QuerySet, counter: &mut UnifyCounter) -> Result<(), CoordError> {
+    if let Some(v) = safety_violations_counted(qs, counter).first() {
         let q = qs.query(v.query);
         return Err(CoordError::UnsafeSet {
             query: q.name().to_string(),
@@ -87,13 +98,16 @@ pub fn preprocess(db: &Database, queries: &[EntangledQuery]) -> Result<Preproces
     let qs = QuerySet::new(queries.to_vec());
     qs.validate(db)?;
 
+    let mut counter = UnifyCounter::new();
+
     // Safety check (Definition 2). The algorithm's guarantees require it.
-    check_safety(&qs)?;
+    check_safety(&qs, &mut counter)?;
 
     // Preprocessing: iteratively remove queries that have a postcondition
     // no remaining head can satisfy.
-    let index = crate::graphs::HeadIndex::build(&qs);
+    let index = HeadIndex::build(&qs);
     let mut active = vec![true; qs.len()];
+    let mut cands: Vec<(QueryId, usize)> = Vec::new();
     loop {
         let mut changed = false;
         for src in qs.ids() {
@@ -101,9 +115,10 @@ pub fn preprocess(db: &Database, queries: &[EntangledQuery]) -> Result<Preproces
                 continue;
             }
             let all_matched = qs.query(src).postconditions().iter().all(|p| {
-                index.candidates(p).any(|(dst, hi)| {
-                    active[dst.index()]
-                        && crate::unify::atoms_unifiable(p, &qs.query(dst).heads()[hi])
+                cands.clear();
+                index.candidates_into(p, &mut cands);
+                cands.iter().any(|&(dst, hi)| {
+                    active[dst.index()] && counter.check(p, &qs.query(dst).heads()[hi])
                 })
             });
             if !all_matched {
@@ -119,7 +134,7 @@ pub fn preprocess(db: &Database, queries: &[EntangledQuery]) -> Result<Preproces
 
     // Coordination graph over the active queries; removed queries keep
     // their (isolated) nodes so QueryId == NodeId everywhere.
-    let full = coordination_graph(&qs);
+    let full = coordination_graph_counted(&qs, &mut counter);
     let mut graph: DiGraph<QueryId> = DiGraph::with_capacity(qs.len(), full.edge_count());
     for id in qs.ids() {
         graph.add_node(id);
@@ -137,6 +152,7 @@ pub fn preprocess(db: &Database, queries: &[EntangledQuery]) -> Result<Preproces
         removed,
         graph,
         cond,
+        unify_calls: counter.calls(),
     })
 }
 
@@ -239,7 +255,8 @@ impl<'a> SccCoordinator<'a> {
     fn run_small(&self, queries: &[EntangledQuery]) -> Result<SccOutcome, CoordError> {
         let qs = QuerySet::new(queries.to_vec());
         qs.validate(self.db)?;
-        check_safety(&qs)?;
+        let mut counter = UnifyCounter::new();
+        check_safety(&qs, &mut counter)?;
 
         let result = bruteforce::max_coordinating_set(self.db, queries)?;
         // One grounding = one conjunctive query to the database. Counted
@@ -252,6 +269,7 @@ impl<'a> SccCoordinator<'a> {
         let stats = SccStats {
             db_queries,
             candidates: found.len(),
+            unify_calls: counter.calls(),
             ..SccStats::default()
         };
         Ok(SccOutcome {
@@ -264,11 +282,67 @@ impl<'a> SccCoordinator<'a> {
 
     /// Run the database phase on a preprocessed instance.
     pub fn run_preprocessed(&self, pre: Preprocessed) -> Result<SccOutcome, CoordError> {
+        self.run_preprocessed_inner(pre, 1)
+    }
+
+    /// Run the full algorithm with the condensation-DAG sweep
+    /// parallelized over `threads` workers (the "parallel processes"
+    /// future work of Section 6.2, applied to the SCC algorithm).
+    /// Independence comes at two granularities, both via
+    /// `std::thread::scope` (mirroring the Consistent algorithm's
+    /// chunked value sweep):
+    ///
+    /// * **weakly connected groups** of the condensation share nothing
+    ///   at all — each worker sweeps whole groups sequentially, so a
+    ///   forest of independent chains parallelizes with one thread
+    ///   spawn per worker;
+    /// * within a single connected group, components are layered into
+    ///   reverse-topological *wavefronts* (components in the same wave
+    ///   share no edges); a wave wide enough to amortize the spawn is
+    ///   evaluated concurrently, narrow waves run inline.
+    ///
+    /// The outcome is identical to [`SccCoordinator::run`]: the same
+    /// candidate sets in the same order, the same groundings and the
+    /// same [`SccStats`] (the equivalence suites assert `==` on both).
+    /// The only observable difference is on *error* paths: components
+    /// after the failing one in sequential order may already have
+    /// issued their database queries before the error surfaces, and
+    /// when several components would error, the one whose error is
+    /// returned may differ from the sequential sweep's (which always
+    /// reports the smallest component id).
+    pub fn run_parallel(
+        &self,
+        queries: &[EntangledQuery],
+        threads: usize,
+    ) -> Result<SccOutcome, CoordError> {
+        if !queries.is_empty() && queries.len() <= self.bruteforce_cutoff {
+            return self.run_small(queries);
+        }
+        let pre = preprocess(self.db, queries)?;
+        self.run_preprocessed_parallel(pre, threads)
+    }
+
+    /// [`SccCoordinator::run_preprocessed`] with the wavefront-parallel
+    /// component sweep of [`SccCoordinator::run_parallel`].
+    pub fn run_preprocessed_parallel(
+        &self,
+        pre: Preprocessed,
+        threads: usize,
+    ) -> Result<SccOutcome, CoordError> {
+        self.run_preprocessed_inner(pre, threads.max(1))
+    }
+
+    fn run_preprocessed_inner(
+        &self,
+        pre: Preprocessed,
+        threads: usize,
+    ) -> Result<SccOutcome, CoordError> {
         let Preprocessed {
             qs,
             removed,
             graph,
             cond,
+            unify_calls,
         } = pre;
         let n_comp = cond.len();
         let removed_set: Vec<bool> = {
@@ -283,81 +357,48 @@ impl<'a> SccCoordinator<'a> {
             removed: removed.len(),
             graph_edges: graph.edge_count(),
             components: n_comp,
+            unify_calls,
             ..SccStats::default()
         };
 
         // One head index shared by every component's unification pass.
-        let head_index = crate::graphs::HeadIndex::build(&qs);
+        let head_index = HeadIndex::build(&qs);
+
+        let ctx = SweepCtx {
+            db: self.db,
+            qs: &qs,
+            head_index: &head_index,
+            cond: &cond,
+            removed_set: &removed_set,
+        };
 
         // Per-component state: whether it failed, and the set of component
-        // ids in its closure (itself + closures of successors). Components
-        // are processed in id order, which is reverse topological order,
-        // so successors are always ready.
-        let mut failed = vec![false; n_comp];
-        let mut closures: Vec<BTreeSet<usize>> = Vec::with_capacity(n_comp);
-        let mut found: Vec<FoundSet> = Vec::new();
-
-        for c in 0..n_comp {
-            // Removed queries cannot participate.
-            let members_here = cond.members(c);
-            if members_here.iter().any(|n| removed_set[n.index()]) {
-                failed[c] = true;
-                closures.push(BTreeSet::new());
-                continue;
+        // ids in its closure (itself + closures of successors). Component
+        // ids are in reverse topological order, so walking them in
+        // ascending order always finds successors already evaluated.
+        let mut state = SweepState::new(n_comp);
+        if threads == 1 {
+            for c in 0..n_comp {
+                let ev = eval_component(&ctx, &state.failed, &state.closures, c)?;
+                state.commit(c, ev);
             }
-
-            // Merge successor closures; fail if any successor failed.
-            let mut closure: BTreeSet<usize> = BTreeSet::new();
-            closure.insert(c);
-            let mut ok = true;
-            for succ in cond.dag.successors(NodeId(c)) {
-                if failed[succ.index()] {
-                    ok = false;
-                    break;
-                }
-                closure.extend(closures[succ.index()].iter().copied());
-            }
-            if !ok {
-                failed[c] = true;
-                closures.push(BTreeSet::new());
-                continue;
-            }
-
-            // Collect the member queries of the whole closure R(q).
-            let mut member_queries: Vec<QueryId> = closure
-                .iter()
-                .flat_map(|&ci| cond.members(ci).iter().map(|n| QueryId(n.index())))
-                .collect();
-            member_queries.sort_unstable();
-
-            // Unify the closure: every postcondition with its unique head.
-            let subst = Substitution::identity(qs.total_vars());
-            let mut subst = match unify_members(&qs, &member_queries, subst, &head_index) {
-                Ok(s) => s,
-                Err(_) => {
-                    failed[c] = true;
-                    closures.push(BTreeSet::new());
-                    continue;
-                }
-            };
-
-            // One conjunctive query to the database for this component.
-            stats.db_queries += 1;
-            match ground_members(self.db, &qs, &member_queries, &mut subst)? {
-                Some(grounding) => {
-                    found.push(FoundSet {
-                        queries: member_queries,
-                        grounding,
-                    });
-                    closures.push(closure);
-                }
-                None => {
-                    failed[c] = true;
-                    closures.push(BTreeSet::new());
-                }
+        } else {
+            // Weakly connected groups of the condensation are fully
+            // independent; one spawn per worker covers the common
+            // many-component case. A lone group falls back to the
+            // wavefront sweep.
+            let groups = weak_groups(&cond);
+            if groups.len() > 1 {
+                sweep_groups(&ctx, groups, threads, &mut state)?;
+            } else {
+                sweep_wavefronts(&ctx, threads, &mut state)?;
             }
         }
 
+        stats.db_queries = state.db_queries;
+        // Candidate sets in component-id order — exactly the sequential
+        // discovery order.
+        let found: Vec<FoundSet> = state.found_per.into_iter().flatten().collect();
         stats.candidates = found.len();
         let best = self.selector.choose(&found);
         Ok(SccOutcome {
@@ -366,6 +407,318 @@ impl<'a> SccCoordinator<'a> {
             best,
             stats,
         })
+    }
+}
+
+/// Read-only inputs shared by every component evaluation of one sweep.
+#[derive(Clone, Copy)]
+struct SweepCtx<'a> {
+    db: &'a Database,
+    qs: &'a QuerySet,
+    head_index: &'a HeadIndex,
+    cond: &'a Condensation,
+    removed_set: &'a [bool],
+}
+
+/// Mutable per-component results of a sweep, committed in id order.
+struct SweepState {
+    failed: Vec<bool>,
+    closures: Vec<BTreeSet<usize>>,
+    found_per: Vec<Option<FoundSet>>,
+    db_queries: usize,
+}
+
+impl SweepState {
+    fn new(n_comp: usize) -> Self {
+        SweepState {
+            failed: vec![false; n_comp],
+            closures: vec![BTreeSet::new(); n_comp],
+            found_per: (0..n_comp).map(|_| None).collect(),
+            db_queries: 0,
+        }
+    }
+
+    fn commit(&mut self, c: usize, ev: ComponentEval) {
+        if ev.queried_db {
+            self.db_queries += 1;
+        }
+        self.failed[c] = ev.failed;
+        self.closures[c] = ev.closure;
+        self.found_per[c] = ev.found;
+    }
+}
+
+/// Partition the condensation's components into weakly connected groups
+/// (ids ascending within each group). Two components in different
+/// groups share no path at all, so whole groups evaluate independently.
+fn weak_groups(cond: &Condensation) -> Vec<Vec<usize>> {
+    let n_comp = cond.len();
+    let mut uf = coord_graph::UnionFind::new(n_comp);
+    for c in 0..n_comp {
+        for succ in cond.dag.successors(NodeId(c)) {
+            let (rc, rs) = (uf.find(c), uf.find(succ.index()));
+            if rc != rs {
+                uf.union(rc, rs);
+            }
+        }
+    }
+    let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for c in 0..n_comp {
+        by_root.entry(uf.find(c)).or_default().push(c);
+    }
+    let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+    // Deterministic order (largest member count first helps the greedy
+    // balancer; ties broken by first component id).
+    groups.sort_by_key(|g| (std::cmp::Reverse(g.len()), g[0]));
+    groups
+}
+
+/// One component's verdict as shipped back by a group worker. The
+/// closure set stays worker-local: successor lookups never cross group
+/// (hence worker) boundaries, and nothing reads closures once the
+/// sweep is done.
+struct WorkerVerdict {
+    comp: usize,
+    failed: bool,
+    queried_db: bool,
+    found: Option<FoundSet>,
+}
+
+/// Per-worker result of a group sweep: verdicts in ascending id order,
+/// or the id of the first failing component with its error.
+type WorkerSweep = Result<Vec<WorkerVerdict>, (usize, CoordError)>;
+
+/// Sweep independent weakly-connected groups across `threads` scoped
+/// workers: groups are balanced greedily by query count, each worker
+/// processes its groups' components sequentially in ascending id order
+/// (all dependencies stay inside the group), and results are committed
+/// in global id order afterwards.
+fn sweep_groups(
+    ctx: &SweepCtx<'_>,
+    groups: Vec<Vec<usize>>,
+    threads: usize,
+    state: &mut SweepState,
+) -> Result<(), CoordError> {
+    // Greedy longest-processing-time balance by total member queries.
+    let workers = threads.min(groups.len());
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut load = vec![0usize; workers];
+    for g in groups {
+        let cost: usize = g.iter().map(|&c| ctx.cond.members(c).len()).sum();
+        let w = (0..workers).min_by_key(|&w| load[w]).expect("workers > 0");
+        load[w] += cost.max(1);
+        assignment[w].extend(g);
+    }
+    for a in &mut assignment {
+        a.sort_unstable();
+    }
+
+    let per_worker: Vec<WorkerSweep> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for own in &assignment {
+            handles.push(scope.spawn(move || {
+                // Worker-local successor state: every successor of an
+                // owned component is owned too, so full-size local
+                // arrays filled in id order are exactly the sequential
+                // sweep restricted to this worker's groups (full-size
+                // keeps indexing trivial; the unowned slots are one
+                // bool and one empty set each).
+                let mut local = SweepState::new(ctx.cond.len());
+                let mut out = Vec::with_capacity(own.len());
+                for &c in own {
+                    match eval_component(ctx, &local.failed, &local.closures, c) {
+                        Ok(mut ev) => {
+                            out.push(WorkerVerdict {
+                                comp: c,
+                                failed: ev.failed,
+                                queried_db: ev.queried_db,
+                                found: ev.found.take(),
+                            });
+                            local.commit(c, ev);
+                        }
+                        Err(e) => return Err((c, e)),
+                    }
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("group worker panicked"))
+            .collect()
+    });
+
+    let mut verdicts: Vec<WorkerVerdict> = Vec::with_capacity(ctx.cond.len());
+    let mut first_error: Option<(usize, CoordError)> = None;
+    for r in per_worker {
+        match r {
+            Ok(list) => verdicts.extend(list),
+            Err((c, e)) => {
+                if first_error.as_ref().is_none_or(|(fc, _)| c < *fc) {
+                    first_error = Some((c, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    verdicts.sort_by_key(|v| v.comp);
+    for v in verdicts {
+        if v.queried_db {
+            state.db_queries += 1;
+        }
+        state.failed[v.comp] = v.failed;
+        state.found_per[v.comp] = v.found;
+        // `state.closures` stays empty for group-swept components:
+        // closures never cross group boundaries and nothing reads them
+        // after the sweep completes.
+    }
+    Ok(())
+}
+
+/// Sweep one connected condensation group in reverse-topological
+/// wavefronts: wave 0 holds the sinks, wave `l` the components whose
+/// longest successor chain has length `l`. Every edge leaves a higher
+/// wave for a strictly lower one, so components within a wave are
+/// pairwise independent; waves wide enough to amortize a thread spawn
+/// run concurrently, narrow waves run inline.
+fn sweep_wavefronts(
+    ctx: &SweepCtx<'_>,
+    threads: usize,
+    state: &mut SweepState,
+) -> Result<(), CoordError> {
+    let n_comp = ctx.cond.len();
+    let mut level = vec![0usize; n_comp];
+    let mut max_level = 0usize;
+    for c in 0..n_comp {
+        // Component ids are in reverse topological order, so every
+        // successor's level is already final.
+        let mut l = 0usize;
+        for succ in ctx.cond.dag.successors(NodeId(c)) {
+            l = l.max(level[succ.index()] + 1);
+        }
+        level[c] = l;
+        max_level = max_level.max(l);
+    }
+    let mut waves: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    for (c, &l) in level.iter().enumerate() {
+        waves[l].push(c);
+    }
+
+    for wave in &waves {
+        let results: Vec<(usize, Result<ComponentEval, CoordError>)> = if wave.len() < 2 {
+            wave.iter()
+                .map(|&c| (c, eval_component(ctx, &state.failed, &state.closures, c)))
+                .collect()
+        } else {
+            // Chunk the wave across scoped threads sharing the read-only
+            // state of earlier waves (cf. `consistent.rs`'s value sweep).
+            std::thread::scope(|scope| {
+                let chunk = wave.len().div_ceil(threads);
+                let mut handles = Vec::new();
+                for ch in wave.chunks(chunk.max(1)) {
+                    let (failed, closures) = (&state.failed, &state.closures);
+                    handles.push(scope.spawn(move || {
+                        ch.iter()
+                            .map(|&c| (c, eval_component(ctx, failed, closures, c)))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("component worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Commit the wave in component-id order (wave lists ascend).
+        for (c, result) in results {
+            state.commit(c, result?);
+        }
+    }
+    Ok(())
+}
+
+/// What evaluating one component produced. Exactly one of `failed` /
+/// `found` describes the verdict; `closure` is empty on failure so
+/// predecessors merging it see the same sets the sequential sweep built.
+struct ComponentEval {
+    failed: bool,
+    closure: BTreeSet<usize>,
+    queried_db: bool,
+    found: Option<FoundSet>,
+}
+
+/// Evaluate one component of the condensation DAG: merge successor
+/// closures, unify the closure's postconditions with their unique heads,
+/// and ground the combined body with one conjunctive query. Reads only
+/// already-evaluated successor state (`failed` / `closures`), so the
+/// sequential sweep and both parallel sweeps share it verbatim — which
+/// is what keeps their per-closure candidates and stats identical.
+fn eval_component(
+    ctx: &SweepCtx<'_>,
+    failed: &[bool],
+    closures: &[BTreeSet<usize>],
+    c: usize,
+) -> Result<ComponentEval, CoordError> {
+    let failure = || ComponentEval {
+        failed: true,
+        closure: BTreeSet::new(),
+        queried_db: false,
+        found: None,
+    };
+
+    // Removed queries cannot participate.
+    if ctx
+        .cond
+        .members(c)
+        .iter()
+        .any(|n| ctx.removed_set[n.index()])
+    {
+        return Ok(failure());
+    }
+
+    // Merge successor closures; fail if any successor failed.
+    let mut closure: BTreeSet<usize> = BTreeSet::new();
+    closure.insert(c);
+    for succ in ctx.cond.dag.successors(NodeId(c)) {
+        if failed[succ.index()] {
+            return Ok(failure());
+        }
+        closure.extend(closures[succ.index()].iter().copied());
+    }
+
+    // Collect the member queries of the whole closure R(q).
+    let mut member_queries: Vec<QueryId> = closure
+        .iter()
+        .flat_map(|&ci| ctx.cond.members(ci).iter().map(|n| QueryId(n.index())))
+        .collect();
+    member_queries.sort_unstable();
+
+    // Unify the closure: every postcondition with its unique head.
+    let subst = Substitution::identity(ctx.qs.total_vars());
+    let mut subst = match unify_members(ctx.qs, &member_queries, subst, ctx.head_index) {
+        Ok(s) => s,
+        Err(_) => return Ok(failure()),
+    };
+
+    // One conjunctive query to the database for this component.
+    match ground_members(ctx.db, ctx.qs, &member_queries, &mut subst)? {
+        Some(grounding) => Ok(ComponentEval {
+            failed: false,
+            closure,
+            queried_db: true,
+            found: Some(FoundSet {
+                queries: member_queries,
+                grounding,
+            }),
+        }),
+        None => Ok(ComponentEval {
+            queried_db: true,
+            ..failure()
+        }),
     }
 }
 

@@ -233,6 +233,42 @@ pub fn atoms_unifiable(a: &Atom, b: &Atom) -> bool {
         })
 }
 
+/// Counts syntactic [`atoms_unifiable`] tests, so the candidate
+/// enumeration of graph construction, the safety check and preprocessing
+/// can *prove* it is near-linear: with the shared
+/// [`coord_graph::index`] layer the count grows as O(n·k) in the number
+/// of atoms (`k` = index bucket width), where the naive all-pairs sweep
+/// performs Θ(posts × heads) tests. The counter is plain owned state —
+/// no globals, no atomics — so concurrent runs never bleed into each
+/// other's figures.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnifyCounter {
+    calls: u64,
+}
+
+impl UnifyCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        UnifyCounter::default()
+    }
+
+    /// [`atoms_unifiable`], counted.
+    pub fn check(&mut self, a: &Atom, b: &Atom) -> bool {
+        self.calls += 1;
+        atoms_unifiable(a, b)
+    }
+
+    /// Number of unifiability tests performed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Fold another counter's tally into this one.
+    pub fn absorb(&mut self, other: UnifyCounter) {
+        self.calls += other.calls;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,271 @@
+//! Property tests pinning the indexed candidate enumeration to the
+//! naive all-pairs sweep it replaced: on random query sets mixing
+//! constant, variable and wildcard-first-argument atoms, graph
+//! construction, the safety check and SCC preprocessing must produce
+//! *identical* results whether candidates come from the shared
+//! (relation, first-arg constant) index or from pairing every
+//! postcondition with every head. The naive loops below are the
+//! test-only oracle; the instrumented unify-call counter is additionally
+//! asserted to never exceed the all-pairs figure.
+
+use coord_core::graphs::{
+    extended_coordination_graph_counted, is_safe, safety_violations, safety_violations_counted,
+    SafetyViolation,
+};
+use coord_core::scc::preprocess;
+use coord_core::unify::{atoms_unifiable, UnifyCounter};
+use coord_core::{EntangledQuery, QueryId, QuerySet};
+use coord_db::{Atom, Database, Term, Value, Var};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One randomly shaped atom term: a small constant or a variable.
+/// Variables in the *first* position are the wildcard case the index
+/// must handle by scanning every bucket of the relation.
+#[derive(Clone, Debug)]
+enum TermSpec {
+    Const(i64),
+    Var,
+}
+
+/// One atom: relation 0 = binary `R`, relation 1 = unary `S` (arity is
+/// fixed per relation so random sets satisfy answer-arity validation).
+type AtomSpec = (bool, Vec<TermSpec>);
+
+#[derive(Clone, Debug)]
+struct QuerySpec {
+    heads: Vec<AtomSpec>,
+    posts: Vec<AtomSpec>,
+}
+
+fn term_strategy() -> impl Strategy<Value = TermSpec> {
+    prop_oneof![
+        (0i64..3).prop_map(TermSpec::Const),
+        Just(TermSpec::Var),
+        Just(TermSpec::Var),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = AtomSpec> {
+    (
+        prop::arbitrary::any::<bool>(),
+        prop::collection::vec(term_strategy(), 2..=2),
+    )
+}
+
+fn query_strategy() -> impl Strategy<Value = QuerySpec> {
+    (
+        prop::collection::vec(atom_strategy(), 1..=2),
+        prop::collection::vec(atom_strategy(), 0..=2),
+    )
+        .prop_map(|(heads, posts)| QuerySpec { heads, posts })
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<QuerySpec>> {
+    prop::collection::vec(query_strategy(), 1..8)
+}
+
+/// Materialize a spec: every atom gets fresh variables where requested,
+/// every body is the satisfiable `T(x)`.
+fn build_queries(specs: &[QuerySpec]) -> Vec<EntangledQuery> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut next_var = 0u32;
+            let mut var_names: Vec<String> = Vec::new();
+            let mut atom = |&(binary, ref terms): &AtomSpec| {
+                let (rel, arity) = if binary { ("R", 2) } else { ("S", 1) };
+                let terms: Vec<Term> = terms
+                    .iter()
+                    .take(arity)
+                    .map(|t| match t {
+                        TermSpec::Const(c) => Term::Const(Value::int(*c)),
+                        TermSpec::Var => {
+                            let v = Term::Var(Var(next_var));
+                            var_names.push(format!("v{next_var}"));
+                            next_var += 1;
+                            v
+                        }
+                    })
+                    .collect();
+                Atom::new(rel, terms)
+            };
+            let posts: Vec<Atom> = spec.posts.iter().map(&mut atom).collect();
+            let heads: Vec<Atom> = spec.heads.iter().map(&mut atom).collect();
+            let body = vec![{
+                let v = Term::Var(Var(next_var));
+                var_names.push("body".to_string());
+                next_var += 1;
+                Atom::new("T", vec![v])
+            }];
+            let _ = next_var;
+            EntangledQuery::new(format!("q{i}"), posts, heads, body, var_names).unwrap()
+        })
+        .collect()
+}
+
+fn test_db() -> Database {
+    let mut db = Database::new();
+    db.create_table("T", &["id"]).unwrap();
+    db.insert("T", vec![Value::int(1)]).unwrap();
+    db
+}
+
+/// The labelled edge set of the extended coordination graph, as a
+/// comparable set of (src, dst, post_idx, head_idx).
+type EdgeSet = BTreeSet<(usize, usize, usize, usize)>;
+
+/// Naive all-pairs oracle for the extended coordination graph: pair
+/// every postcondition of every query with every head of every query.
+/// Returns the edge set and the number of unifiability tests — the
+/// Θ(posts × heads) figure the index must undercut.
+fn naive_extended_edges(qs: &QuerySet) -> (EdgeSet, u64) {
+    let mut edges = EdgeSet::new();
+    let mut tests = 0u64;
+    for src in qs.ids() {
+        for (pi, p) in qs.query(src).postconditions().iter().enumerate() {
+            for dst in qs.ids() {
+                for (hi, h) in qs.query(dst).heads().iter().enumerate() {
+                    tests += 1;
+                    if atoms_unifiable(p, h) {
+                        edges.insert((src.index(), dst.index(), pi, hi));
+                    }
+                }
+            }
+        }
+    }
+    (edges, tests)
+}
+
+/// Naive all-pairs safety check (Definition 2, straight off the paper).
+fn naive_safety_violations(qs: &QuerySet) -> Vec<SafetyViolation> {
+    let mut out = Vec::new();
+    for src in qs.ids() {
+        for (pi, p) in qs.query(src).postconditions().iter().enumerate() {
+            let matches = qs
+                .ids()
+                .flat_map(|dst| qs.query(dst).heads().iter())
+                .filter(|h| atoms_unifiable(p, h))
+                .count();
+            if matches > 1 {
+                out.push(SafetyViolation {
+                    query: src,
+                    post_idx: pi,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Naive all-pairs preprocessing fixpoint: iteratively drop queries with
+/// a postcondition no active head can satisfy.
+fn naive_removed(qs: &QuerySet) -> Vec<QueryId> {
+    let mut active = vec![true; qs.len()];
+    loop {
+        let mut changed = false;
+        for src in qs.ids() {
+            if !active[src.index()] {
+                continue;
+            }
+            let ok = qs.query(src).postconditions().iter().all(|p| {
+                qs.ids().any(|dst| {
+                    active[dst.index()]
+                        && qs.query(dst).heads().iter().any(|h| atoms_unifiable(p, h))
+                })
+            });
+            if !ok {
+                active[src.index()] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    qs.ids().filter(|q| !active[q.index()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Indexed extended-graph construction yields exactly the naive
+    /// all-pairs edge set, and the instrumented counter never exceeds
+    /// the all-pairs test count.
+    #[test]
+    fn indexed_extended_graph_equals_all_pairs(specs in spec_strategy()) {
+        let qs = QuerySet::new(build_queries(&specs));
+        let mut counter = UnifyCounter::new();
+        let g = extended_coordination_graph_counted(&qs, &mut counter);
+
+        let mut indexed = EdgeSet::new();
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            let label = g.edge(e);
+            indexed.insert((u.index(), v.index(), label.post_idx, label.head_idx));
+        }
+
+        let (naive, naive_tests) = naive_extended_edges(&qs);
+        prop_assert_eq!(&indexed, &naive);
+        prop_assert!(
+            counter.calls() <= naive_tests,
+            "index examined {} pairs, all-pairs would examine {}",
+            counter.calls(),
+            naive_tests
+        );
+    }
+
+    /// Indexed safety checking flags exactly the naive violations.
+    #[test]
+    fn indexed_safety_equals_all_pairs(specs in spec_strategy()) {
+        let qs = QuerySet::new(build_queries(&specs));
+        let mut counter = UnifyCounter::new();
+        let indexed = safety_violations_counted(&qs, &mut counter);
+        prop_assert_eq!(indexed, naive_safety_violations(&qs));
+        // Consistency of the uncounted wrapper.
+        prop_assert_eq!(safety_violations(&qs), naive_safety_violations(&qs));
+    }
+
+    /// On safe sets, `preprocess` removes exactly the queries the naive
+    /// fixpoint removes, and its graph restricts the naive edge set to
+    /// the active queries.
+    #[test]
+    fn indexed_preprocess_equals_all_pairs(specs in spec_strategy()) {
+        let queries = build_queries(&specs);
+        let qs = QuerySet::new(queries.clone());
+        prop_assume!(is_safe(&qs));
+
+        let db = test_db();
+        let pre = preprocess(&db, &queries).unwrap();
+        prop_assert_eq!(&pre.removed, &naive_removed(&qs));
+
+        let removed: BTreeSet<usize> = pre.removed.iter().map(|q| q.index()).collect();
+        let (naive_ext, naive_tests) = naive_extended_edges(&qs);
+        let naive_collapsed: BTreeSet<(usize, usize)> = naive_ext
+            .iter()
+            .filter(|(u, v, _, _)| !removed.contains(u) && !removed.contains(v))
+            .map(|&(u, v, _, _)| (u, v))
+            .collect();
+        let indexed_collapsed: BTreeSet<(usize, usize)> = pre
+            .graph
+            .edge_ids()
+            .map(|e| {
+                let (u, v) = pre.graph.endpoints(e);
+                (u.index(), v.index())
+            })
+            .collect();
+        prop_assert_eq!(indexed_collapsed, naive_collapsed);
+        // The whole preprocessing pipeline must not do more unifiability
+        // work than an all-pairs sweep per phase would: safety + graph
+        // construction are one sweep each, and the removal fixpoint runs
+        // at most |removed| + 2 rounds of at most one sweep.
+        let phases = pre.removed.len() as u64 + 4;
+        prop_assert!(
+            pre.unify_calls <= phases * naive_tests.max(1),
+            "preprocess performed {} tests vs all-pairs phase cost {}",
+            pre.unify_calls,
+            naive_tests
+        );
+    }
+}

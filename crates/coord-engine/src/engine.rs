@@ -36,8 +36,10 @@ use std::sync::Arc;
 pub trait CoordinationQuery: Clone {
     /// Relation symbol type.
     type Rel: Clone + Eq + Hash;
-    /// Coordination-attribute constant type.
-    type Cst: Clone + Eq + Hash;
+    /// Coordination-attribute constant type. `Ord` because the shared
+    /// index keeps a relation's buckets sorted, making wildcard
+    /// candidate enumeration deterministic.
+    type Cst: Clone + Eq + Hash + Ord;
 
     /// Key patterns of the query's produced (head) atoms.
     fn provides(&self) -> Vec<KeyPattern<Self::Rel, Self::Cst>>;

@@ -9,7 +9,8 @@
 //! * [`index::AtomIndex`] — a persistent index of pending heads and
 //!   postconditions keyed by (relation, coordination-attribute constant),
 //!   so a new query unifies only against candidate partners instead of
-//!   all pairs,
+//!   all pairs (the index structure is the shared
+//!   [`coord_graph::index`] layer, which the batch algorithms also use),
 //! * [`engine::IncrementalEngine`] — union-find component maintenance on
 //!   submit/retire around a pluggable [`engine::ComponentEvaluator`],
 //! * [`sharded::ShardedEngine`] — per-component shards, each behind its

@@ -1,0 +1,304 @@
+//! The shared atom-pattern index: tokens bucketed by
+//! (relation, coordination-attribute constant).
+//!
+//! Both halves of the system enumerate unification candidates the same
+//! way — most entangled workloads write answer atoms as `R(user, tuple)`
+//! with a constant first argument, so bucketing atoms by (relation, first
+//! argument) turns all-pairs unifiability scans into near-linear lookups:
+//!
+//! * the **batch** algorithms (`coord-core`) index the head atoms of a
+//!   query set once per run and look up each postcondition against it
+//!   (graph construction, the safety check, preprocessing),
+//! * the **online** service (`coord-engine`) keeps a two-sided
+//!   [`AtomIndex`] of heads *and* postconditions alive across submits,
+//!   so a new query unifies only against candidate partners.
+//!
+//! A key pattern `(relation, Some(c))` indexes an atom whose first
+//! argument is the constant `c`; `(relation, None)` indexes an atom whose
+//! first argument is a variable (or which has no arguments) and therefore
+//! matches every bucket of its relation. Candidate discovery is
+//! conservative: it may propose partners whose atoms do not actually
+//! unify position-by-position — callers confirm with a full positional
+//! check — which only ever makes candidate sets *larger* (never hides a
+//! true match), so correctness is preserved while the work drops from
+//! O(n²) pairs to O(n·k) bucket hits (`k` = bucket width).
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A key pattern: relation plus the first-argument constant, or `None`
+/// for a variable/zero-arity first argument (matches every constant).
+pub type KeyPattern<R, C> = (R, Option<C>);
+
+/// Whether two key patterns can refer to the same atoms: equal relation,
+/// and either constant is a wildcard or they are the same constant. This
+/// is the (symmetric) routing relation used by the sharded engine — two
+/// queries whose patterns are related must live on the same shard.
+pub fn keys_related<R: Eq, C: Eq>(a: &KeyPattern<R, C>, b: &KeyPattern<R, C>) -> bool {
+    a.0 == b.0 && (a.1.is_none() || b.1.is_none() || a.1 == b.1)
+}
+
+/// Which side of the coordination edge an atom sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Polarity {
+    /// Head atoms: what the query *produces*.
+    Provides,
+    /// Postcondition atoms: what the query *requires*.
+    Requires,
+}
+
+/// One-sided pattern index: relation → first-arg constant → tokens.
+///
+/// The token type `T` is whatever the caller uses to name an indexed
+/// atom: the online engine uses slab slots (`usize`), the batch
+/// algorithms use `(query, head position)` pairs.
+///
+/// A relation's buckets are kept in a `BTreeMap` (hence the `C: Ord`
+/// bound) so wildcard lookups enumerate candidates in a *deterministic*
+/// order — the batch sweeps' reproducibility guarantees (identical
+/// candidate order and identical instrumented unify-call counts across
+/// runs, sequential or parallel) depend on it.
+#[derive(Clone, Debug)]
+pub struct PatternIndex<R, C, T> {
+    buckets: HashMap<R, BTreeMap<Option<C>, Vec<T>>>,
+}
+
+impl<R: Clone + Eq + Hash, C: Clone + Ord, T: Copy + PartialEq> Default for PatternIndex<R, C, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Clone + Eq + Hash, C: Clone + Ord, T: Copy + PartialEq> PatternIndex<R, C, T> {
+    /// An empty index.
+    pub fn new() -> Self {
+        PatternIndex {
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Index `token` under `key`.
+    pub fn insert(&mut self, token: T, key: &KeyPattern<R, C>) {
+        self.buckets
+            .entry(key.0.clone())
+            .or_default()
+            .entry(key.1.clone())
+            .or_default()
+            .push(token);
+    }
+
+    /// Un-index one occurrence of `token` under `key` (inverse of
+    /// [`PatternIndex::insert`]); empty buckets are pruned.
+    pub fn remove(&mut self, token: T, key: &KeyPattern<R, C>) {
+        if let Some(rel) = self.buckets.get_mut(&key.0) {
+            if let Some(bucket) = rel.get_mut(&key.1) {
+                if let Some(pos) = bucket.iter().position(|&t| t == token) {
+                    bucket.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    rel.remove(&key.1);
+                }
+            }
+            if rel.is_empty() {
+                self.buckets.remove(&key.0);
+            }
+        }
+    }
+
+    /// Tokens whose indexed atoms may unify with an atom of pattern
+    /// `key`; appends to `out` and returns the number of candidates
+    /// examined (the figure the instrumented unify counters aggregate).
+    pub fn candidates_into(&self, key: &KeyPattern<R, C>, out: &mut Vec<T>) -> u64 {
+        let Some(rel) = self.buckets.get(&key.0) else {
+            return 0;
+        };
+        let mut examined = 0u64;
+        match &key.1 {
+            Some(c) => {
+                for k in [Some(c.clone()), None] {
+                    if let Some(bucket) = rel.get(&k) {
+                        examined += bucket.len() as u64;
+                        out.extend_from_slice(bucket);
+                    }
+                }
+            }
+            None => {
+                // A wildcard first argument matches every bucket of the
+                // relation (in deterministic key order: the wildcard
+                // bucket first, then constants ascending).
+                for bucket in rel.values() {
+                    examined += bucket.len() as u64;
+                    out.extend_from_slice(bucket);
+                }
+            }
+        }
+        examined
+    }
+}
+
+/// The two-sided persistent index over all pending queries' head and
+/// postcondition atoms, used by the online coordination service.
+#[derive(Clone, Debug)]
+pub struct AtomIndex<R, C> {
+    provides: PatternIndex<R, C, usize>,
+    requires: PatternIndex<R, C, usize>,
+}
+
+impl<R: Clone + Eq + Hash, C: Clone + Ord> Default for AtomIndex<R, C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Clone + Eq + Hash, C: Clone + Ord> AtomIndex<R, C> {
+    /// An empty index.
+    pub fn new() -> Self {
+        AtomIndex {
+            provides: PatternIndex::new(),
+            requires: PatternIndex::new(),
+        }
+    }
+
+    /// Index one key pattern of `token`.
+    pub fn insert(&mut self, token: usize, polarity: Polarity, key: &KeyPattern<R, C>) {
+        match polarity {
+            Polarity::Provides => self.provides.insert(token, key),
+            Polarity::Requires => self.requires.insert(token, key),
+        }
+    }
+
+    /// Remove one key pattern of `token` (inverse of [`AtomIndex::insert`]).
+    pub fn remove(&mut self, token: usize, polarity: Polarity, key: &KeyPattern<R, C>) {
+        match polarity {
+            Polarity::Provides => self.provides.remove(token, key),
+            Polarity::Requires => self.requires.remove(token, key),
+        }
+    }
+
+    /// Candidate partner tokens for a query with the given provided and
+    /// required key patterns: existing *requirers* matching a provided
+    /// key, plus existing *providers* matching a required key. Returns
+    /// `(deduplicated tokens, candidate pairs examined)`.
+    pub fn candidates(
+        &self,
+        provides: &[KeyPattern<R, C>],
+        requires: &[KeyPattern<R, C>],
+    ) -> (Vec<usize>, u64) {
+        let mut out = Vec::new();
+        let mut examined = 0u64;
+        for key in provides {
+            examined += self.requires.candidates_into(key, &mut out);
+        }
+        for key in requires {
+            examined += self.provides.candidates_into(key, &mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        (out, examined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Key = KeyPattern<&'static str, i64>;
+
+    fn key(rel: &'static str, c: Option<i64>) -> Key {
+        (rel, c)
+    }
+
+    #[test]
+    fn exact_constant_buckets_link() {
+        let mut idx: AtomIndex<&str, i64> = AtomIndex::new();
+        // Token 0 provides R(7, ·); token 1 requires R(7, ·); token 2
+        // requires R(8, ·).
+        idx.insert(0, Polarity::Provides, &key("R", Some(7)));
+        idx.insert(1, Polarity::Requires, &key("R", Some(7)));
+        idx.insert(2, Polarity::Requires, &key("R", Some(8)));
+
+        // A new query providing R(7, ·) finds only the matching requirer.
+        let (cands, examined) = idx.candidates(&[key("R", Some(7))], &[]);
+        assert_eq!(cands, vec![1]);
+        assert_eq!(examined, 1);
+
+        // A new query requiring R(7, ·) finds the provider.
+        let (cands, _) = idx.candidates(&[], &[key("R", Some(7))]);
+        assert_eq!(cands, vec![0]);
+    }
+
+    #[test]
+    fn wildcard_matches_every_bucket_of_the_relation() {
+        let mut idx: AtomIndex<&str, i64> = AtomIndex::new();
+        idx.insert(0, Polarity::Provides, &key("R", Some(1)));
+        idx.insert(1, Polarity::Provides, &key("R", Some(2)));
+        idx.insert(2, Polarity::Provides, &key("S", Some(1)));
+
+        // Requiring R with a wildcard first argument hits both R buckets
+        // but not S.
+        let (cands, _) = idx.candidates(&[], &[key("R", None)]);
+        assert_eq!(cands, vec![0, 1]);
+
+        // A wildcard *provider* is found by exact-constant requirers.
+        idx.insert(3, Polarity::Provides, &key("R", None));
+        let (cands, _) = idx.candidates(&[], &[key("R", Some(1))]);
+        assert_eq!(cands, vec![0, 3]);
+    }
+
+    #[test]
+    fn remove_unindexes_and_prunes_empty_buckets() {
+        let mut idx: AtomIndex<&str, i64> = AtomIndex::new();
+        idx.insert(0, Polarity::Provides, &key("R", Some(1)));
+        idx.remove(0, Polarity::Provides, &key("R", Some(1)));
+        let (cands, examined) = idx.candidates(&[], &[key("R", Some(1))]);
+        assert!(cands.is_empty());
+        assert_eq!(examined, 0);
+    }
+
+    #[test]
+    fn relatedness_is_symmetric_and_wildcard_aware() {
+        assert!(keys_related(&key("R", Some(1)), &key("R", Some(1))));
+        assert!(!keys_related(&key("R", Some(1)), &key("R", Some(2))));
+        assert!(!keys_related(&key("R", Some(1)), &key("S", Some(1))));
+        assert!(keys_related(&key("R", None), &key("R", Some(2))));
+        assert!(keys_related(&key("R", Some(2)), &key("R", None)));
+        assert!(keys_related(&key("R", None), &key("R", None)));
+    }
+
+    #[test]
+    fn candidates_deduplicate_multi_key_matches() {
+        let mut idx: AtomIndex<&str, i64> = AtomIndex::new();
+        // Token 0 both provides and requires R(1, ·): a new query doing
+        // the same matches it twice but reports it once.
+        idx.insert(0, Polarity::Provides, &key("R", Some(1)));
+        idx.insert(0, Polarity::Requires, &key("R", Some(1)));
+        let (cands, examined) = idx.candidates(&[key("R", Some(1))], &[key("R", Some(1))]);
+        assert_eq!(cands, vec![0]);
+        assert_eq!(examined, 2);
+    }
+
+    #[test]
+    fn pattern_index_supports_structured_tokens() {
+        // The batch algorithms index (query, head position) pairs.
+        let mut idx: PatternIndex<&str, i64, (u32, u32)> = PatternIndex::new();
+        idx.insert((0, 0), &key("R", Some(5)));
+        idx.insert((0, 1), &key("R", None));
+        idx.insert((1, 0), &key("R", Some(6)));
+
+        let mut out = Vec::new();
+        let examined = idx.candidates_into(&key("R", Some(5)), &mut out);
+        assert_eq!(out, vec![(0, 0), (0, 1)]);
+        assert_eq!(examined, 2);
+
+        // Wildcard lookups examine every bucket of the relation.
+        out.clear();
+        let examined = idx.candidates_into(&key("R", None), &mut out);
+        assert_eq!(examined, 3);
+
+        idx.remove((0, 1), &key("R", None));
+        out.clear();
+        let examined = idx.candidates_into(&key("R", Some(6)), &mut out);
+        assert_eq!(out, vec![(1, 0)]);
+        assert_eq!(examined, 1);
+    }
+}

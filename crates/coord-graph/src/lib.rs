@@ -17,12 +17,17 @@
 //! * [`unionfind::UnionFind`]: disjoint-set union — the incremental
 //!   weakly-connected-component index used by the online coordination
 //!   service,
+//! * [`index`]: the shared atom-pattern index — tokens bucketed by
+//!   (relation, first-argument constant) — that both the batch
+//!   algorithms (`coord-core`) and the online service (`coord-engine`)
+//!   use to enumerate unification candidates in near-linear time,
 //! * [`dot`]: Graphviz export used by the examples to render the paper's
 //!   Figures 2, 3, and 9.
 
 pub mod condense;
 pub mod digraph;
 pub mod dot;
+pub mod index;
 pub mod reach;
 pub mod scc;
 pub mod topo;
@@ -30,6 +35,7 @@ pub mod unionfind;
 
 pub use condense::{condensation, Condensation};
 pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use index::{keys_related, AtomIndex, KeyPattern, PatternIndex, Polarity};
 pub use scc::tarjan_scc;
 pub use topo::{reverse_topological_order, topological_order};
 pub use unionfind::UnionFind;

@@ -5,8 +5,17 @@
 //! — [`strategy::Strategy`] with `prop_map`/`prop_flat_map`, range and
 //! tuple strategies, [`collection::vec`], [`option::of`], `prop_oneof!`,
 //! the `proptest!` macro with `#![proptest_config(..)]`, and the
-//! `prop_assert*`/`prop_assume!` macros — but trades shrinking for
-//! simplicity: failures report the generated inputs verbatim.
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Failures report the generated inputs verbatim **and** a shrunk
+//! version: the runner walks bounded simplification passes over the
+//! failing inputs (halved integers, shortened collections — see
+//! [`shrink`]), keeping the simplest input that still fails. Shrinking
+//! is value-level, not strategy-level, so a shrunk input can leave the
+//! strategy's domain; both the original and the shrunk inputs are
+//! always printed. Body panics are caught and treated as failures so
+//! they get the same input report (expect the panic hook's output once
+//! per failing shrink candidate while the search runs).
 //!
 //! Generation is **deterministic**: the RNG is seeded from the test's
 //! module path and name, so a failure reproduces on every run and in CI.
@@ -15,6 +24,7 @@ pub mod arbitrary;
 pub mod collection;
 pub mod num;
 pub mod option;
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 
@@ -150,14 +160,27 @@ macro_rules! __proptest_body {
                 let inputs = ($(
                     $crate::strategy::Strategy::generate(&($strategy), &mut rng),
                 )+);
-                let outcome = {
-                    let ($($arg,)+) = ::std::clone::Clone::clone(&inputs);
-                    (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })()
-                };
-                match outcome {
+                // Runs the body on one input tuple (the witness pins the
+                // parameter type); panics become failures so they report
+                // (and shrink) like `prop_assert!` ones.
+                let run_case = $crate::shrink::constrain(&inputs, |inputs| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(inputs);
+                    let caught = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ));
+                    match caught {
+                        ::std::result::Result::Ok(outcome) => outcome,
+                        ::std::result::Result::Err(payload) => ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(
+                                $crate::test_runner::panic_message(payload.as_ref()),
+                            ),
+                        ),
+                    }
+                });
+                match run_case(&inputs) {
                     ::std::result::Result::Ok(()) => cases_run += 1,
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
                         rejects += 1;
@@ -169,9 +192,30 @@ macro_rules! __proptest_body {
                         }
                     }
                     ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        // Bounded value-level shrinking: resolve candidate
+                        // generation by autoref specialization so input
+                        // tuples without `Shrink` simply do not shrink.
+                        use $crate::shrink::{NoShrinkFallback as _, ShrinkCandidates as _};
+                        let original_msg = ::std::clone::Clone::clone(&msg);
+                        let min = $crate::shrink::minimize(
+                            ::std::clone::Clone::clone(&inputs),
+                            msg,
+                            |t| (&$crate::shrink::ShrinkWrap(t)).candidates(),
+                            &run_case,
+                        );
+                        if min.passes == 0 {
+                            panic!(
+                                "proptest `{}` failed after {} passing case(s): {}\ninputs: {:#?}",
+                                stringify!($name), cases_run, original_msg, inputs,
+                            );
+                        }
                         panic!(
-                            "proptest `{}` failed after {} passing case(s): {}\ninputs: {:#?}",
-                            stringify!($name), cases_run, msg, inputs,
+                            "proptest `{}` failed after {} passing case(s): {}\n\
+                             inputs (original): {:#?}\n\
+                             inputs (shrunk, {} passes / {} runs): {:#?}\n\
+                             shrunk failure: {}",
+                            stringify!($name), cases_run, original_msg, inputs,
+                            min.passes, min.runs, min.input, min.message,
                         );
                     }
                 }

@@ -1,0 +1,414 @@
+//! Basic input shrinking: when a case fails, the runner walks
+//! simplification candidates of the generated inputs — halved integers,
+//! shortened collections, dropped `Option`s — re-running the body on
+//! each, and reports the smallest input that still fails alongside the
+//! original.
+//!
+//! Unlike real proptest, shrinking operates on generated *values*, not
+//! on the strategy that produced them, so a shrunk input can leave the
+//! strategy's domain (e.g. `5usize..10` shrunk to `0`). That is fine
+//! for a failure report — the original inputs are always shown too —
+//! and a candidate only replaces the current minimum if the body still
+//! *fails* on it, never if it passes or is rejected.
+//!
+//! Types without an obvious simplification order (custom structs built
+//! via `prop_map`) simply do not shrink: the runner resolves candidate
+//! generation through [`ShrinkWrap`]'s autoref specialization, which
+//! falls back to "no candidates" for any type not implementing
+//! [`Shrink`]. The whole search is bounded ([`MAX_SHRINK_RUNS`] body
+//! re-executions, [`MAX_SHRINK_PASSES`] accepted simplifications), so a
+//! pathological case cannot hang a test.
+
+use crate::test_runner::TestCaseError;
+
+/// Upper bound on body re-executions during one shrink search.
+pub const MAX_SHRINK_RUNS: u32 = 256;
+
+/// Upper bound on accepted simplification passes (each pass restarts
+/// candidate generation from the new, smaller input).
+pub const MAX_SHRINK_PASSES: u32 = 64;
+
+/// A value that knows how to propose simpler versions of itself.
+///
+/// Candidates should be ordered simplest-first; the search takes the
+/// first one that still fails and restarts from it.
+pub trait Shrink: Sized {
+    /// Strictly simpler candidate values, simplest first. An empty
+    /// vector means the value is minimal.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    if v / 2 != 0 {
+                        out.push(v / 2);
+                    }
+                    if v - 1 != 0 && v - 1 != v / 2 {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_unsigned!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v != 0 {
+                    out.push(0);
+                    // Negative values first try their magnitude.
+                    if v < 0 && v != <$t>::MIN {
+                        out.push(-v);
+                    }
+                    let half = v / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let step = v - v.signum();
+                    if step != 0 && step != half {
+                        out.push(step);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_signed!(i8, i16, i32, i64, i128, isize);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for char {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self == 'a' {
+            Vec::new()
+        } else {
+            vec!['a']
+        }
+    }
+}
+
+impl Shrink for String {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let n = self.chars().count();
+        let mut out = vec![String::new()];
+        if n > 1 {
+            out.push(self.chars().take(n / 2).collect());
+            out.push(self.chars().take(n - 1).collect());
+        }
+        out
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => std::iter::once(None)
+                .chain(v.shrink_candidates().into_iter().map(Some))
+                .collect(),
+        }
+    }
+}
+
+/// How many elements element-wise vector shrinking touches, and how many
+/// candidates it takes per element — keeps candidate lists small for
+/// long vectors (the search is bounded anyway).
+const VEC_ELEMENT_BUDGET: usize = 16;
+const PER_ELEMENT_CANDIDATES: usize = 4;
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<Self> = vec![Vec::new()];
+        if self.len() > 1 {
+            // Structural shrinks: halves, then single-element removals.
+            out.push(self[..self.len() / 2].to_vec());
+            out.push(self[self.len() / 2..].to_vec());
+            for i in 0..self.len().min(VEC_ELEMENT_BUDGET) {
+                let mut shorter = self.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // Element-wise shrinks: simplify one position at a time.
+        for i in 0..self.len().min(VEC_ELEMENT_BUDGET) {
+            for cand in self[i]
+                .shrink_candidates()
+                .into_iter()
+                .take(PER_ELEMENT_CANDIDATES)
+            {
+                let mut simpler = self.clone();
+                simpler[i] = cand;
+                out.push(simpler);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink_candidates() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Autoref-specialization shim: `(&ShrinkWrap(&value)).candidates()`
+/// resolves to [`Shrink::shrink_candidates`] when the type implements
+/// [`Shrink`] (the impl on `ShrinkWrap` itself wins at the first probe
+/// step), and to an empty candidate list otherwise (the impl on
+/// `&ShrinkWrap` is reached by autoref) — so the `proptest!` macro can
+/// attempt shrinking on *any* input tuple without requiring the trait.
+/// Both [`ShrinkCandidates`] and [`NoShrinkFallback`] must be in scope
+/// at the call site.
+pub struct ShrinkWrap<'a, T>(pub &'a T);
+
+/// The specialized arm of the autoref dispatch (types with [`Shrink`]).
+pub trait ShrinkCandidates<T> {
+    /// Simpler candidate values, simplest first.
+    fn candidates(&self) -> Vec<T>;
+}
+
+impl<T: Shrink> ShrinkCandidates<T> for ShrinkWrap<'_, T> {
+    fn candidates(&self) -> Vec<T> {
+        self.0.shrink_candidates()
+    }
+}
+
+/// The fallback arm of the autoref dispatch (no shrinking).
+pub trait NoShrinkFallback<T> {
+    /// Simpler candidate values — always empty in the fallback.
+    fn candidates(&self) -> Vec<T>;
+}
+
+impl<T> NoShrinkFallback<T> for &ShrinkWrap<'_, T> {
+    fn candidates(&self) -> Vec<T> {
+        Vec::new()
+    }
+}
+
+/// Pin a case-runner closure's parameter type to the concrete input
+/// tuple (the witness): without the expected signature this provides,
+/// closure parameter inference would unify the parameter with whatever
+/// the body does to it first (e.g. `&specs` feeding a `&[T]` argument
+/// would infer an unsized tuple element).
+pub fn constrain<T, F: Fn(&T) -> Result<(), TestCaseError>>(_witness: &T, f: F) -> F {
+    f
+}
+
+/// Outcome of a bounded shrink search.
+#[derive(Clone, Debug)]
+pub struct Minimized<T> {
+    /// The simplest input found that still fails.
+    pub input: T,
+    /// The failure message produced by that input.
+    pub message: String,
+    /// Accepted simplification passes (0 = the original was minimal or
+    /// the input does not shrink).
+    pub passes: u32,
+    /// Total body re-executions spent searching.
+    pub runs: u32,
+}
+
+/// Greedily minimize a failing input: walk `candidates` of the current
+/// minimum, keep the first candidate that still fails, restart; stop
+/// when no candidate fails or the [`MAX_SHRINK_RUNS`] /
+/// [`MAX_SHRINK_PASSES`] bounds are hit. `run` must return `Err(Fail)`
+/// for failing inputs; passing and rejected candidates are skipped.
+pub fn minimize<T: Clone>(
+    original: T,
+    original_message: String,
+    candidates: impl Fn(&T) -> Vec<T>,
+    run: impl Fn(&T) -> Result<(), TestCaseError>,
+) -> Minimized<T> {
+    let mut min = Minimized {
+        input: original,
+        message: original_message,
+        passes: 0,
+        runs: 0,
+    };
+    'passes: while min.passes < MAX_SHRINK_PASSES {
+        for cand in candidates(&min.input) {
+            if min.runs >= MAX_SHRINK_RUNS {
+                break 'passes;
+            }
+            min.runs += 1;
+            if let Err(TestCaseError::Fail(msg)) = run(&cand) {
+                min.input = cand;
+                min.message = msg;
+                min.passes += 1;
+                continue 'passes;
+            }
+        }
+        break;
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_shrink_toward_zero() {
+        assert_eq!(100u32.shrink_candidates(), vec![0, 50, 99]);
+        assert_eq!(1u32.shrink_candidates(), vec![0]);
+        assert!(0u32.shrink_candidates().is_empty());
+        assert_eq!((-8i32).shrink_candidates(), vec![0, 8, -4, -7]);
+    }
+
+    #[test]
+    fn vectors_shrink_structurally_then_elementwise() {
+        let cands = vec![4u8, 6].shrink_candidates();
+        assert!(cands.contains(&vec![]));
+        assert!(cands.contains(&vec![4]));
+        assert!(cands.contains(&vec![6]));
+        assert!(cands.contains(&vec![0, 6]), "element-wise shrink of [0]");
+        assert!(cands.contains(&vec![4, 3]), "element-wise shrink of [1]");
+    }
+
+    #[test]
+    fn tuples_shrink_one_coordinate_at_a_time() {
+        let cands = (2u8, true).shrink_candidates();
+        assert!(cands.contains(&(0, true)));
+        assert!(cands.contains(&(1, true)));
+        assert!(cands.contains(&(2, false)));
+        assert!(!cands.contains(&(0, false)), "one coordinate per step");
+    }
+
+    #[test]
+    #[allow(clippy::needless_borrow)] // the explicit `&` is the dispatch under test
+    fn autoref_dispatch_falls_back_for_unshrinkable_types() {
+        use super::{NoShrinkFallback as _, ShrinkCandidates as _};
+        #[derive(Clone, Debug)]
+        struct Opaque;
+        let opaque = Opaque;
+        let none: Vec<Opaque> = (&ShrinkWrap(&opaque)).candidates();
+        assert!(none.is_empty());
+
+        let some: Vec<u32> = (&ShrinkWrap(&6u32)).candidates();
+        assert_eq!(some, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn minimize_finds_the_boundary() {
+        // Fails for values ≥ 17: the search must land exactly on 17.
+        let min = minimize(
+            400u32,
+            "seed".to_string(),
+            |v| v.shrink_candidates(),
+            |&v| {
+                if v >= 17 {
+                    Err(TestCaseError::fail(format!("{v} too big")))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(min.input, 17);
+        assert_eq!(min.message, "17 too big");
+        assert!(min.passes > 0);
+        assert!(min.runs <= MAX_SHRINK_RUNS);
+    }
+
+    #[test]
+    fn minimize_shrinks_vectors_to_the_failing_core() {
+        // Fails whenever the vector contains an element > 9.
+        let min = minimize(
+            vec![3u8, 120, 7, 45],
+            "seed".to_string(),
+            |v| v.shrink_candidates(),
+            |v| {
+                if v.iter().any(|&x| x > 9) {
+                    Err(TestCaseError::fail("big element"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(min.input, vec![10], "minimal failing witness");
+    }
+
+    #[test]
+    fn minimize_respects_the_run_bound() {
+        let calls = std::cell::Cell::new(0u32);
+        let min = minimize(
+            u64::MAX,
+            "seed".to_string(),
+            |v| v.shrink_candidates(),
+            |_| {
+                calls.set(calls.get() + 1);
+                Err(TestCaseError::fail("always fails"))
+            },
+        );
+        assert!(min.runs <= MAX_SHRINK_RUNS);
+        assert!(calls.get() <= MAX_SHRINK_RUNS);
+        assert_eq!(min.input, 0, "always-failing case bottoms out at zero");
+    }
+
+    #[test]
+    fn rejected_candidates_do_not_become_the_minimum() {
+        // Odd values are "rejected" (out of domain); fails for even ≥ 10.
+        let min = minimize(
+            40u32,
+            "seed".to_string(),
+            |v| v.shrink_candidates(),
+            |&v| {
+                if v % 2 == 1 {
+                    Err(TestCaseError::reject("odd"))
+                } else if v >= 10 {
+                    Err(TestCaseError::fail("even and big"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(min.input % 2, 0, "rejected candidates skipped");
+        assert!(min.input >= 10);
+    }
+}

@@ -68,6 +68,19 @@ impl std::error::Error for TestCaseError {}
 /// Result of one test-case body.
 pub type TestCaseResult = Result<(), TestCaseError>;
 
+/// Extract a readable message from a caught panic payload (the runner
+/// converts body panics into [`TestCaseError::Fail`] so the failing
+/// inputs can be reported and shrunk).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// The RNG strategies draw from. Deterministic per test so failures
 /// reproduce; override the base seed with `PROPTEST_SHIM_SEED=<u64>`.
 pub struct TestRng {

@@ -1,0 +1,54 @@
+//! End-to-end checks that the `proptest!` runner shrinks failing inputs:
+//! deliberately failing properties whose expected panic message proves
+//! the minimized witness (not just the original random input) is
+//! reported.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Fails for every v ≥ 1, so greedy halving must bottom out at the
+    // boundary witness v = 1 regardless of the first failing value.
+    #[test]
+    #[should_panic(expected = "inputs (shrunk")]
+    fn integer_failure_reports_shrunk_input(v in 1u32..100_000) {
+        prop_assert!(v == 0, "v = {v} is nonzero");
+    }
+
+    // The minimal witness for "contains an element ≥ 10" is a single
+    // element — the report must show the one-element vector, proving
+    // structural (not just element-wise) shrinking ran.
+    #[test]
+    #[should_panic(expected = "shrunk failure: assertion failed")]
+    fn vector_failure_shrinks_structurally(v in prop::collection::vec(10u8..50, 3..6)) {
+        prop_assert!(
+            v.iter().all(|&x| x < 10),
+            "vector contains a big element"
+        );
+    }
+
+    // Plain panics (not prop_assert!) are caught, reported with inputs,
+    // and shrunk like ordinary failures.
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn body_panics_are_caught_and_reported(v in 5u64..1_000) {
+        assert!(v < 5, "plain assert failure for {v}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Inputs whose types do not implement `Shrink` (here: a prop_map
+    // struct) fall back to the unshrunk report instead of failing to
+    // compile — the autoref fallback path.
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn unshrinkable_inputs_still_report(s in (1u8..9).prop_map(Opaque)) {
+        prop_assert!(s.0 == 0, "opaque value {} is nonzero", s.0);
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Opaque(u8);

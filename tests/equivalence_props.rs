@@ -98,6 +98,26 @@ proptest! {
         prop_assert!(scc.stats.db_queries <= queries.len());
     }
 
+    /// The wavefront-parallel condensation sweep is *indistinguishable*
+    /// from the sequential one on random safe instances: identical
+    /// candidate sets (same order, same groundings) and identical stats,
+    /// at several thread counts.
+    #[test]
+    fn scc_parallel_equals_sequential(specs in (2usize..7).prop_flat_map(safe_spec_strategy)) {
+        let db = safe_db();
+        let queries = build_safe_queries(&specs);
+        prop_assume!(is_safe(&social_coordination::core::QuerySet::new(queries.clone())));
+
+        let coordinator = SccCoordinator::new(&db);
+        let seq = coordinator.run(&queries).unwrap();
+        for threads in [2usize, 4] {
+            let par = coordinator.run_parallel(&queries, threads).unwrap();
+            prop_assert_eq!(&seq.found, &par.found, "threads = {}", threads);
+            prop_assert_eq!(seq.stats, par.stats, "threads = {}", threads);
+            prop_assert_eq!(seq.best_names(), par.best_names(), "threads = {}", threads);
+        }
+    }
+
     /// On safe+unique instances the Gupta baseline and the SCC algorithm
     /// agree exactly.
     #[test]

@@ -6,8 +6,10 @@ use rand::prelude::*;
 use social_coordination::core::check_coordinating_set;
 use social_coordination::core::consistent::ConsistentCoordinator;
 use social_coordination::core::scc::{preprocess, SccCoordinator};
+use social_coordination::core::EntangledQuery;
 use social_coordination::gen::workloads::{
-    fig4_instance, fig5_instance, fig7_instance, fig8_instance,
+    fig4_instance, fig4_queries, fig5_instance, fig5_queries, fig7_instance, fig8_instance,
+    partner_query, pool_db,
 };
 
 #[test]
@@ -87,4 +89,101 @@ fn parallel_sweep_agrees_at_scale() {
         let par = coordinator.run_parallel(&queries, threads).unwrap();
         assert_eq!(seq.per_value, par.per_value);
     }
+}
+
+/// A unique cycle: query i coordinates with query (i+1) mod n — one SCC.
+fn cycle_queries(n: usize) -> Vec<EntangledQuery> {
+    (0..n).map(|i| partner_query(i, &[(i + 1) % n])).collect()
+}
+
+/// Regression gate for the ROADMAP superlinearity item: on the list
+/// workload the candidate-enumeration unify-call counter must grow
+/// ≤ c·n·k from n = 20 to n = 100 — near-linear thanks to the shared
+/// (relation, first-arg constant) index — where the all-pairs sweep
+/// would grow ~n² (25× over this 5× size step).
+#[test]
+fn list_workload_unify_calls_grow_linearly_not_quadratically() {
+    let db = pool_db(1_000);
+    let calls_at = |n: usize| {
+        let pre = preprocess(&db, &fig4_queries(n)).unwrap();
+        assert!(pre.removed.is_empty());
+        pre.unify_calls
+    };
+    let small = calls_at(20);
+    let large = calls_at(100);
+    // Linear growth would be exactly 5×; leave headroom for constant
+    // bucket width k, but stay far below the quadratic 25×.
+    assert!(
+        large <= 8 * small,
+        "unify calls grew {small} → {large} (> 8×) on a 5× size step: superlinear regression"
+    );
+    // Absolute near-linearity: the all-pairs baseline is posts × heads
+    // = (n−1)·n per sweep; the indexed pipeline must sit ≥ 10× below it.
+    let all_pairs = (100u64 - 1) * 100;
+    assert!(
+        large * 10 <= all_pairs,
+        "unify calls {large} not ≥ 10× below the all-pairs baseline {all_pairs}"
+    );
+}
+
+/// `SccCoordinator::run_parallel` must return results *identical* to the
+/// sequential sweep — same candidate sets in the same order, same
+/// groundings, same stats — on the cycle, list and random scale-free
+/// safe workloads, at every thread count.
+#[test]
+fn scc_parallel_equals_sequential_on_all_workloads() {
+    let db = pool_db(1_000);
+    let mut workloads: Vec<(&str, Vec<EntangledQuery>)> =
+        vec![("cycle", cycle_queries(40)), ("list", fig4_queries(40))];
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        workloads.push(("scale-free", fig5_queries(48, 2, &mut rng)));
+    }
+    for (name, queries) in &workloads {
+        let coordinator = SccCoordinator::new(&db);
+        let seq = coordinator.run(queries).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = coordinator.run_parallel(queries, threads).unwrap();
+            assert_eq!(
+                seq.found, par.found,
+                "{name}/{threads}: candidate sets diverged"
+            );
+            assert_eq!(seq.stats, par.stats, "{name}/{threads}: stats diverged");
+            assert_eq!(
+                seq.best_names(),
+                par.best_names(),
+                "{name}/{threads}: selection diverged"
+            );
+        }
+    }
+}
+
+/// The parallel sweep composes with preprocessing reuse and the
+/// bruteforce cutoff exactly like the sequential path.
+#[test]
+fn scc_parallel_respects_preprocessed_and_cutoff_paths() {
+    let db = pool_db(200);
+    let queries = fig4_queries(30);
+
+    let seq = SccCoordinator::new(&db)
+        .run_preprocessed(preprocess(&db, &queries).unwrap())
+        .unwrap();
+    let par = SccCoordinator::new(&db)
+        .run_preprocessed_parallel(preprocess(&db, &queries).unwrap(), 4)
+        .unwrap();
+    assert_eq!(seq.found, par.found);
+    assert_eq!(seq.stats, par.stats);
+
+    // Below the cutoff both delegate to the same exhaustive search.
+    let small = fig4_queries(5);
+    let fast_seq = SccCoordinator::new(&db)
+        .with_bruteforce_cutoff(6)
+        .run(&small)
+        .unwrap();
+    let fast_par = SccCoordinator::new(&db)
+        .with_bruteforce_cutoff(6)
+        .run_parallel(&small, 4)
+        .unwrap();
+    assert_eq!(fast_seq.best_names(), fast_par.best_names());
+    assert_eq!(fast_seq.stats, fast_par.stats);
 }

@@ -157,10 +157,13 @@ fn bench_online_throughput(c: &mut Criterion) {
                             let engine = &engine;
                             s.spawn(move || {
                                 // Each thread owns disjoint groups: phase
-                                // 1 then keystones, all within the thread.
+                                // 1 arrives in cross-group *batches* (one
+                                // routing acquisition per wave), then the
+                                // keystones release each group.
                                 for i in 0..GROUP - 1 {
-                                    for g in chunk {
-                                        engine.submit(g[i].clone()).unwrap();
+                                    let wave: Vec<_> = chunk.iter().map(|g| g[i].clone()).collect();
+                                    for r in engine.submit_batch(wave) {
+                                        assert!(!r.unwrap().coordinated());
                                     }
                                 }
                                 for g in chunk {
@@ -170,6 +173,7 @@ fn bench_online_throughput(c: &mut Criterion) {
                             });
                         }
                     });
+                    assert!(engine.metrics().batches >= (GROUP - 1) as u64);
                     engine.delivered()
                 })
             },

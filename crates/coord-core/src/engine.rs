@@ -252,9 +252,57 @@ impl<'a> SharedEngine<'a> {
         })
     }
 
+    /// Submit a batch of queries, acquiring the routing table once for
+    /// the whole batch instead of twice per query (amortizes routing for
+    /// high-throughput front ends). Per-query results in input order.
+    /// Directly routable queries of one component keep their relative
+    /// order; a batch member that bridges shards is deferred behind the
+    /// directly routable ones, so batch ≡ sequential is guaranteed when
+    /// the batch's components are disjoint or already co-sharded (see
+    /// `ShardedEngine::submit_batch`).
+    pub fn submit_batch(
+        &self,
+        queries: Vec<EntangledQuery>,
+    ) -> Vec<Result<SubmitResult, CoordError>> {
+        let n = queries.len();
+        let mut invalid: Vec<(usize, CoordError)> = Vec::new();
+        let mut valid_idx: Vec<usize> = Vec::with_capacity(n);
+        let mut batch: Vec<EntangledQuery> = Vec::with_capacity(n);
+        for (i, q) in queries.into_iter().enumerate() {
+            match q.validate(self.db) {
+                Ok(()) => {
+                    valid_idx.push(i);
+                    batch.push(q);
+                }
+                Err(e) => invalid.push((i, e)),
+            }
+        }
+        let outcomes = self.inner.submit_batch(batch);
+        let mut results: Vec<Option<Result<SubmitResult, CoordError>>> =
+            (0..n).map(|_| None).collect();
+        for (i, outcome) in valid_idx.into_iter().zip(outcomes) {
+            results[i] = Some(outcome.map(|o| SubmitResult {
+                answers: o.delivery.unwrap_or_default(),
+            }));
+        }
+        for (i, e) in invalid {
+            results[i] = Some(Err(e));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
     /// Number of pending queries (across all shards).
     pub fn pending_count(&self) -> usize {
         self.inner.pending_count()
+    }
+
+    /// Clones of all pending queries (a moving snapshot under
+    /// concurrent submits).
+    pub fn pending(&self) -> Vec<EntangledQuery> {
+        self.inner.pending()
     }
 
     /// Total delivered answers.

@@ -45,6 +45,9 @@ pub enum CoordError {
     NotExpressible { feature: String },
     /// Textual query syntax could not be parsed.
     Parse { message: String },
+    /// The durable store failed (I/O, corruption, or a record that
+    /// framed cleanly but did not decode).
+    Store { message: String },
 }
 
 impl fmt::Display for CoordError {
@@ -83,6 +86,7 @@ impl fmt::Display for CoordError {
                 write!(f, "{feature} is not expressible in entangled-query syntax")
             }
             CoordError::Parse { message } => write!(f, "{message}"),
+            CoordError::Store { message } => write!(f, "durable store error: {message}"),
         }
     }
 }

@@ -29,7 +29,10 @@
 //! * [`selector`] — pluggable selection among coordinating sets,
 //! * [`engine`] — a Youtopia-style online evaluation loop: a thin
 //!   adapter wiring the SCC algorithm into the `coord-engine` service
-//!   crate's incremental, sharded machinery.
+//!   crate's incremental, sharded machinery,
+//! * [`persist`] — durable variants of the online engines: the
+//!   `coord-store` WAL/snapshot subsystem with an [`EntangledQuery`]
+//!   codec, so acknowledged submits survive crashes.
 //!
 //! ## Quickstart
 //!
@@ -75,6 +78,7 @@ pub mod gupta;
 pub mod instance;
 pub mod outcome;
 pub mod parse;
+pub mod persist;
 pub mod query;
 pub mod scc;
 pub mod selector;
@@ -85,5 +89,6 @@ pub mod unify;
 pub use error::CoordError;
 pub use instance::QuerySet;
 pub use outcome::FoundSet;
+pub use persist::{DurableCoordinationEngine, DurableSharedEngine};
 pub use query::{EntangledQuery, QueryBuilder, QueryId};
 pub use semantics::{check_coordinating_set, Grounding, Violation};

@@ -1,0 +1,421 @@
+//! Durable online engines for entangled queries: the `coord-store`
+//! WAL/snapshot subsystem wired to the paper's query type.
+//!
+//! * [`EntangledQueryCodec`] — deterministic byte serialization of
+//!   [`EntangledQuery`] (name, variable table, postcondition/head/body
+//!   atoms) for the log and snapshots,
+//! * [`DurableCoordinationEngine`] — the single-writer engine with a
+//!   write-ahead log: strict prefix semantics (state after recovery is
+//!   exactly the state after some prefix of acknowledged submits),
+//! * [`DurableSharedEngine`] — the sharded service with a log stream
+//!   per shard (records spread round-robin across streams; recovery is
+//!   order-independent) under a shared snapshot epoch; `SharedEngine`
+//!   callers opt into durability by swapping one constructor:
+//!
+//! ```no_run
+//! use coord_core::persist::DurableSharedEngine;
+//! use coord_db::Database;
+//!
+//! let db = Database::new();
+//! let engine = DurableSharedEngine::open(&db, "/var/lib/coord").unwrap();
+//! // …submit like a SharedEngine; state survives a crash…
+//! ```
+//!
+//! Recovery replays `snapshot + log tail` without re-evaluating any
+//! component (the log records which queries retired), then re-routes
+//! the surviving pending set — so the restored engine's pending set,
+//! component structure and subsequent coordination results match an
+//! uninterrupted run (property-tested in `tests/durability_props.rs`).
+
+use crate::engine::{QueryAnswer, SccEvaluator, SubmitResult};
+use crate::error::CoordError;
+use crate::query::EntangledQuery;
+use coord_db::{Atom, Database, Term, Value, Var};
+use coord_engine::MetricsSnapshot;
+use coord_store::bytes::{put_i64, put_str, put_u32, Reader};
+use coord_store::{DurableError, QueryCodec, RecoveryReport, StoreError};
+use std::path::Path;
+
+pub use coord_store::{DurabilityOptions, StoreStatsSnapshot, SyncPolicy};
+
+/// Deterministic byte codec for [`EntangledQuery`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EntangledQueryCodec;
+
+const TERM_VAR: u8 = 0;
+const TERM_INT: u8 = 1;
+const TERM_STR: u8 = 2;
+
+fn put_atoms(out: &mut Vec<u8>, atoms: &[Atom]) {
+    put_u32(out, atoms.len() as u32);
+    for atom in atoms {
+        put_str(out, atom.relation.as_str());
+        put_u32(out, atom.terms.len() as u32);
+        for term in &atom.terms {
+            match term {
+                Term::Var(v) => {
+                    out.push(TERM_VAR);
+                    put_u32(out, v.0);
+                }
+                Term::Const(Value::Int(i)) => {
+                    out.push(TERM_INT);
+                    put_i64(out, *i);
+                }
+                Term::Const(Value::Str(s)) => {
+                    out.push(TERM_STR);
+                    put_str(out, s);
+                }
+            }
+        }
+    }
+}
+
+fn read_atoms(r: &mut Reader<'_>) -> Result<Vec<Atom>, StoreError> {
+    let count = r.u32()? as usize;
+    let mut atoms = Vec::with_capacity(count);
+    for _ in 0..count {
+        let relation = r.str()?;
+        let arity = r.u32()? as usize;
+        let mut terms = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let term = match r.u8()? {
+                TERM_VAR => Term::Var(Var(r.u32()?)),
+                TERM_INT => Term::Const(Value::Int(r.i64()?)),
+                TERM_STR => Term::Const(Value::str(r.str()?)),
+                t => return Err(StoreError::Codec(format!("unknown term tag {t}"))),
+            };
+            terms.push(term);
+        }
+        atoms.push(Atom::new(relation, terms));
+    }
+    Ok(atoms)
+}
+
+impl QueryCodec<EntangledQuery> for EntangledQueryCodec {
+    fn encode(&self, query: &EntangledQuery, out: &mut Vec<u8>) {
+        put_str(out, query.name());
+        put_u32(out, query.var_count());
+        for i in 0..query.var_count() {
+            put_str(out, query.var_name(Var(i)));
+        }
+        put_atoms(out, query.postconditions());
+        put_atoms(out, query.heads());
+        put_atoms(out, query.body());
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<EntangledQuery, StoreError> {
+        let mut r = Reader::new(bytes);
+        let name = r.str()?;
+        let vars = r.u32()? as usize;
+        let mut var_names = Vec::with_capacity(vars);
+        for _ in 0..vars {
+            var_names.push(r.str()?);
+        }
+        let postconditions = read_atoms(&mut r)?;
+        let heads = read_atoms(&mut r)?;
+        let body = read_atoms(&mut r)?;
+        if !r.is_empty() {
+            return Err(StoreError::Codec(format!(
+                "trailing bytes after query `{name}`"
+            )));
+        }
+        EntangledQuery::new(name, postconditions, heads, body, var_names)
+            .map_err(|e| StoreError::Codec(e.to_string()))
+    }
+}
+
+fn store_err(e: StoreError) -> CoordError {
+    CoordError::Store {
+        message: e.to_string(),
+    }
+}
+
+fn durable_err(e: DurableError<CoordError>) -> CoordError {
+    match e {
+        DurableError::Engine(e) => e,
+        DurableError::Store(e) => store_err(e),
+    }
+}
+
+/// The single-writer online engine with WAL + snapshot durability:
+/// [`crate::engine::CoordinationEngine`] semantics, crash-safe.
+pub struct DurableCoordinationEngine<'a> {
+    db: &'a Database,
+    inner: coord_store::DurableEngine<EntangledQuery, SccEvaluator<'a>, EntangledQueryCodec>,
+}
+
+impl<'a> DurableCoordinationEngine<'a> {
+    /// Open (or create) a durable engine at `dir` with default
+    /// durability options, recovering any pending set left by a crash.
+    pub fn open(db: &'a Database, dir: impl AsRef<Path>) -> Result<Self, CoordError> {
+        Self::open_with(db, dir, DurabilityOptions::default())
+    }
+
+    /// Open with explicit sync/snapshot configuration.
+    pub fn open_with(
+        db: &'a Database,
+        dir: impl AsRef<Path>,
+        options: DurabilityOptions,
+    ) -> Result<Self, CoordError> {
+        let inner = coord_store::DurableEngine::open(
+            dir,
+            SccEvaluator::new(db),
+            EntangledQueryCodec,
+            options,
+        )
+        .map_err(store_err)?;
+        Ok(DurableCoordinationEngine { db, inner })
+    }
+
+    /// Submit a query; the accepted mutation is logged before this
+    /// returns, so an acknowledged submit survives a crash.
+    pub fn submit(&mut self, query: EntangledQuery) -> Result<SubmitResult, CoordError> {
+        query.validate(self.db)?;
+        let outcome = self.inner.submit(query).map_err(durable_err)?;
+        Ok(SubmitResult {
+            answers: outcome.delivery.unwrap_or_default(),
+        })
+    }
+
+    /// Submit a batch, collecting every delivered answer.
+    pub fn submit_all(
+        &mut self,
+        queries: impl IntoIterator<Item = EntangledQuery>,
+    ) -> Result<Vec<QueryAnswer>, CoordError> {
+        let mut out = Vec::new();
+        for q in queries {
+            out.extend(self.submit(q)?.answers);
+        }
+        Ok(out)
+    }
+
+    /// Queries currently buffered.
+    pub fn pending(&self) -> Vec<&EntangledQuery> {
+        self.inner.pending().collect()
+    }
+
+    /// Total queries answered and retired.
+    pub fn delivered(&self) -> usize {
+        self.inner.delivered() as usize
+    }
+
+    /// Number of incrementally maintained components.
+    pub fn component_count(&self) -> usize {
+        self.inner.component_count()
+    }
+
+    /// The engine's incremental-maintenance metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics().snapshot()
+    }
+
+    /// What recovery found when this engine was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        self.inner.recovery_report()
+    }
+
+    /// Durable-store counters (records, bytes, snapshots, epoch).
+    pub fn store_stats(&self) -> StoreStatsSnapshot {
+        self.inner.store().stats()
+    }
+
+    /// End offset of the WAL after the last acknowledged submit.
+    pub fn wal_len(&self) -> u64 {
+        self.inner.wal_len()
+    }
+
+    /// Snapshot the pending set now, rotating the WAL epoch.
+    pub fn snapshot(&mut self) -> Result<(), CoordError> {
+        self.inner.snapshot().map_err(store_err)
+    }
+
+    /// The last background rotation failure, if any (cleared on read).
+    /// Submits stay durable through the still-open WAL when a rotation
+    /// fails.
+    pub fn take_snapshot_error(&mut self) -> Option<CoordError> {
+        self.inner.take_snapshot_error().map(store_err)
+    }
+
+    /// Check engine + registry invariants; panics with a description on
+    /// violation.
+    pub fn validate_invariants(&mut self) {
+        self.inner.validate_invariants();
+    }
+}
+
+/// The sharded, thread-safe online service with durability: the
+/// [`crate::engine::SharedEngine`] API plus crash recovery. A WAL
+/// stream per shard (round-robin) under a shared snapshot epoch.
+pub struct DurableSharedEngine<'a> {
+    db: &'a Database,
+    inner: coord_store::DurableShardedEngine<EntangledQuery, SccEvaluator<'a>, EntangledQueryCodec>,
+}
+
+impl<'a> DurableSharedEngine<'a> {
+    /// Open (or create) a durable service at `dir` with one shard per
+    /// available CPU (capped at 16) and default durability options.
+    pub fn open(db: &'a Database, dir: impl AsRef<Path>) -> Result<Self, CoordError> {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 16);
+        Self::open_with(db, dir, shards, DurabilityOptions::default())
+    }
+
+    /// Open with explicit shard count and durability configuration. The
+    /// shard count may differ from the one that wrote the store — the
+    /// recovered pending set is re-routed across the new shards.
+    pub fn open_with(
+        db: &'a Database,
+        dir: impl AsRef<Path>,
+        shards: usize,
+        options: DurabilityOptions,
+    ) -> Result<Self, CoordError> {
+        let inner = coord_store::DurableShardedEngine::open(
+            dir,
+            SccEvaluator::new(db),
+            shards,
+            EntangledQueryCodec,
+            options,
+        )
+        .map_err(store_err)?;
+        Ok(DurableSharedEngine { db, inner })
+    }
+
+    /// Submit a query under its component shard's lock; the accepted
+    /// mutation is logged before this returns.
+    pub fn submit(&self, query: EntangledQuery) -> Result<SubmitResult, CoordError> {
+        query.validate(self.db)?;
+        let outcome = self.inner.submit(query).map_err(durable_err)?;
+        Ok(SubmitResult {
+            answers: outcome.delivery.unwrap_or_default(),
+        })
+    }
+
+    /// Number of pending queries (across all shards).
+    pub fn pending_count(&self) -> usize {
+        self.inner.pending_count()
+    }
+
+    /// Clones of all pending queries.
+    pub fn pending(&self) -> Vec<EntangledQuery> {
+        self.inner.pending()
+    }
+
+    /// Total delivered answers.
+    pub fn delivered(&self) -> usize {
+        self.inner.delivered() as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Total maintained components across shards.
+    pub fn component_count(&self) -> usize {
+        self.inner.component_count()
+    }
+
+    /// Aggregated engine metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics().snapshot()
+    }
+
+    /// Per-shard submit/contention statistics.
+    pub fn shard_stats(&self) -> Vec<coord_engine::ShardStatsSnapshot> {
+        self.inner.shard_stats()
+    }
+
+    /// What recovery found when this engine was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        self.inner.recovery_report()
+    }
+
+    /// Durable-store counters (records, bytes, snapshots, epoch).
+    pub fn store_stats(&self) -> StoreStatsSnapshot {
+        self.inner.store().stats()
+    }
+
+    /// Snapshot the pending set now, rotating every shard's WAL to the
+    /// next epoch. Safe under concurrent submits.
+    pub fn snapshot(&self) -> Result<(), CoordError> {
+        self.inner.snapshot().map_err(store_err)
+    }
+
+    /// The last background rotation failure, if any (cleared on read).
+    /// Submits stay durable through the still-open WAL when a rotation
+    /// fails.
+    pub fn take_snapshot_error(&self) -> Option<CoordError> {
+        self.inner.take_snapshot_error().map(store_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+
+    fn roundtrip(q: &EntangledQuery) -> EntangledQuery {
+        let codec = EntangledQueryCodec;
+        let mut bytes = Vec::new();
+        codec.encode(q, &mut bytes);
+        codec.decode(&bytes).unwrap()
+    }
+
+    #[test]
+    fn codec_roundtrips_the_running_example() {
+        let q = QueryBuilder::new("gwyneth")
+            .postcondition("R", |a| a.constant("Chris").var("x"))
+            .head("R", |a| a.constant("Gwyneth").var("x"))
+            .body("Flights", |a| a.var("x").constant("Zurich"))
+            .build()
+            .unwrap();
+        assert_eq!(roundtrip(&q), q);
+    }
+
+    #[test]
+    fn codec_roundtrips_ints_strings_and_shared_vars() {
+        let q = QueryBuilder::new("mixed")
+            .postcondition("R", |a| a.constant(7i64).var("x").var("y"))
+            .head("R", |a| a.constant("me").var("y"))
+            .head("S", |a| a.var("x").constant(-3i64))
+            .body("T", |a| a.var("x").var("y").constant("tag"))
+            .build()
+            .unwrap();
+        let back = roundtrip(&q);
+        assert_eq!(back, q);
+        assert_eq!(back.var_count(), 2);
+        assert_eq!(back.var_name(Var(0)), "x");
+    }
+
+    #[test]
+    fn codec_is_deterministic() {
+        let make = || {
+            QueryBuilder::new("q")
+                .head("R", |a| a.constant("u").var("v"))
+                .body("S", |a| a.var("v").constant(1i64))
+                .build()
+                .unwrap()
+        };
+        let codec = EntangledQueryCodec;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        codec.encode(&make(), &mut a);
+        codec.encode(&make(), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_trailing_bytes() {
+        let codec = EntangledQueryCodec;
+        assert!(codec.decode(&[1, 2, 3]).is_err());
+        let q = QueryBuilder::new("q")
+            .head("R", |a| a.constant(1i64))
+            .build()
+            .unwrap();
+        let mut bytes = Vec::new();
+        codec.encode(&q, &mut bytes);
+        bytes.push(0);
+        assert!(codec.decode(&bytes).is_err());
+    }
+}

@@ -142,6 +142,47 @@ proptest! {
         );
     }
 
+    /// Batch submission agrees with one-at-a-time submission: the same
+    /// arrivals chopped into batches deliver the same answers at each
+    /// step and leave the same pending set (the batch path acquires the
+    /// routing table once per batch instead of twice per query).
+    #[test]
+    fn batch_submit_matches_sequential(
+        shapes in prop::collection::vec((prop::arbitrary::any::<bool>(), 1usize..=5), 1..=4),
+        seed in prop::arbitrary::any::<u64>(),
+        batch_size in 1usize..=6,
+    ) {
+        let db = pool_db(64);
+        let groups: Vec<Vec<EntangledQuery>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(g, &(cycle, size))| group(100 * g, size, cycle))
+            .collect();
+        let arrivals = interleave(groups, seed);
+
+        let mut reference = CoordinationEngine::new(&db);
+        let batched = SharedEngine::with_shards(&db, 3);
+        for chunk in arrivals.chunks(batch_size) {
+            let results = batched.submit_batch(chunk.to_vec());
+            prop_assert_eq!(results.len(), chunk.len());
+            for (q, r) in chunk.iter().zip(results) {
+                let a = reference.submit(q.clone()).unwrap();
+                let b = r.unwrap();
+                prop_assert_eq!(
+                    sorted_names(a.answers.iter().map(|x| x.query.clone())),
+                    sorted_names(b.answers.iter().map(|x| x.query.clone())),
+                    "batched delivery diverged"
+                );
+            }
+        }
+        prop_assert_eq!(reference.delivered(), batched.delivered());
+        prop_assert_eq!(reference.pending().len(), batched.pending_count());
+        prop_assert_eq!(
+            sorted_names(reference.pending().iter().map(|q| q.name().to_string())),
+            sorted_names(batched.pending().iter().map(|q| q.name().to_string()))
+        );
+    }
+
     /// The sharded engine agrees with the single-threaded incremental
     /// engine when driven sequentially.
     #[test]

@@ -85,6 +85,13 @@ impl<Q, D> SubmitOutcome<Q, D> {
     }
 }
 
+/// Result of the transitive related-component selection: the selected
+/// live tokens plus the full key set they hold.
+type RelatedSelection<Q> = (
+    HashSet<usize>,
+    Vec<KeyPattern<<Q as CoordinationQuery>::Rel, <Q as CoordinationQuery>::Cst>>,
+);
+
 /// One pending query with its cached key patterns (cached so removal
 /// un-indexes exactly what insertion indexed).
 struct Entry<Q: CoordinationQuery> {
@@ -248,11 +255,12 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
         }
     }
 
-    /// Remove and return every query in a component holding a key related
-    /// to `seed` — *transitively*: keys of extracted queries join the
-    /// working set, so all holders of every affected key leave together
-    /// (the invariant cross-shard routing relies on).
-    pub fn extract_related(&mut self, seed: &[KeyPattern<Q::Rel, Q::Cst>]) -> Vec<Q> {
+    /// The transitive selection shared by [`Self::extract_related`] and
+    /// [`Self::related_keys`]: every live token in a component holding a
+    /// key related to `seed`, plus the full key set those tokens hold
+    /// (seeded with `seed` itself). `&mut` only for union-find path
+    /// compression — the engine's observable state is untouched.
+    fn select_related(&mut self, seed: &[KeyPattern<Q::Rel, Q::Cst>]) -> RelatedSelection<Q> {
         let mut keys: Vec<KeyPattern<Q::Rel, Q::Cst>> = seed.to_vec();
         let mut selected: HashSet<usize> = HashSet::new();
         loop {
@@ -290,6 +298,28 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
                 }
             }
         }
+        (selected, keys)
+    }
+
+    /// The full key set held by components related — transitively over
+    /// shared keys — to `seed`, including `seed` itself, without removing
+    /// anything. The sharded engine's migration protocol uses this to
+    /// freeze (mark) a component group's complete key closure *before*
+    /// extracting it, so the router write lock never has to be held
+    /// across the slab scan.
+    pub fn related_keys(
+        &mut self,
+        seed: &[KeyPattern<Q::Rel, Q::Cst>],
+    ) -> Vec<KeyPattern<Q::Rel, Q::Cst>> {
+        self.select_related(seed).1
+    }
+
+    /// Remove and return every query in a component holding a key related
+    /// to `seed` — *transitively*: keys of extracted queries join the
+    /// working set, so all holders of every affected key leave together
+    /// (the invariant cross-shard routing relies on).
+    pub fn extract_related(&mut self, seed: &[KeyPattern<Q::Rel, Q::Cst>]) -> Vec<Q> {
+        let (selected, _keys) = self.select_related(seed);
 
         // Selected tokens are whole components: drop them wholesale.
         let roots: BTreeSet<usize> = selected.iter().map(|&t| self.uf.find(t)).collect();

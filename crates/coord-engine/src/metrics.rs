@@ -30,6 +30,11 @@ pub struct EngineMetrics {
     pub repartitions: AtomicU64,
     /// Cross-shard component migrations.
     pub migrations: AtomicU64,
+    /// Routing attempts that backed off because a key was mid-migration.
+    pub migration_backoffs: AtomicU64,
+    /// Batch submissions (each covering many queries under one routing
+    /// acquisition).
+    pub batches: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -55,6 +60,8 @@ impl EngineMetrics {
             evaluations: self.evaluations.load(Ordering::Relaxed),
             repartitions: self.repartitions.load(Ordering::Relaxed),
             migrations: self.migrations.load(Ordering::Relaxed),
+            migration_backoffs: self.migration_backoffs.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -70,6 +77,8 @@ pub struct MetricsSnapshot {
     pub evaluations: u64,
     pub repartitions: u64,
     pub migrations: u64,
+    pub migration_backoffs: u64,
+    pub batches: u64,
 }
 
 impl MetricsSnapshot {

@@ -12,34 +12,55 @@
 //!
 //! * A query whose keys are unclaimed is routed round-robin.
 //! * A query whose keys hit one shard is routed there.
-//! * A query bridging several shards triggers a **migration**: under the
-//!   exclusive router lock, the bridged components are extracted from the
-//!   losing shards (transitively over shared keys, preserving the
-//!   invariant) and re-inserted into the target before the query lands.
+//! * A query bridging several shards triggers a **migration**: the
+//!   bridged components are moved to one target shard before the query
+//!   lands.
+//!
+//! ## Migration protocol (marker-based)
+//!
+//! A migration must not hold the router write lock while it waits for
+//! shard locks or scans shard slabs — that would stall every unrelated
+//! submitter for the duration of a possibly long component evaluation.
+//! Instead the router keeps a set of **migrating key markers**:
+//!
+//! 1. *Mark* (router write, brief): every registered key related to the
+//!    bridging query's keys is marked. Routing and shard-side validation
+//!    treat marked keys as "in flux": submitters touching them back off
+//!    and retry, submitters touching anything else proceed.
+//! 2. *Freeze* (no router lock): each source shard's slab is scanned —
+//!    under that shard's lock alone — for the transitive key closure of
+//!    the marked set; newly found keys are marked too (brief router
+//!    writes) until a fixed point. Once the whole closure is marked, no
+//!    new query can join the components being moved, and no in-flight
+//!    claimant can slip in: a claimant validates its keys against the
+//!    marker set *after* taking its shard lock, so it either landed
+//!    before the freeze (and is seen by the scan) or backs off.
+//! 3. *Move* (no router lock): extract the closure from each source
+//!    shard and insert it into the target, taking one shard lock at a
+//!    time.
+//! 4. *Publish* (router write, brief): point every closure key at the
+//!    target and lift the marks.
 //!
 //! ## Lock discipline
 //!
-//! A submitter takes the router write lock only *briefly* — to route and
-//! claim its keys, and to release keys afterwards — then submits under
-//! its shard lock alone, so disjoint submitters run truly in parallel.
-//! Because a migration can re-route keys between those two steps, the
-//! submitter re-validates *after* acquiring the shard lock that every
-//! one of its keys still points at the target (re-merging their owners
-//! if a racing migration split them), using a non-blocking `try_read`:
-//! if a writer is active (possibly a migrator waiting for this very
-//! shard), the submitter backs off — releases the shard lock, re-reads
-//! the route, retries. No thread ever
-//! blocks on the router while holding a shard lock, so the two lock
-//! levels cannot deadlock; and once a query is inserted under its shard
-//! lock, any concurrent migration that re-routed its keys is still
-//! waiting for that same shard lock and will extract the query when it
-//! gets it.
+//! The router write lock is only ever held for in-memory table work —
+//! never while blocking on a shard lock or scanning a slab (the one
+//! exception is the rare rejected-bridge rollback, which undoes a
+//! migration whose shards it can already reach). Threads holding a
+//! shard lock only ever poll the router with non-blocking `try_read`
+//! and back off on failure, so the two lock levels cannot deadlock.
+//! Migrations take shard locks one at a time with no router lock held,
+//! and are **serialized** on a dedicated migration lock (acquired with
+//! no other lock held): seeds that look disjoint can still grow
+//! colliding transitive closures, and one-at-a-time execution keeps the
+//! marker set owned by exactly one migration. Unrelated submitters
+//! never touch that lock.
 
 use crate::engine::{ComponentEvaluator, CoordinationQuery, IncrementalEngine, SubmitOutcome};
 use crate::index::{keys_related, KeyPattern};
 use crate::metrics::{EngineMetrics, ShardStats, ShardStatsSnapshot};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -50,11 +71,18 @@ struct KeySlot {
     refs: usize,
 }
 
-/// The routing table: key pattern → owning shard.
+/// The routing table: key pattern → owning shard, plus the keys
+/// currently frozen by the in-flight migration.
 struct Router<R, C> {
     keys: HashMap<KeyPattern<R, C>, KeySlot>,
     /// relation → shard → number of distinct keys (for wildcard lookups).
     by_rel: HashMap<R, HashMap<usize, usize>>,
+    /// Keys mid-migration, bucketed by relation so the `blocked` probe
+    /// run by every route/validation stays proportional to the query's
+    /// own keys, not to the (possibly large) frozen closure. Routing
+    /// related keys backs off until the migration publishes and lifts
+    /// these.
+    migrating: HashMap<R, Vec<Option<C>>>,
 }
 
 impl<R: Clone + Eq + std::hash::Hash, C: Clone + Eq + std::hash::Hash> Router<R, C> {
@@ -62,6 +90,43 @@ impl<R: Clone + Eq + std::hash::Hash, C: Clone + Eq + std::hash::Hash> Router<R,
         Router {
             keys: HashMap::new(),
             by_rel: HashMap::new(),
+            migrating: HashMap::new(),
+        }
+    }
+
+    /// Whether any of `keys` is related to a key frozen by the
+    /// in-flight migration.
+    fn blocked(&self, keys: &[KeyPattern<R, C>]) -> bool {
+        !self.migrating.is_empty()
+            && keys.iter().any(|(rel, c)| {
+                self.migrating
+                    .get(rel)
+                    .is_some_and(|marks| marks.iter().any(|m| m.is_none() || c.is_none() || m == c))
+            })
+    }
+
+    /// Add keys to the migrating set. Migrations are serialized and
+    /// dedup their closure growth, so the keys are guaranteed fresh —
+    /// no membership scan is needed.
+    fn mark(&mut self, keys: &[KeyPattern<R, C>]) {
+        for (rel, c) in keys {
+            self.migrating
+                .entry(rel.clone())
+                .or_default()
+                .push(c.clone());
+        }
+    }
+
+    fn unmark(&mut self, keys: &std::collections::HashSet<KeyPattern<R, C>>) {
+        for (rel, c) in keys {
+            if let Some(marks) = self.migrating.get_mut(rel) {
+                if let Some(pos) = marks.iter().position(|m| m == c) {
+                    marks.swap_remove(pos);
+                }
+                if marks.is_empty() {
+                    self.migrating.remove(rel);
+                }
+            }
         }
     }
 
@@ -164,6 +229,23 @@ type MigrationRecord<Q> = Vec<(
     Vec<KeyPattern<<Q as CoordinationQuery>::Rel, <Q as CoordinationQuery>::Cst>>,
 )>;
 
+/// Per-query outcomes of [`ShardedEngine::submit_batch`], in input
+/// order.
+pub type BatchResults<Q, V> = Vec<
+    Result<
+        SubmitOutcome<Q, <V as ComponentEvaluator<Q>>::Delivery>,
+        <V as ComponentEvaluator<Q>>::Error,
+    >,
+>;
+
+/// A planned migration: the marked seed keys, the shards to drain, and
+/// the shard everything lands on.
+struct MigrationPlan<R, C> {
+    seed: Vec<KeyPattern<R, C>>,
+    sources: Vec<usize>,
+    target: usize,
+}
+
 /// The sharded online coordination service: replaces the pre-incremental
 /// `SharedEngine`'s single global mutex with per-component shards.
 pub struct ShardedEngine<Q: CoordinationQuery, V> {
@@ -171,6 +253,13 @@ pub struct ShardedEngine<Q: CoordinationQuery, V> {
     router: RwLock<Router<Q::Rel, Q::Cst>>,
     metrics: Arc<EngineMetrics>,
     next_shard: AtomicUsize,
+    /// Serializes migrations. Two migrations whose *seeds* look
+    /// unrelated can still grow colliding transitive closures; running
+    /// them one at a time means the marker set always belongs to
+    /// exactly one in-flight migration — which is what lets `mark`
+    /// skip dedup and `unmark` clear wholesale. Migrations are rare;
+    /// unrelated submitters never touch this lock.
+    migration_lock: Mutex<()>,
 }
 
 impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V> {
@@ -193,6 +282,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V>
             router: RwLock::new(Router::new()),
             metrics,
             next_shard: AtomicUsize::new(0),
+            migration_lock: Mutex::new(()),
         }
     }
 }
@@ -249,27 +339,347 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// incremental submit under that shard's lock only.
     pub fn submit(&self, query: Q) -> Result<SubmitOutcome<Q, V::Delivery>, V::Error> {
         let qkeys = route_keys(&query);
-
-        // Migrations performed for this submission, kept so a rejected
-        // submission can undo its merges.
         let mut migrated: MigrationRecord<Q> = Vec::new();
+        let target = self.claim(&qkeys, &mut migrated, true);
+        let outcome =
+            self.with_owned_shard(&qkeys, target, &mut migrated, true, |e| e.submit(query));
+        self.finish(&qkeys, migrated, outcome)
+    }
 
-        // Phase 1 (exclusive, brief): route and claim the keys.
-        let mut target = {
+    /// Insert a query that is known to be stable-pending — recovered
+    /// from the durable store's log, where it demonstrably did not
+    /// coordinate — routing it like a submit but skipping evaluation.
+    pub fn insert_pending(&self, query: Q) {
+        let qkeys = route_keys(&query);
+        let mut migrated: MigrationRecord<Q> = Vec::new();
+        let target = self.claim(&qkeys, &mut migrated, true);
+        self.with_owned_shard(&qkeys, target, &mut migrated, false, |e| {
+            e.insert_pending(query)
+        });
+    }
+
+    /// Submit a batch of queries, acquiring the routing table **once**
+    /// for the whole batch (one claim pass, one release pass) instead of
+    /// twice per query. Queries that need a migration — or whose route
+    /// is invalidated by a concurrent one — fall back to the one-query
+    /// path *after* the directly routable ones. Results are in input
+    /// order, and directly routable queries of one component keep their
+    /// relative order — so a batch behaves exactly like submitting its
+    /// members sequentially when its components are disjoint or already
+    /// co-sharded (a deferred in-batch bridge runs late, and may
+    /// therefore observe same-component batch members that sequential
+    /// order would have placed after it).
+    pub fn submit_batch(&self, queries: Vec<Q>) -> BatchResults<Q, V> {
+        EngineMetrics::add(&self.metrics.batches, 1);
+        let n = queries.len();
+        let keysets: Vec<Vec<KeyPattern<Q::Rel, Q::Cst>>> =
+            queries.iter().map(route_keys).collect();
+
+        // Phase 1 (one exclusive acquisition): route and claim every
+        // directly routable query. Bridging or migration-blocked
+        // queries stay unclaimed and take the slow path below.
+        let mut targets: Vec<Option<usize>> = vec![None; n];
+        {
             let mut router = self.router.write();
-            let target = self.route(&mut router, &qkeys, &mut migrated);
-            for k in &qkeys {
-                router.register(k, target);
+            for i in 0..n {
+                let qkeys = &keysets[i];
+                if router.blocked(qkeys) {
+                    continue;
+                }
+                let owners = router.owners_related(qkeys);
+                let t = match owners.len() {
+                    0 => self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
+                    1 => *owners.iter().next().unwrap(),
+                    _ => continue,
+                };
+                for k in qkeys {
+                    router.register(k, t);
+                }
+                targets[i] = Some(t);
             }
-            target
-        };
+        }
 
-        // Phase 2: submit under the shard lock alone. A migration may
-        // have re-routed some of the claimed keys between phases, so
-        // re-validate — *every* key must still point at the target —
-        // after acquiring the shard lock (see the module docs for why
-        // this cannot deadlock or lose the query).
-        let outcome = loop {
+        // Phase 2: per target shard, take the shard lock once and run
+        // the claimed queries in input order.
+        let mut slots: Vec<Option<Q>> = queries.into_iter().map(Some).collect();
+        let mut results: Vec<Option<_>> = (0..n).map(|_| None).collect();
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, t) in targets.iter().enumerate() {
+            if let Some(t) = *t {
+                by_shard.entry(t).or_default().push(i);
+            }
+        }
+        for (&t, idxs) in &by_shard {
+            let shard = &self.shards[t];
+            let mut engine = match shard.engine.try_lock() {
+                Some(guard) => guard,
+                None => {
+                    EngineMetrics::add(&shard.stats.contended, 1);
+                    shard.engine.lock()
+                }
+            };
+            for &i in idxs {
+                let qkeys = &keysets[i];
+                // Same post-lock validation as the one-query path; an
+                // invalidated claim falls through to the slow path with
+                // its keys still registered.
+                let valid = qkeys.is_empty()
+                    || match self.router.try_read() {
+                        Some(router) => {
+                            qkeys.iter().all(|k| router.keys[k].shard == t)
+                                && !router.blocked(qkeys)
+                        }
+                        None => false,
+                    };
+                if !valid {
+                    continue;
+                }
+                EngineMetrics::add(&shard.stats.submits, 1);
+                results[i] = Some(engine.submit(slots[i].take().expect("query unconsumed")));
+            }
+        }
+
+        // Slow path: unclaimed queries run the full one-query protocol;
+        // claimed-but-invalidated ones rejoin it after re-routing.
+        for i in 0..n {
+            if results[i].is_some() {
+                continue;
+            }
+            let query = slots[i].take().expect("query unconsumed");
+            match targets[i] {
+                None => results[i] = Some(self.submit(query)),
+                Some(t0) => {
+                    let mut migrated: MigrationRecord<Q> = Vec::new();
+                    let outcome =
+                        self.with_owned_shard(&keysets[i], t0, &mut migrated, true, |e| {
+                            e.submit(query)
+                        });
+                    results[i] = Some(self.finish(&keysets[i], migrated, outcome));
+                    targets[i] = None; // released by `finish`, skip below
+                }
+            }
+        }
+
+        // Phase 3 (one exclusive acquisition): release everything the
+        // fast-path queries retired or failed to submit.
+        {
+            let mut router = self.router.write();
+            for i in 0..n {
+                if targets[i].is_none() {
+                    continue;
+                }
+                match results[i].as_ref().expect("result recorded") {
+                    Err(_) => {
+                        for k in &keysets[i] {
+                            router.unregister(k);
+                        }
+                    }
+                    Ok(out) => {
+                        for q in &out.retired {
+                            for k in route_keys(q) {
+                                router.unregister(&k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("result recorded"))
+            .collect()
+    }
+
+    /// Route `qkeys` to one shard and (optionally) claim them there,
+    /// performing marker-based migrations first when the keys bridge
+    /// shards. Never holds the router lock while migrating.
+    fn claim(
+        &self,
+        qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
+        migrated: &mut MigrationRecord<Q>,
+        register: bool,
+    ) -> usize {
+        if qkeys.is_empty() {
+            return self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        }
+        let mut backoffs = 0u32;
+        loop {
+            let plan = {
+                let mut router = self.router.write();
+                if router.blocked(qkeys) {
+                    None
+                } else {
+                    let owners = router.owners_related(qkeys);
+                    match owners.len() {
+                        0 => {
+                            let t =
+                                self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                            if register {
+                                for k in qkeys {
+                                    router.register(k, t);
+                                }
+                            }
+                            return t;
+                        }
+                        1 => {
+                            let t = *owners.iter().next().unwrap();
+                            if register {
+                                for k in qkeys {
+                                    router.register(k, t);
+                                }
+                            }
+                            return t;
+                        }
+                        _ => {
+                            // Bridging keys: migrate first (planned and
+                            // marked under the serializing migration
+                            // lock, outside this router acquisition).
+                            Some(())
+                        }
+                    }
+                }
+            };
+            match plan {
+                None => {
+                    // The in-flight migration owns (some of) our keys:
+                    // wait it out without holding any lock. Migrations
+                    // can span a long component evaluation, so
+                    // persistent waits sleep (capped exponential)
+                    // instead of burning a core on yield — on a
+                    // single-CPU box that spinning would steal cycles
+                    // from the very evaluation the migration is waiting
+                    // on.
+                    EngineMetrics::add(&self.metrics.migration_backoffs, 1);
+                    if backoffs < 4 {
+                        std::thread::yield_now();
+                    } else {
+                        let exp = (backoffs - 4).min(7);
+                        std::thread::sleep(std::time::Duration::from_micros(50 << exp));
+                    }
+                    backoffs += 1;
+                }
+                Some(()) => self.perform_migration(qkeys, migrated),
+            }
+        }
+    }
+
+    /// Merge the components bridged by `qkeys` onto one shard. Runs
+    /// under the serializing migration lock: the routing decision is
+    /// re-made there (an earlier migration may have merged or retired
+    /// everything already), the related registered keys are marked, the
+    /// transitive key closure is frozen and moved, and the new routes
+    /// published. Shard locks are taken one at a time; the router write
+    /// lock is only held for brief table work.
+    fn perform_migration(
+        &self,
+        qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
+        migrated: &mut MigrationRecord<Q>,
+    ) {
+        let _one_at_a_time = self.migration_lock.lock();
+        // Re-plan under the lock with fresh routing state.
+        let plan = {
+            let mut router = self.router.write();
+            let owners = router.owners_related(qkeys);
+            if owners.len() <= 1 {
+                return;
+            }
+            let target = *owners.iter().next().unwrap();
+            let seed: Vec<KeyPattern<Q::Rel, Q::Cst>> = router
+                .keys
+                .keys()
+                .filter(|k| qkeys.iter().any(|q| keys_related(q, k)))
+                .cloned()
+                .collect();
+            router.mark(&seed);
+            EngineMetrics::add(&self.metrics.migrations, 1);
+            MigrationPlan {
+                seed,
+                sources: owners.iter().copied().filter(|&s| s != target).collect(),
+                target,
+            }
+        };
+        let MigrationPlan {
+            mut seed,
+            sources,
+            target,
+        } = plan;
+
+        // Freeze: grow the marked set to the transitive key closure of
+        // the components being moved. Marked keys block related routing,
+        // so once a scan finds nothing new the closure can no longer
+        // change. Each pass scans only the *frontier* (keys found by
+        // the previous pass): components related solely to older keys
+        // were already collected, and marks stop new arrivals from
+        // re-relating to them — so the fixed point stays linear in the
+        // closure instead of rescanning the full seed every round.
+        let mut seen: HashSet<KeyPattern<Q::Rel, Q::Cst>> = seed.iter().cloned().collect();
+        let mut frontier: Vec<KeyPattern<Q::Rel, Q::Cst>> = seed.clone();
+        loop {
+            let mut extra: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::new();
+            for &src in &sources {
+                let found = self.shards[src].engine.lock().related_keys(&frontier);
+                for k in found {
+                    if seen.insert(k.clone()) {
+                        extra.push(k);
+                    }
+                }
+            }
+            if extra.is_empty() {
+                break;
+            }
+            self.router.write().mark(&extra);
+            seed.extend(extra.iter().cloned());
+            frontier = extra;
+        }
+
+        // Move: drain each source shard and refill the target, one
+        // shard lock at a time, with no router lock held.
+        for &src in &sources {
+            let moved = self.shards[src].engine.lock().extract_related(&seed);
+            if moved.is_empty() {
+                continue;
+            }
+            EngineMetrics::add(&self.shards[src].stats.migrated_out, moved.len() as u64);
+            let mut moved_keys: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::new();
+            {
+                let mut tgt = self.shards[target].engine.lock();
+                for q in moved {
+                    for k in route_keys(&q) {
+                        if !moved_keys.contains(&k) {
+                            moved_keys.push(k);
+                        }
+                    }
+                    tgt.insert_pending(q);
+                }
+            }
+            migrated.push((src, moved_keys));
+        }
+
+        // Publish: point every closure key at the target — including
+        // keys claimed by in-flight submitters whose query is not
+        // inserted anywhere yet; their post-lock validation sees the
+        // move (or the marks) and follows — then lift the marks.
+        let mut router = self.router.write();
+        for k in &seed {
+            router.reassign(k, target);
+        }
+        router.unmark(&seen);
+    }
+
+    /// Run `op` on the shard that owns `qkeys`, re-validating the claim
+    /// after acquiring the shard lock: every key must still point at the
+    /// target and none may be frozen by a migration (see the module docs
+    /// for why this cannot deadlock or lose the query).
+    fn with_owned_shard<T>(
+        &self,
+        qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
+        mut target: usize,
+        migrated: &mut MigrationRecord<Q>,
+        record_submit: bool,
+        op: impl FnOnce(&mut IncrementalEngine<Q, V>) -> T,
+    ) -> T {
+        let mut op = Some(op);
+        loop {
             let shard = &self.shards[target];
             let mut engine = match shard.engine.try_lock() {
                 Some(guard) => guard,
@@ -281,21 +691,20 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             if !qkeys.is_empty() {
                 match self.router.try_read() {
                     Some(router) => {
-                        let consistent = qkeys.iter().all(|k| router.keys[k].shard == target);
+                        let consistent = qkeys.iter().all(|k| router.keys[k].shard == target)
+                            && !router.blocked(qkeys);
                         if !consistent {
-                            // A migration raced our claim and moved some
-                            // (or all) of our keys: merge the owners of
-                            // our key set again and follow.
+                            // A migration raced our claim: follow the
+                            // keys (or wait out the marks) and retry.
                             drop(router);
                             drop(engine);
-                            let mut router = self.router.write();
-                            target = self.route(&mut router, &qkeys, &mut migrated);
+                            target = self.claim(qkeys, migrated, false);
                             continue;
                         }
                     }
                     None => {
-                        // A writer is active — possibly a migrator
-                        // waiting for this very shard. Back off and
+                        // A writer is active — possibly a migrator about
+                        // to publish a move of our keys. Back off and
                         // retry without holding the shard lock.
                         drop(engine);
                         target = self.router.read().keys[&qkeys[0]].shard;
@@ -303,16 +712,26 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                     }
                 }
             }
-            EngineMetrics::add(&shard.stats.submits, 1);
-            break engine.submit(query);
-        };
+            if record_submit {
+                EngineMetrics::add(&shard.stats.submits, 1);
+            }
+            break (op.take().expect("op runs once"))(&mut engine);
+        }
+    }
 
-        // Phase 3 (exclusive, brief): release the keys of whatever left
-        // the pending set — the rejected query, or the retired set.
+    /// Release the routing claims of whatever left the pending set — the
+    /// rejected query, or the retired set — and undo a rejected bridge's
+    /// migrations.
+    fn finish(
+        &self,
+        qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
+        migrated: MigrationRecord<Q>,
+        outcome: Result<SubmitOutcome<Q, V::Delivery>, V::Error>,
+    ) -> Result<SubmitOutcome<Q, V::Delivery>, V::Error> {
         match outcome {
             Err(e) => {
                 let mut router = self.router.write();
-                for k in &qkeys {
+                for k in qkeys {
                     router.unregister(k);
                 }
                 // Undo the merges performed for this submission: they
@@ -321,6 +740,12 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 // progressively collapse unrelated components onto one
                 // shard with no way to re-split before retirement.
                 for (src, keys) in &migrated {
+                    // A concurrent migration may own these keys now;
+                    // leaving the merge in place is only a load-balance
+                    // pessimization, never a correctness issue.
+                    if router.blocked(keys) {
+                        continue;
+                    }
                     // The group may have retired or moved meanwhile —
                     // follow its keys to wherever they live now.
                     let Some(cur) = keys
@@ -358,86 +783,6 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 }
                 Ok(out)
             }
-        }
-    }
-
-    /// Route a key set to one shard: unclaimed keys go round-robin, a
-    /// single owner wins directly, and multiple owners are merged by a
-    /// migration first (recorded in `migrated` for possible rollback).
-    /// Requires the exclusive router lock.
-    fn route(
-        &self,
-        router: &mut Router<Q::Rel, Q::Cst>,
-        qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
-        migrated: &mut MigrationRecord<Q>,
-    ) -> usize {
-        let owners = router.owners_related(qkeys);
-        match owners.len() {
-            0 => self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
-            1 => *owners.iter().next().unwrap(),
-            _ => {
-                let target = *owners.iter().next().unwrap();
-                self.migrate(router, &owners, target, qkeys, migrated);
-                target
-            }
-        }
-    }
-
-    /// Merge the components bridged by a new query into `target`. Runs
-    /// under the exclusive router lock. Shard locks are taken one at a
-    /// time; a submitter may be holding one of them through a long
-    /// evaluation (submits do NOT hold any router lock while evaluating),
-    /// so this can block — but never deadlocks, because shard-lock
-    /// holders only ever poll the router with non-blocking `try_read`.
-    /// Holding the write lock across these waits stalls other submitters;
-    /// acceptable while migrations are rare (see ROADMAP).
-    fn migrate(
-        &self,
-        router: &mut Router<Q::Rel, Q::Cst>,
-        owners: &BTreeSet<usize>,
-        target: usize,
-        qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
-        migrated: &mut MigrationRecord<Q>,
-    ) {
-        EngineMetrics::add(&self.metrics.migrations, 1);
-        // Seed with every *registered* key related to the query's keys,
-        // so the extraction in each source shard starts from the exact
-        // conflict set.
-        let seed: Vec<KeyPattern<Q::Rel, Q::Cst>> = router
-            .keys
-            .keys()
-            .filter(|k| qkeys.iter().any(|q| keys_related(q, k)))
-            .cloned()
-            .collect();
-        for &src in owners {
-            if src == target {
-                continue;
-            }
-            let moved = self.shards[src].engine.lock().extract_related(&seed);
-            EngineMetrics::add(&self.shards[src].stats.migrated_out, moved.len() as u64);
-            let mut tgt = self.shards[target].engine.lock();
-            let mut moved_keys: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::new();
-            for q in moved {
-                for k in route_keys(&q) {
-                    router.reassign(&k, target);
-                    if !moved_keys.contains(&k) {
-                        moved_keys.push(k);
-                    }
-                }
-                tgt.insert_pending(q);
-            }
-            if !moved_keys.is_empty() {
-                migrated.push((src, moved_keys));
-            }
-        }
-        // Re-point every related key — not just those held by moved
-        // queries. A key claimed by an in-flight submitter (registered in
-        // its phase 1, query not yet inserted anywhere) has no holder to
-        // extract; leaving it on a losing shard would split related keys
-        // across shards. The claimant's phase-2 validation sees the move
-        // and follows it here.
-        for k in &seed {
-            router.reassign(k, target);
         }
     }
 }
@@ -516,8 +861,9 @@ mod tests {
         assert_eq!(r.retired.len(), 3);
         assert_eq!(engine.pending_count(), 0);
         assert_eq!(engine.metrics().snapshot().migrations, 1);
-        // All routing state was released.
+        // All routing state was released, no marks linger.
         assert!(engine.router.read().keys.is_empty());
+        assert!(engine.router.read().migrating.is_empty());
     }
 
     #[test]
@@ -651,5 +997,128 @@ mod tests {
         engine.submit(chain_query(0, Some(1))).unwrap_err();
         assert_eq!(engine.pending_count(), 0);
         assert!(engine.router.read().keys.is_empty());
+    }
+
+    #[test]
+    fn insert_pending_routes_without_evaluating() {
+        let engine = ShardedEngine::new(SaturationEvaluator, 2);
+        // A free query inserted as already-pending must NOT coordinate on
+        // insertion (the recovery contract)…
+        engine.insert_pending(chain_query(1, None));
+        engine.insert_pending(chain_query(100, Some(101)));
+        assert_eq!(engine.pending_count(), 2);
+        assert_eq!(engine.delivered(), 0);
+        // …but a later submit touching its component evaluates it.
+        let r = engine.submit(chain_query(0, Some(1))).unwrap();
+        assert!(r.coordinated());
+        assert_eq!(r.retired.len(), 2);
+        assert_eq!(engine.pending_count(), 1);
+    }
+
+    #[test]
+    fn insert_pending_colocates_related_keys() {
+        let engine = ShardedEngine::new(SaturationEvaluator, 4);
+        // Recovery inserts chain members one by one; all must co-shard.
+        for i in 0..5 {
+            engine.insert_pending(chain_query(i, Some(i + 1)));
+        }
+        let active: Vec<usize> = engine
+            .shards
+            .iter()
+            .map(|s| s.engine.lock().pending_count())
+            .filter(|&n| n > 0)
+            .collect();
+        assert_eq!(active, vec![5], "chain split across shards");
+        let r = engine.submit(chain_query(5, None)).unwrap();
+        assert!(r.coordinated());
+        assert_eq!(r.retired.len(), 6);
+    }
+
+    #[test]
+    fn submit_batch_matches_sequential_results() {
+        let db_seq = ShardedEngine::new(SaturationEvaluator, 3);
+        let db_batch = ShardedEngine::new(SaturationEvaluator, 3);
+        // Three chains interleaved; the keystones close them mid-batch.
+        let mut order = Vec::new();
+        for g in 0..3i64 {
+            order.push(chain_query(100 * g, Some(100 * g + 1)));
+        }
+        for g in 0..3i64 {
+            order.push(chain_query(100 * g + 1, Some(100 * g + 2)));
+        }
+        for g in 0..3i64 {
+            order.push(chain_query(100 * g + 2, None));
+        }
+        let seq_results: Vec<_> = order
+            .iter()
+            .cloned()
+            .map(|q| db_seq.submit(q).unwrap())
+            .collect();
+        let batch_results = db_batch.submit_batch(order);
+        assert_eq!(batch_results.len(), seq_results.len());
+        for (i, (b, s)) in batch_results.iter().zip(&seq_results).enumerate() {
+            let b = b.as_ref().unwrap();
+            assert_eq!(b.coordinated(), s.coordinated(), "submission {i}");
+            let mut bn: Vec<&str> = b.retired.iter().map(|q| q.name.as_str()).collect();
+            let mut sn: Vec<&str> = s.retired.iter().map(|q| q.name.as_str()).collect();
+            bn.sort_unstable();
+            sn.sort_unstable();
+            assert_eq!(bn, sn, "submission {i}");
+        }
+        assert_eq!(db_batch.pending_count(), db_seq.pending_count());
+        assert_eq!(db_batch.delivered(), db_seq.delivered());
+        assert_eq!(db_batch.metrics().snapshot().batches, 1);
+        // All routing state was released along with the retirements.
+        assert!(db_batch.router.read().keys.is_empty());
+    }
+
+    #[test]
+    fn submit_batch_releases_keys_of_rejected_queries() {
+        #[derive(Clone)]
+        struct RejectNamed(&'static str);
+        impl ComponentEvaluator<TestQuery> for RejectNamed {
+            type Delivery = ();
+            type Error = String;
+            fn evaluate(&self, queries: &[TestQuery]) -> Result<Option<(Vec<usize>, ())>, String> {
+                if queries.iter().any(|q| q.name == self.0) {
+                    Err("rejected".into())
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+        let engine = ShardedEngine::new(RejectNamed("q7"), 2);
+        let results = engine.submit_batch(vec![
+            chain_query(0, Some(1)),
+            chain_query(7, None),
+            chain_query(100, Some(101)),
+        ]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        assert_eq!(engine.pending_count(), 2);
+        // q7's keys were released; a fresh submit of the same keys works.
+        assert_eq!(engine.router.read().keys.len(), 4);
+    }
+
+    #[test]
+    fn submit_batch_handles_in_batch_bridges_via_slow_path() {
+        let engine = ShardedEngine::new(SaturationEvaluator, 2);
+        // Pre-place two disjoint waiters on separate shards.
+        engine.submit(chain_query(0, Some(1))).unwrap();
+        engine.submit(chain_query(10, Some(11))).unwrap();
+        // The batch's bridge needs a migration: it defers to the slow
+        // path but still coordinates everything.
+        let bridge = TestQuery::new(
+            "bridge",
+            vec![("R", Some(1)), ("R", Some(11))],
+            vec![("R", Some(10))],
+        );
+        let results = engine.submit_batch(vec![bridge, chain_query(50, Some(51))]);
+        assert!(results[0].as_ref().unwrap().coordinated());
+        assert_eq!(results[0].as_ref().unwrap().retired.len(), 3);
+        assert!(!results[1].as_ref().unwrap().coordinated());
+        assert_eq!(engine.pending_count(), 1);
+        assert_eq!(engine.metrics().snapshot().migrations, 1);
     }
 }

@@ -1,0 +1,20 @@
+//! Query serialization: the store logs *encoded* queries and never
+//! inspects them, so the engine's query type stays pluggable.
+
+use crate::error::StoreError;
+
+/// Encodes and decodes one query type for the WAL and snapshots.
+///
+/// Encoding must be **deterministic** (the same query always produces
+/// the same bytes): the durable engines use the encoded form as the
+/// query's identity when mapping a retired query back to the sequence
+/// number of the submit that logged it. Two structurally equal queries
+/// may share an encoding — retiring either is then equivalent, which
+/// keeps the reconstructed pending multiset exact.
+pub trait QueryCodec<Q> {
+    /// Append the query's encoding to `out`.
+    fn encode(&self, query: &Q, out: &mut Vec<u8>);
+
+    /// Decode a query from its exact encoding.
+    fn decode(&self, bytes: &[u8]) -> Result<Q, StoreError>;
+}

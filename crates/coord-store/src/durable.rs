@@ -1,0 +1,801 @@
+//! Durable wrappers around the online coordination engines.
+//!
+//! [`DurableEngine`] wraps an [`IncrementalEngine`]; [`DurableShardedEngine`]
+//! wraps a [`ShardedEngine`] with as many WAL streams as shards under a
+//! shared snapshot epoch (records are spread round-robin over the
+//! streams for append parallelism rather than pinned to the owning
+//! shard — recovery is order-independent, so pinning would buy
+//! nothing). Both follow the same commit protocol:
+//!
+//! 1. apply the submit to the in-memory engine (a rejected submit
+//!    mutates nothing and logs nothing),
+//! 2. record the accepted mutation — the query plus the seqs it retired
+//!    — as **one** checksummed commit record,
+//! 3. acknowledge the caller.
+//!
+//! A crash before step 2 loses only unacknowledged work; recovery
+//! rebuilds exactly the state produced by the clean record prefix.
+//! Replay never re-evaluates components: the log already says which
+//! queries retired, so recovery decodes the surviving pending set and
+//! re-indexes it with `insert_pending` — which is why the `durability`
+//! bench measures replay *faster* than live submission.
+//!
+//! ## The retired-seq registry
+//!
+//! The engine retires queries by value, not by any stable id, so the
+//! wrapper keeps a registry mapping each pending query's encoding to the
+//! seqs that submitted it (a multiset: duplicate queries pop oldest
+//! first — retiring either duplicate reconstructs the same pending
+//! multiset). In the sharded engine the registry entry is made *before*
+//! the engine apply, so a concurrent submit on another thread that
+//! retires the query always finds its seq.
+//!
+//! ## Sharded acknowledgment window
+//!
+//! With multiple log streams, a submit can retire a query whose own
+//! commit record (on another stream) has not hit the log yet. Recovery is
+//! still exact — a retire naming a never-logged seq is simply ignored,
+//! and the unlogged query was never acknowledged — but it means a
+//! delivered coordination can mention a partner whose submitter never
+//! got its ack. The single-stream [`DurableEngine`] has strict prefix
+//! semantics with no such window.
+
+use crate::codec::QueryCodec;
+use crate::error::{DurableError, StoreError};
+use crate::store::{CommitRecord, CoordStore, RecoveryReport, StoreOptions};
+use crate::wal::SyncPolicy;
+use coord_engine::{
+    ComponentEvaluator, CoordinationQuery, IncrementalEngine, ShardedEngine, SubmitOutcome,
+};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Durability configuration for the engine wrappers.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityOptions {
+    /// When appended records reach stable storage.
+    pub sync: SyncPolicy,
+    /// Snapshot (and rotate the WAL epoch) after this many commit
+    /// records; `None` disables snapshotting.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            sync: SyncPolicy::Never,
+            snapshot_every: Some(1024),
+        }
+    }
+}
+
+impl DurabilityOptions {
+    fn store_options(&self, streams: usize) -> StoreOptions {
+        StoreOptions {
+            streams,
+            sync: self.sync,
+            snapshot_every: self.snapshot_every,
+        }
+    }
+}
+
+/// One registered pending query: its encoding plus whether the engine
+/// apply has succeeded. Sharded submits *reserve* an entry before the
+/// engine apply (so a racing retire on another thread always finds the
+/// seq) and confirm it afterwards; snapshots skip unconfirmed entries —
+/// a reserved entry may belong to a submit the engine is about to
+/// reject, and capturing it would resurrect a query no uninterrupted
+/// run ever held.
+struct RegistryEntry {
+    bytes: Vec<u8>,
+    applied: bool,
+}
+
+/// Pending-set bookkeeping shared by both wrappers: seq → encoding (the
+/// snapshot payload) and encoding → seqs (retired-query lookup).
+#[derive(Default)]
+struct Registry {
+    live: BTreeMap<u64, RegistryEntry>,
+    by_bytes: HashMap<Vec<u8>, VecDeque<u64>>,
+}
+
+impl Registry {
+    fn insert(&mut self, seq: u64, bytes: Vec<u8>, applied: bool) {
+        self.by_bytes
+            .entry(bytes.clone())
+            .or_default()
+            .push_back(seq);
+        self.live.insert(seq, RegistryEntry { bytes, applied });
+    }
+
+    /// Mark a reserved seq as applied by the engine (snapshots may now
+    /// capture it).
+    fn confirm(&mut self, seq: u64) {
+        if let Some(entry) = self.live.get_mut(&seq) {
+            entry.applied = true;
+        }
+    }
+
+    /// Pop the oldest **applied** live seq whose query has this
+    /// encoding. Reserved (unapplied) seqs are never taken: they may
+    /// belong to a concurrent submit the engine is about to reject, and
+    /// retiring one would leave the applied duplicate's seq in the
+    /// registry with no engine copy behind it — which a snapshot or
+    /// replay would then resurrect.
+    fn retire(&mut self, bytes: &[u8]) -> Option<u64> {
+        let seqs = self.by_bytes.get(bytes)?;
+        let pos = seqs
+            .iter()
+            .position(|s| self.live.get(s).is_some_and(|e| e.applied))?;
+        let seqs = self.by_bytes.get_mut(bytes).expect("checked above");
+        let seq = seqs.remove(pos).expect("position in bounds");
+        if seqs.is_empty() {
+            self.by_bytes.remove(bytes);
+        }
+        self.live.remove(&seq);
+        Some(seq)
+    }
+
+    /// Remove a specific reserved seq (a rejected submit).
+    fn remove(&mut self, seq: u64) {
+        if let Some(entry) = self.live.remove(&seq) {
+            if let Some(seqs) = self.by_bytes.get_mut(&entry.bytes) {
+                seqs.retain(|&s| s != seq);
+                if seqs.is_empty() {
+                    self.by_bytes.remove(&entry.bytes);
+                }
+            }
+        }
+    }
+
+    /// Applied entries only: a reserved-but-unconfirmed entry's record
+    /// (if the submit is accepted at all) will land in the post-rotation
+    /// epoch, so skipping it here loses nothing.
+    fn capture(&self) -> Vec<(u64, Vec<u8>)> {
+        self.live
+            .iter()
+            .filter(|(_, e)| e.applied)
+            .map(|(s, e)| (*s, e.bytes.clone()))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// A single-writer [`IncrementalEngine`] with WAL + snapshot durability.
+pub struct DurableEngine<Q: CoordinationQuery, V, C> {
+    inner: IncrementalEngine<Q, V>,
+    store: CoordStore,
+    codec: C,
+    registry: Registry,
+    next_seq: u64,
+    report: RecoveryReport,
+    /// Last failed background rotation (see [`Self::take_snapshot_error`]).
+    snapshot_error: Option<StoreError>,
+}
+
+impl<Q, V, C> DurableEngine<Q, V, C>
+where
+    Q: CoordinationQuery,
+    V: ComponentEvaluator<Q>,
+    C: QueryCodec<Q>,
+{
+    /// Open (or create) a durable engine at `dir`, recovering any
+    /// pending set a previous process left behind.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        evaluator: V,
+        codec: C,
+        options: DurabilityOptions,
+    ) -> Result<Self, StoreError> {
+        let recovered = CoordStore::open(dir, options.store_options(1))?;
+        let mut inner = IncrementalEngine::new(evaluator);
+        let mut registry = Registry::default();
+        for (seq, bytes) in &recovered.live {
+            inner.insert_pending(codec.decode(bytes)?);
+            registry.insert(*seq, bytes.clone(), true);
+        }
+        Ok(DurableEngine {
+            inner,
+            store: recovered.store,
+            codec,
+            registry,
+            next_seq: recovered.next_seq,
+            report: recovered.report,
+            snapshot_error: None,
+        })
+    }
+
+    /// Submit a query; on acceptance the mutation is logged before the
+    /// caller is acknowledged.
+    ///
+    /// A [`DurableError::Store`] failure means the in-memory submit
+    /// applied but was **not** made durable (it will not survive a
+    /// crash); the in-memory engine remains usable. A *snapshot*
+    /// failure after a durably-logged submit does not fail the submit —
+    /// the outcome is returned and the error parked for
+    /// [`Self::take_snapshot_error`]; the next due submit retries the
+    /// rotation.
+    pub fn submit(
+        &mut self,
+        query: Q,
+    ) -> Result<SubmitOutcome<Q, V::Delivery>, DurableError<V::Error>> {
+        let mut qbytes = Vec::new();
+        self.codec.encode(&query, &mut qbytes);
+        let outcome = self.inner.submit(query).map_err(DurableError::Engine)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.registry.insert(seq, qbytes.clone(), true);
+        let mut retired = Vec::with_capacity(outcome.retired.len());
+        for q in &outcome.retired {
+            let mut b = Vec::new();
+            self.codec.encode(q, &mut b);
+            let s = self
+                .registry
+                .retire(&b)
+                .expect("retired query was registered pending");
+            retired.push(s);
+        }
+        self.store.append_commit(
+            0,
+            &CommitRecord {
+                seq,
+                query: qbytes,
+                retired,
+            },
+        )?;
+        if self.store.snapshot_due() {
+            if let Err(e) = self.snapshot() {
+                self.snapshot_error = Some(e);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Take a snapshot now, rotating the WAL epoch.
+    pub fn snapshot(&mut self) -> Result<(), StoreError> {
+        let next_seq = self.next_seq;
+        let entries = self.registry.capture();
+        self.store.snapshot(move || (next_seq, entries))
+    }
+
+    /// The last *background* snapshot failure (a rotation triggered by
+    /// `snapshot_every` during a submit), if any, cleared on read.
+    /// Submits stay durable through the still-open WAL when a rotation
+    /// fails; this surfaces the degraded state for monitoring.
+    pub fn take_snapshot_error(&mut self) -> Option<StoreError> {
+        self.snapshot_error.take()
+    }
+
+    /// What recovery found when this engine was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The underlying store (stats, epoch, stream offsets).
+    pub fn store(&self) -> &CoordStore {
+        &self.store
+    }
+
+    /// End offset of the WAL after the most recent record — the clean
+    /// length a crash-point test truncates against.
+    pub fn wal_len(&self) -> u64 {
+        self.store.stream_len(0)
+    }
+
+    /// Pending queries in slot order.
+    pub fn pending(&self) -> impl Iterator<Item = &Q> {
+        self.inner.pending()
+    }
+
+    /// Number of pending queries.
+    pub fn pending_count(&self) -> usize {
+        self.inner.pending_count()
+    }
+
+    /// Number of maintained components.
+    pub fn component_count(&self) -> usize {
+        self.inner.component_count()
+    }
+
+    /// Total queries answered and retired.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered()
+    }
+
+    /// The wrapped engine's metrics.
+    pub fn metrics(&self) -> &std::sync::Arc<coord_engine::EngineMetrics> {
+        self.inner.metrics()
+    }
+
+    /// Check the wrapped engine's invariants plus the registry mirror.
+    ///
+    /// # Panics
+    /// Panics with a description if an invariant is violated.
+    pub fn validate_invariants(&mut self) {
+        self.inner.validate_invariants();
+        assert_eq!(
+            self.registry.len(),
+            self.inner.pending_count(),
+            "registry drifted from the pending set"
+        );
+    }
+}
+
+/// A [`ShardedEngine`] with one WAL stream per shard and a shared
+/// snapshot epoch.
+pub struct DurableShardedEngine<Q: CoordinationQuery, V, C> {
+    inner: ShardedEngine<Q, V>,
+    store: CoordStore,
+    codec: C,
+    registry: Mutex<Registry>,
+    next_seq: AtomicU64,
+    report: RecoveryReport,
+    /// Last failed background rotation (see [`Self::take_snapshot_error`]).
+    snapshot_error: Mutex<Option<StoreError>>,
+}
+
+impl<Q, V, C> DurableShardedEngine<Q, V, C>
+where
+    Q: CoordinationQuery,
+    V: ComponentEvaluator<Q> + Clone,
+    C: QueryCodec<Q>,
+{
+    /// Open (or create) a durable sharded engine at `dir` with `shards`
+    /// shards, recovering and re-routing any surviving pending set.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        evaluator: V,
+        shards: usize,
+        codec: C,
+        options: DurabilityOptions,
+    ) -> Result<Self, StoreError> {
+        let recovered = CoordStore::open(dir, options.store_options(shards))?;
+        let inner = ShardedEngine::new(evaluator, shards);
+        let mut registry = Registry::default();
+        for (seq, bytes) in &recovered.live {
+            // Replay never re-evaluates: pending survivors are routed
+            // and re-indexed only (the log proved they did not
+            // coordinate before the crash).
+            inner.insert_pending(codec.decode(bytes)?);
+            registry.insert(*seq, bytes.clone(), true);
+        }
+        Ok(DurableShardedEngine {
+            inner,
+            store: recovered.store,
+            codec,
+            registry: Mutex::new(registry),
+            next_seq: AtomicU64::new(recovered.next_seq),
+            report: recovered.report,
+            snapshot_error: Mutex::new(None),
+        })
+    }
+
+    /// Submit under the owning shard's lock; the accepted mutation is
+    /// logged before the caller is acknowledged (records round-robin
+    /// across the per-shard stream set; recovery is order-independent,
+    /// so streams need not be pinned to the owning shard). Snapshot
+    /// failures during a background rotation do not fail the submit —
+    /// see [`Self::take_snapshot_error`].
+    pub fn submit(
+        &self,
+        query: Q,
+    ) -> Result<SubmitOutcome<Q, V::Delivery>, DurableError<V::Error>> {
+        let mut qbytes = Vec::new();
+        self.codec.encode(&query, &mut qbytes);
+        // Reserve the seq *before* the engine apply so a concurrent
+        // submit that retires this query can always find its seq; the
+        // reservation is unapplied, so a concurrent snapshot will not
+        // capture it (the submit might still be rejected).
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        self.registry.lock().insert(seq, qbytes.clone(), false);
+        let outcome = match self.inner.submit(query) {
+            Ok(o) => o,
+            Err(e) => {
+                self.registry.lock().remove(seq);
+                return Err(DurableError::Engine(e));
+            }
+        };
+        let mut retired = Vec::with_capacity(outcome.retired.len());
+        self.registry.lock().confirm(seq);
+        for q in &outcome.retired {
+            let mut b = Vec::new();
+            self.codec.encode(q, &mut b);
+            // The retired query was in the engine, so a matching
+            // *applied* entry exists — or its submitter sits in the
+            // short window between engine apply and confirm. Wait that
+            // window out (without holding the registry lock) rather
+            // than pop a reserved entry that may belong to a submit
+            // about to be rejected.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            let s = loop {
+                if let Some(s) = self.registry.lock().retire(&b) {
+                    break s;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "retired query has no applied registry entry"
+                );
+                std::thread::yield_now();
+            };
+            retired.push(s);
+        }
+        self.store.append_commit(
+            seq as usize,
+            &CommitRecord {
+                seq,
+                query: qbytes,
+                retired,
+            },
+        )?;
+        if self.store.snapshot_due() {
+            if let Err(e) = self.snapshot_if_due() {
+                *self.snapshot_error.lock() = Some(e);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Take a snapshot now, rotating every shard's WAL to the next
+    /// epoch. Concurrent submitters keep running; the capture happens
+    /// under the store's rotation lock with no appends in flight.
+    pub fn snapshot(&self) -> Result<(), StoreError> {
+        self.store.snapshot(|| self.capture())
+    }
+
+    /// Rotate only if the record threshold is still exceeded — many
+    /// submitters crossing it together produce one rotation, not one
+    /// each.
+    fn snapshot_if_due(&self) -> Result<(), StoreError> {
+        self.store.snapshot_if_due(|| self.capture()).map(|_| ())
+    }
+
+    /// Registry captured under the rotation lock: every record already
+    /// appended is reflected, every in-flight submit will append to the
+    /// new epoch (replay is idempotent either way).
+    fn capture(&self) -> (u64, Vec<(u64, Vec<u8>)>) {
+        let registry = self.registry.lock();
+        (self.next_seq.load(Ordering::SeqCst), registry.capture())
+    }
+
+    /// The last *background* snapshot failure (a rotation triggered by
+    /// `snapshot_every` during a submit), if any, cleared on read.
+    /// Submits stay durable through the still-open WAL when a rotation
+    /// fails; this surfaces the degraded state for monitoring.
+    pub fn take_snapshot_error(&self) -> Option<StoreError> {
+        self.snapshot_error.lock().take()
+    }
+
+    /// What recovery found when this engine was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The underlying store (stats, epoch, stream offsets).
+    pub fn store(&self) -> &CoordStore {
+        &self.store
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Total pending queries across shards.
+    pub fn pending_count(&self) -> usize {
+        self.inner.pending_count()
+    }
+
+    /// Clones of all pending queries.
+    pub fn pending(&self) -> Vec<Q> {
+        self.inner.pending()
+    }
+
+    /// Total maintained components across shards.
+    pub fn component_count(&self) -> usize {
+        self.inner.component_count()
+    }
+
+    /// Total queries answered and retired.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered()
+    }
+
+    /// Aggregated engine metrics.
+    pub fn metrics(&self) -> &std::sync::Arc<coord_engine::EngineMetrics> {
+        self.inner.metrics()
+    }
+
+    /// Per-shard contention statistics.
+    pub fn shard_stats(&self) -> Vec<coord_engine::ShardStatsSnapshot> {
+        self.inner.shard_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::TempDir;
+    use crate::testkit::{chain, mini, MiniCodec, MiniQuery, SaturationEvaluator as Saturation};
+
+    fn opts(snapshot_every: Option<u64>) -> DurabilityOptions {
+        DurabilityOptions {
+            sync: SyncPolicy::Never,
+            snapshot_every,
+        }
+    }
+
+    fn names(mut v: Vec<String>) -> Vec<String> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn pending_set_survives_reopen() {
+        let dir = TempDir::new("durable-basic");
+        {
+            let mut e = DurableEngine::open(dir.path(), Saturation, MiniCodec, opts(None)).unwrap();
+            assert!(!e.submit(chain(0, Some(1))).unwrap().coordinated());
+            assert!(!e.submit(chain(1, Some(2))).unwrap().coordinated());
+            assert!(!e.submit(chain(10, Some(11))).unwrap().coordinated());
+            assert_eq!(e.pending_count(), 3);
+            e.validate_invariants();
+        } // crash (no clean shutdown exists)
+
+        let mut e = DurableEngine::open(dir.path(), Saturation, MiniCodec, opts(None)).unwrap();
+        assert_eq!(e.recovery_report().records_replayed, 3);
+        assert_eq!(e.pending_count(), 3);
+        assert_eq!(e.component_count(), 2);
+        e.validate_invariants();
+        // The recovered components still coordinate correctly.
+        let r = e.submit(chain(2, None)).unwrap();
+        assert_eq!(names(r.delivery.unwrap()), vec!["q0", "q1", "q2"]);
+        assert_eq!(e.pending_count(), 1);
+    }
+
+    #[test]
+    fn retirement_is_durable() {
+        let dir = TempDir::new("durable-retire");
+        {
+            let mut e = DurableEngine::open(dir.path(), Saturation, MiniCodec, opts(None)).unwrap();
+            e.submit(chain(0, Some(1))).unwrap();
+            let r = e.submit(chain(1, None)).unwrap();
+            assert!(r.coordinated());
+        }
+        let e = DurableEngine::open(dir.path(), Saturation, MiniCodec, opts(None)).unwrap();
+        assert_eq!(e.pending_count(), 0, "retired queries resurrected");
+        assert_eq!(e.recovery_report().records_replayed, 2);
+    }
+
+    #[test]
+    fn duplicate_queries_recover_as_a_multiset() {
+        let dir = TempDir::new("durable-dup");
+        {
+            let mut e = DurableEngine::open(dir.path(), Saturation, MiniCodec, opts(None)).unwrap();
+            // Two byte-identical waiters plus one that retires with one
+            // of them (saturation retires whole components; both
+            // duplicates share a component, so submit a separate pair).
+            e.submit(chain(5, Some(6))).unwrap();
+            e.submit(chain(5, Some(6))).unwrap();
+            assert_eq!(e.pending_count(), 2);
+        }
+        let e = DurableEngine::open(dir.path(), Saturation, MiniCodec, opts(None)).unwrap();
+        assert_eq!(e.pending_count(), 2, "duplicate collapsed");
+    }
+
+    #[test]
+    fn rejected_submit_logs_nothing() {
+        #[derive(Clone)]
+        struct RejectNamed(&'static str);
+        impl ComponentEvaluator<MiniQuery> for RejectNamed {
+            type Delivery = ();
+            type Error = String;
+            fn evaluate(&self, queries: &[MiniQuery]) -> Result<Option<(Vec<usize>, ())>, String> {
+                if queries.iter().any(|x| x.name == self.0) {
+                    Err("rejected".into())
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+        let dir = TempDir::new("durable-reject");
+        {
+            let mut e =
+                DurableEngine::open(dir.path(), RejectNamed("q9"), MiniCodec, opts(None)).unwrap();
+            e.submit(chain(0, Some(1))).unwrap();
+            e.submit(chain(9, None)).unwrap_err();
+            assert_eq!(e.pending_count(), 1);
+        }
+        let e = DurableEngine::open(dir.path(), RejectNamed("q9"), MiniCodec, opts(None)).unwrap();
+        assert_eq!(e.recovery_report().records_replayed, 1);
+        assert_eq!(e.pending_count(), 1);
+    }
+
+    #[test]
+    fn snapshots_bound_replay_work() {
+        let dir = TempDir::new("durable-snap");
+        {
+            let mut e =
+                DurableEngine::open(dir.path(), Saturation, MiniCodec, opts(Some(4))).unwrap();
+            for i in 0..10 {
+                e.submit(chain(10 * i, Some(10 * i + 1))).unwrap();
+            }
+            assert!(e.store().stats().snapshots_taken >= 2);
+        }
+        let mut e = DurableEngine::open(dir.path(), Saturation, MiniCodec, opts(Some(4))).unwrap();
+        let report = e.recovery_report().clone();
+        assert!(report.had_snapshot);
+        assert!(
+            report.records_replayed <= 4,
+            "snapshot did not bound the tail: {report:?}"
+        );
+        assert_eq!(
+            report.snapshot_entries + report.records_replayed,
+            10,
+            "{report:?}"
+        );
+        assert_eq!(e.pending_count(), 10);
+        e.validate_invariants();
+        // Seqs keep advancing across the snapshot boundary.
+        e.submit(chain(500, None)).unwrap();
+        assert_eq!(e.pending_count(), 10);
+    }
+
+    #[test]
+    fn sharded_pending_set_survives_reopen() {
+        let dir = TempDir::new("durable-sharded");
+        {
+            let e = DurableShardedEngine::open(dir.path(), Saturation, 4, MiniCodec, opts(None))
+                .unwrap();
+            std::thread::scope(|s| {
+                for t in 0..4i64 {
+                    let e = &e;
+                    s.spawn(move || {
+                        for c in 0..3 {
+                            let base = 1000 * t + 10 * c;
+                            e.submit(chain(base, Some(base + 1))).unwrap();
+                            e.submit(chain(base + 1, Some(base + 2))).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(e.pending_count(), 24);
+        }
+        let e =
+            DurableShardedEngine::open(dir.path(), Saturation, 4, MiniCodec, opts(None)).unwrap();
+        assert_eq!(e.pending_count(), 24);
+        assert_eq!(e.component_count(), 12);
+        // Each recovered chain still completes.
+        for t in 0..4i64 {
+            for c in 0..3 {
+                let base = 1000 * t + 10 * c;
+                let r = e.submit(chain(base + 2, None)).unwrap();
+                assert!(r.coordinated(), "chain {base} lost by recovery");
+                assert_eq!(r.retired.len(), 3);
+            }
+        }
+        assert_eq!(e.pending_count(), 0);
+    }
+
+    #[test]
+    fn sharded_snapshot_rotation_under_concurrent_submits() {
+        let dir = TempDir::new("durable-sharded-snap");
+        {
+            let e = DurableShardedEngine::open(dir.path(), Saturation, 2, MiniCodec, opts(Some(8)))
+                .unwrap();
+            std::thread::scope(|s| {
+                for t in 0..2i64 {
+                    let e = &e;
+                    s.spawn(move || {
+                        for i in 0..20 {
+                            let base = 10_000 * t + 10 * i;
+                            e.submit(chain(base, Some(base + 1))).unwrap();
+                        }
+                    });
+                }
+            });
+            assert!(e.store().stats().snapshots_taken >= 1);
+            assert_eq!(e.pending_count(), 40);
+        }
+        let e = DurableShardedEngine::open(dir.path(), Saturation, 2, MiniCodec, opts(Some(8)))
+            .unwrap();
+        assert!(e.recovery_report().had_snapshot);
+        assert_eq!(e.pending_count(), 40);
+    }
+
+    /// Regression: a snapshot racing a submit that the engine later
+    /// *rejects* must not capture the reserved (unapplied) registry
+    /// entry — otherwise recovery resurrects a query whose submitter
+    /// was told `Err`.
+    #[test]
+    fn snapshot_during_rejected_submit_does_not_resurrect_it() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Clone)]
+        struct GateReject {
+            started: Arc<AtomicBool>,
+            release: Arc<AtomicBool>,
+        }
+        impl ComponentEvaluator<MiniQuery> for GateReject {
+            type Delivery = ();
+            type Error = String;
+            fn evaluate(&self, queries: &[MiniQuery]) -> Result<Option<(Vec<usize>, ())>, String> {
+                if queries.iter().any(|x| x.name == "bad") {
+                    self.started.store(true, Ordering::SeqCst);
+                    while !self.release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    return Err("rejected mid-snapshot".into());
+                }
+                Ok(None)
+            }
+        }
+
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let dir = TempDir::new("durable-reject-snap");
+        {
+            let e = DurableShardedEngine::open(
+                dir.path(),
+                GateReject {
+                    started: Arc::clone(&started),
+                    release: Arc::clone(&release),
+                },
+                2,
+                MiniCodec,
+                opts(None),
+            )
+            .unwrap();
+            std::thread::scope(|s| {
+                let engine = &e;
+                let rejected = s.spawn(move || {
+                    engine
+                        .submit(mini("bad", &[("R", 1)], &[]))
+                        .expect_err("evaluator rejects `bad`")
+                });
+                while !started.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                // `bad` is reserved in the registry but not applied:
+                // the snapshot must skip it.
+                e.snapshot().unwrap();
+                release.store(true, Ordering::SeqCst);
+                rejected.join().unwrap();
+            });
+            assert_eq!(e.pending_count(), 0);
+        }
+        let e = DurableShardedEngine::open(
+            dir.path(),
+            GateReject { started, release },
+            2,
+            MiniCodec,
+            opts(None),
+        )
+        .unwrap();
+        assert!(e.recovery_report().had_snapshot);
+        assert_eq!(e.pending_count(), 0, "rejected submit resurrected");
+    }
+
+    #[test]
+    fn shard_count_can_change_across_restarts() {
+        let dir = TempDir::new("durable-reshard");
+        {
+            let e = DurableShardedEngine::open(dir.path(), Saturation, 4, MiniCodec, opts(None))
+                .unwrap();
+            for i in 0..6i64 {
+                e.submit(chain(100 * i, Some(100 * i + 1))).unwrap();
+            }
+        }
+        let e =
+            DurableShardedEngine::open(dir.path(), Saturation, 2, MiniCodec, opts(None)).unwrap();
+        assert_eq!(e.pending_count(), 6);
+        let r = e.submit(chain(1, None)).unwrap();
+        assert!(r.coordinated());
+        assert_eq!(r.retired.len(), 2);
+    }
+}

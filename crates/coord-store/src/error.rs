@@ -1,0 +1,81 @@
+//! Storage-layer errors.
+
+use std::fmt;
+use std::io;
+
+/// Failures of the durable store: I/O, on-disk corruption beyond what
+/// prefix recovery tolerates, or a payload that frames cleanly but does
+/// not decode.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// A structurally invalid store directory (e.g. a snapshot whose
+    /// header names the wrong epoch).
+    Corrupt(String),
+    /// A checksum-clean payload failed to decode.
+    Codec(String),
+}
+
+impl StoreError {
+    pub(crate) fn codec(msg: impl Into<String>) -> Self {
+        StoreError::Codec(msg.into())
+    }
+
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        StoreError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+            StoreError::Codec(m) => write!(f, "record codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A durable engine failure: either the wrapped engine rejected the
+/// submission (state unchanged, nothing logged) or the store itself
+/// failed.
+#[derive(Debug)]
+pub enum DurableError<E> {
+    /// The component evaluator rejected the submission.
+    Engine(E),
+    /// The write-ahead log or snapshot failed.
+    Store(StoreError),
+}
+
+impl<E: fmt::Display> fmt::Display for DurableError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Engine(e) => write!(f, "engine error: {e}"),
+            DurableError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for DurableError<E> {}
+
+impl<E> From<StoreError> for DurableError<E> {
+    fn from(e: StoreError) -> Self {
+        DurableError::Store(e)
+    }
+}

@@ -1,0 +1,152 @@
+//! Shared test fixtures: a minimal key-structured query, its byte
+//! codec, and a saturation evaluator.
+//!
+//! Used by the crate's own unit tests and its crash-point fuzz suite
+//! (`tests/crash_points.rs`) — one copy, so the encoding and the
+//! coordination semantics the two suites exercise cannot drift apart.
+//! Public for the same reason [`crate::temp`] is: downstream crates'
+//! store experiments need the same scaffolding.
+
+use crate::bytes::{put_i64, put_str, put_u32, Reader};
+use crate::codec::QueryCodec;
+use crate::error::StoreError;
+use coord_engine::index::{keys_related, KeyPattern};
+use coord_engine::{ComponentEvaluator, CoordinationQuery};
+
+/// A minimal query carrying only coordination key structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MiniQuery {
+    pub name: String,
+    pub provides: Vec<(String, Option<i64>)>,
+    pub requires: Vec<(String, Option<i64>)>,
+}
+
+/// Build a [`MiniQuery`] from constant keys.
+pub fn mini(name: &str, provides: &[(&str, i64)], requires: &[(&str, i64)]) -> MiniQuery {
+    MiniQuery {
+        name: name.into(),
+        provides: provides
+            .iter()
+            .map(|&(r, c)| (r.to_string(), Some(c)))
+            .collect(),
+        requires: requires
+            .iter()
+            .map(|&(r, c)| (r.to_string(), Some(c)))
+            .collect(),
+    }
+}
+
+/// A chain link: provides `R(i)`, requires `R(next)` (none = free tail).
+pub fn chain(i: i64, next: Option<i64>) -> MiniQuery {
+    MiniQuery {
+        name: format!("q{i}"),
+        provides: vec![("R".into(), Some(i))],
+        requires: next.map(|n| ("R".into(), Some(n))).into_iter().collect(),
+    }
+}
+
+impl CoordinationQuery for MiniQuery {
+    type Rel = String;
+    type Cst = i64;
+    fn provides(&self) -> Vec<KeyPattern<String, i64>> {
+        self.provides.clone()
+    }
+    fn requires(&self) -> Vec<KeyPattern<String, i64>> {
+        self.requires.clone()
+    }
+}
+
+/// Coordinates a component exactly when every required key is matched
+/// by a provided key within it; delivers the member names.
+#[derive(Clone)]
+pub struct SaturationEvaluator;
+
+impl ComponentEvaluator<MiniQuery> for SaturationEvaluator {
+    type Delivery = Vec<String>;
+    type Error = String;
+
+    fn evaluate(&self, queries: &[MiniQuery]) -> Result<Option<(Vec<usize>, Vec<String>)>, String> {
+        let provided: Vec<_> = queries.iter().flat_map(|x| x.provides.clone()).collect();
+        let ok = queries.iter().all(|x| {
+            x.requires
+                .iter()
+                .all(|r| provided.iter().any(|p| keys_related(p, r)))
+        });
+        if ok {
+            Ok(Some((
+                (0..queries.len()).collect(),
+                queries.iter().map(|x| x.name.clone()).collect(),
+            )))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Deterministic byte codec for [`MiniQuery`].
+pub struct MiniCodec;
+
+impl QueryCodec<MiniQuery> for MiniCodec {
+    fn encode(&self, q: &MiniQuery, out: &mut Vec<u8>) {
+        put_str(out, &q.name);
+        for side in [&q.provides, &q.requires] {
+            put_u32(out, side.len() as u32);
+            for (r, c) in side {
+                put_str(out, r);
+                match c {
+                    Some(v) => {
+                        out.push(1);
+                        put_i64(out, *v);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<MiniQuery, StoreError> {
+        let mut r = Reader::new(bytes);
+        let name = r.str()?;
+        let mut sides = Vec::new();
+        for _ in 0..2 {
+            let n = r.u32()? as usize;
+            let mut side = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rel = r.str()?;
+                let c = match r.u8()? {
+                    1 => Some(r.i64()?),
+                    _ => None,
+                };
+                side.push((rel, c));
+            }
+            sides.push(side);
+        }
+        let requires = sides.pop().expect("two sides encoded");
+        let provides = sides.pop().expect("two sides encoded");
+        Ok(MiniQuery {
+            name,
+            provides,
+            requires,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_roundtrip() {
+        let codec = MiniCodec;
+        for q in [
+            chain(5, Some(6)),
+            chain(9, None),
+            mini("m", &[("A", 1), ("B", 2)], &[("C", 3)]),
+        ] {
+            let mut bytes = Vec::new();
+            codec.encode(&q, &mut bytes);
+            assert_eq!(codec.decode(&bytes).unwrap(), q);
+        }
+        assert!(MiniCodec.decode(&[9, 9]).is_err());
+    }
+}

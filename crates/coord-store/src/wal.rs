@@ -1,0 +1,241 @@
+//! The append-only write-ahead log file.
+//!
+//! Layout: a fixed 16-byte header (`CWAL` magic + format version +
+//! epoch), then a run of [`crate::frame`] records. Appends go through a
+//! [`WalWriter`] that tracks the file offset (so callers learn exactly
+//! where each record ends — the crash-point tests depend on it) and
+//! applies the configured [`SyncPolicy`].
+//!
+//! Reading ([`read_wal`]) validates the header, scans the clean frame
+//! prefix, and reports whether a torn tail was found; recovery truncates
+//! the file back to the clean prefix before re-opening it for append, so
+//! fresh records never interleave with garbage.
+
+use crate::error::StoreError;
+use crate::frame::{scan_frames, write_frame};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// WAL file magic: `CWAL` + format version 1 (big-endian in spirit; the
+/// trailing byte is the version).
+pub const WAL_MAGIC: [u8; 8] = *b"CWAL\x00\x00\x00\x01";
+
+/// Header length: magic + epoch.
+pub const WAL_HEADER_LEN: u64 = 16;
+
+/// When appended records are pushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Never `fsync`; durability rides on the OS page cache (fastest —
+    /// survives process crashes, not power loss).
+    Never,
+    /// `fsync` after every record (slowest, strongest).
+    EveryRecord,
+    /// `fsync` every `n` records.
+    EveryN(u64),
+}
+
+/// An open WAL file positioned for appending.
+pub struct WalWriter {
+    file: File,
+    /// Byte offset of the end of the file (= end of the last record).
+    len: u64,
+    sync: SyncPolicy,
+    appended_since_sync: u64,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL at `path` (truncating any existing file) and
+    /// write its header.
+    pub fn create(path: &Path, epoch: u64, sync: SyncPolicy) -> Result<Self, StoreError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.write_all(&epoch.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            len: WAL_HEADER_LEN,
+            sync,
+            appended_since_sync: 0,
+        })
+    }
+
+    /// Open an existing WAL for appending at `clean_len` (as reported by
+    /// [`read_wal`]), truncating any torn tail beyond it first.
+    pub fn reopen(path: &Path, clean_len: u64, sync: SyncPolicy) -> Result<Self, StoreError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(clean_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            len: clean_len,
+            sync,
+            appended_since_sync: 0,
+        })
+    }
+
+    /// Append one framed record; returns the file offset of the record's
+    /// end (the clean length of the log if a crash follows immediately).
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let mut buf = Vec::with_capacity(payload.len() + 8);
+        write_frame(&mut buf, payload);
+        self.file.write_all(&buf)?;
+        self.len += buf.len() as u64;
+        self.appended_since_sync += 1;
+        let flush = match self.sync {
+            SyncPolicy::Never => false,
+            SyncPolicy::EveryRecord => true,
+            SyncPolicy::EveryN(n) => self.appended_since_sync >= n.max(1),
+        };
+        if flush {
+            self.file.sync_data()?;
+            self.appended_since_sync = 0;
+        }
+        Ok(self.len)
+    }
+
+    /// Current end-of-log offset.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records (header only).
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_HEADER_LEN
+    }
+
+    /// Force records to stable storage regardless of policy.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+}
+
+/// A scanned WAL file: record payloads of the clean prefix plus where it
+/// ends.
+#[derive(Debug)]
+pub struct WalContents {
+    /// The epoch stamped in the header.
+    pub epoch: u64,
+    /// Clean record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Absolute end offset of each clean record (parallel to
+    /// `records`), so recovery can truncate back to a record boundary
+    /// when a checksum-clean payload fails to decode.
+    pub record_ends: Vec<u64>,
+    /// Byte offset of the end of the clean prefix.
+    pub clean_len: u64,
+    /// Whether a torn or corrupt tail was cut off.
+    pub torn: bool,
+}
+
+/// Read and validate a WAL file, stopping at the first torn or corrupt
+/// frame. A file too short to hold a header, or with the wrong magic,
+/// is reported as corrupt (the caller decides whether that is fatal —
+/// for the *current* epoch's log it means "no clean records").
+pub fn read_wal(path: &Path) -> Result<WalContents, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < WAL_HEADER_LEN as usize || bytes[..8] != WAL_MAGIC {
+        return Err(StoreError::corrupt(format!(
+            "{} is not a WAL (short or bad magic)",
+            path.display()
+        )));
+    }
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let scan = scan_frames(&bytes[WAL_HEADER_LEN as usize..]);
+    Ok(WalContents {
+        epoch,
+        records: scan.payloads,
+        record_ends: scan
+            .ends
+            .iter()
+            .map(|&e| WAL_HEADER_LEN + e as u64)
+            .collect(),
+        clean_len: WAL_HEADER_LEN + scan.clean_len as u64,
+        torn: scan.truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::TempDir;
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let dir = TempDir::new("wal-roundtrip");
+        let path = dir.path().join("wal-0.log");
+        let mut w = WalWriter::create(&path, 7, SyncPolicy::Never).unwrap();
+        assert!(w.is_empty());
+        let end1 = w.append(b"one").unwrap();
+        let end2 = w.append(b"two-two").unwrap();
+        assert!(end2 > end1);
+        assert_eq!(w.len(), end2);
+        drop(w);
+
+        let c = read_wal(&path).unwrap();
+        assert_eq!(c.epoch, 7);
+        assert!(!c.torn);
+        assert_eq!(c.records, vec![b"one".to_vec(), b"two-two".to_vec()]);
+        assert_eq!(c.clean_len, end2);
+    }
+
+    #[test]
+    fn torn_tail_is_cut_and_reopen_truncates() {
+        let dir = TempDir::new("wal-torn");
+        let path = dir.path().join("wal.log");
+        let mut w = WalWriter::create(&path, 0, SyncPolicy::Never).unwrap();
+        let end1 = w.append(b"keep").unwrap();
+        w.append(b"lost-in-the-crash").unwrap();
+        drop(w);
+        // Simulate a torn write: cut the file mid-record.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..end1 as usize + 5]).unwrap();
+
+        let c = read_wal(&path).unwrap();
+        assert!(c.torn);
+        assert_eq!(c.records, vec![b"keep".to_vec()]);
+        assert_eq!(c.clean_len, end1);
+
+        // Reopen for append at the clean prefix; new records follow it.
+        let mut w = WalWriter::reopen(&path, c.clean_len, SyncPolicy::EveryRecord).unwrap();
+        w.append(b"after-recovery").unwrap();
+        let c = read_wal(&path).unwrap();
+        assert!(!c.torn);
+        assert_eq!(
+            c.records,
+            vec![b"keep".to_vec(), b"after-recovery".to_vec()]
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let dir = TempDir::new("wal-magic");
+        let path = dir.path().join("junk.log");
+        std::fs::write(&path, b"not a wal at all").unwrap();
+        assert!(matches!(read_wal(&path), Err(StoreError::Corrupt(_))));
+        std::fs::write(&path, b"shrt").unwrap();
+        assert!(matches!(read_wal(&path), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn every_n_sync_policy_counts() {
+        let dir = TempDir::new("wal-sync");
+        let path = dir.path().join("wal.log");
+        let mut w = WalWriter::create(&path, 0, SyncPolicy::EveryN(3)).unwrap();
+        for i in 0..10u8 {
+            w.append(&[i]).unwrap();
+        }
+        w.sync().unwrap();
+        let c = read_wal(&path).unwrap();
+        assert_eq!(c.records.len(), 10);
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`engine`] — the sharded, incremental online coordination service
 //!   (atom index, union-find components, per-component shards) that
 //!   `core::engine` builds on.
+//! * [`store`] — durable persistence for the online engine: checksummed
+//!   write-ahead log, epoch snapshots, and crash recovery
+//!   (`core::persist` exposes the entangled-query wiring).
 //! * [`sat`] — 3SAT, DPLL, and the paper's hardness reductions.
 //! * [`gen`] — social-network and workload generators for the experiments.
 //!
@@ -58,3 +61,4 @@ pub use coord_engine as engine;
 pub use coord_gen as gen;
 pub use coord_graph as graph;
 pub use coord_sat as sat;
+pub use coord_store as store;

@@ -1,0 +1,197 @@
+//! The migration-stall bound: a cross-shard migration that is stuck
+//! waiting for a shard lock (held by a long component evaluation) must
+//! not stall unrelated submitters.
+//!
+//! Before the marker-based protocol, a migration held the router write
+//! lock while waiting for source/target shard locks, so *every*
+//! submitter — even ones touching completely unrelated keys — queued
+//! behind it for the duration of the evaluation. Now the migration only
+//! marks the affected keys (brief router writes) and waits with no
+//! router lock held: submitters with unrelated keys route and evaluate
+//! freely, and only submitters whose keys are mid-migration back off.
+
+use coord_engine::index::{keys_related, KeyPattern};
+use coord_engine::{ComponentEvaluator, CoordinationQuery, ShardedEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Query {
+    name: String,
+    provides: Vec<KeyPattern<&'static str, i64>>,
+    requires: Vec<KeyPattern<&'static str, i64>>,
+}
+
+impl CoordinationQuery for Query {
+    type Rel = &'static str;
+    type Cst = i64;
+    fn provides(&self) -> Vec<KeyPattern<&'static str, i64>> {
+        self.provides.clone()
+    }
+    fn requires(&self) -> Vec<KeyPattern<&'static str, i64>> {
+        self.requires.clone()
+    }
+}
+
+fn q(
+    name: &str,
+    provides: Vec<KeyPattern<&'static str, i64>>,
+    requires: Vec<KeyPattern<&'static str, i64>>,
+) -> Query {
+    Query {
+        name: name.into(),
+        provides,
+        requires,
+    }
+}
+
+/// Saturation semantics, except that a component containing the query
+/// named `slow` blocks until the release flag is set — simulating a
+/// long-running evaluation that pins its shard's lock.
+#[derive(Clone)]
+struct GatedEvaluator {
+    started: Arc<AtomicBool>,
+    release: Arc<AtomicBool>,
+}
+
+impl ComponentEvaluator<Query> for GatedEvaluator {
+    type Delivery = Vec<String>;
+    type Error = String;
+
+    fn evaluate(&self, queries: &[Query]) -> Result<Option<(Vec<usize>, Vec<String>)>, String> {
+        if queries.iter().any(|x| x.name == "slow") && !self.release.load(Ordering::SeqCst) {
+            self.started.store(true, Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while !self.release.load(Ordering::SeqCst) {
+                if Instant::now() > deadline {
+                    return Err("gate never released".into());
+                }
+                std::thread::yield_now();
+            }
+        }
+        let provided: Vec<_> = queries.iter().flat_map(|x| x.provides.clone()).collect();
+        let ok = queries.iter().all(|x| {
+            x.requires
+                .iter()
+                .all(|r| provided.iter().any(|p| keys_related(p, r)))
+        });
+        if ok {
+            Ok(Some((
+                (0..queries.len()).collect(),
+                queries.iter().map(|x| x.name.clone()).collect(),
+            )))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[test]
+fn unrelated_submitters_proceed_while_a_migration_waits() {
+    let started = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let engine = Arc::new(ShardedEngine::new(
+        GatedEvaluator {
+            started: Arc::clone(&started),
+            release: Arc::clone(&release),
+        },
+        4,
+    ));
+
+    // Round-robin placement: three disjoint waiters on shards 0, 1, 2.
+    engine
+        .submit(q("a", vec![("R", Some(0))], vec![("R", Some(1))]))
+        .unwrap(); // shard 0
+    engine
+        .submit(q("b", vec![("R", Some(10))], vec![("R", Some(11))]))
+        .unwrap(); // shard 1
+    engine
+        .submit(q("c", vec![("Y", Some(0))], vec![("Y", Some(999))]))
+        .unwrap(); // shard 2
+
+    std::thread::scope(|s| {
+        // A slow evaluation pins shard 0's lock: `slow` joins a's
+        // component (provides R(1)) and blocks inside the evaluator.
+        let slow_engine = Arc::clone(&engine);
+        let slow = s.spawn(move || {
+            slow_engine
+                .submit(q("slow", vec![("R", Some(1))], vec![("R", Some(2))]))
+                .unwrap()
+        });
+        let spin_deadline = Instant::now() + Duration::from_secs(30);
+        while !started.load(Ordering::SeqCst) {
+            assert!(
+                Instant::now() < spin_deadline,
+                "slow evaluation never started"
+            );
+            std::thread::yield_now();
+        }
+
+        // A bridge between shard 0's and shard 1's components forces a
+        // migration that must wait for shard 0 — held by `slow`.
+        let bridge_engine = Arc::clone(&engine);
+        let bridge = s.spawn(move || {
+            bridge_engine
+                .submit(q("bridge", vec![("R", Some(2)), ("R", Some(11))], vec![]))
+                .unwrap()
+        });
+        while engine.metrics().snapshot().migrations < 1 {
+            assert!(
+                Instant::now() < spin_deadline,
+                "bridge never started its migration"
+            );
+            std::thread::yield_now();
+        }
+        // Give the migrator a moment to reach its blocking shard
+        // acquisition (it has already marked its keys).
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Unrelated submitters — different keys, different shard — must
+        // make progress while both `slow` and the migration are stuck.
+        let done = Arc::new(AtomicBool::new(false));
+        let unrelated_engine = Arc::clone(&engine);
+        let done_flag = Arc::clone(&done);
+        s.spawn(move || {
+            for i in 0..8 {
+                let r = unrelated_engine
+                    .submit(q("u", vec![("Y", Some(100 + i))], vec![("Y", Some(0))]))
+                    .unwrap();
+                assert!(!r.coordinated());
+            }
+            done_flag.store(true, Ordering::SeqCst);
+        });
+        let unrelated_deadline = Instant::now() + Duration::from_secs(10);
+        while !done.load(Ordering::SeqCst) {
+            if Instant::now() > unrelated_deadline {
+                // Unblock everything so the harness reports the failure
+                // instead of hanging.
+                release.store(true, Ordering::SeqCst);
+                panic!("unrelated submitters stalled behind a waiting migration");
+            }
+            std::thread::yield_now();
+        }
+        // The migration is still in flight (the gate is still closed):
+        // progress happened *during* it, not after.
+        assert!(!release.load(Ordering::SeqCst));
+
+        // Release the gate: slow finishes, the migration completes, and
+        // the bridge coordinates the merged component.
+        release.store(true, Ordering::SeqCst);
+        let slow_result = slow.join().unwrap();
+        assert!(!slow_result.coordinated());
+        let bridge_result = bridge.join().unwrap();
+        assert!(bridge_result.coordinated(), "migrated component lost");
+        let mut names: Vec<String> = bridge_result
+            .retired
+            .iter()
+            .map(|x| x.name.clone())
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b", "bridge", "slow"]);
+    });
+
+    // The unrelated waiters (and c) are still pending; nothing leaked.
+    assert_eq!(engine.pending_count(), 9);
+    assert_eq!(engine.metrics().snapshot().migrations, 1);
+}

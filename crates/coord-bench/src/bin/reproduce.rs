@@ -1,18 +1,25 @@
 //! Regenerate every figure of the paper's Section 6 evaluation as text
 //! series (the data recorded in EXPERIMENTS.md).
 //!
-//! Usage: `cargo run --release -p coord-bench --bin reproduce [--quick] [--json]`
+//! Usage: `cargo run --release -p coord-bench --bin reproduce
+//! [--quick] [--json] [--only <section>]`
 //!
 //! `--quick` shrinks repetition counts for a fast smoke run. `--json`
 //! emits every series as one machine-readable JSON array on stdout
-//! instead of the aligned text tables.
+//! instead of the aligned text tables. `--only <section>` runs a single
+//! section (`fig4` … `fig8`, `hardness`, `shard_skew`) — CI uses
+//! `--only shard_skew --json` to emit the `BENCH_shard_skew.json`
+//! trajectory artifact.
 
-use coord_bench::{measure, series_to_json, Series};
+use coord_bench::{drive_phase1, measure, series_to_json, Series};
 use coord_core::bruteforce;
 use coord_core::consistent::ConsistentCoordinator;
+use coord_core::engine::{Placement, RebalanceConfig, SharedEngine};
 use coord_core::scc::{preprocess, SccCoordinator};
 use coord_gen::social::SLASHDOT_ROWS;
-use coord_gen::workloads::{fig4_queries, fig5_queries, fig7_instance, fig8_instance, pool_db};
+use coord_gen::workloads::{
+    fig4_queries, fig5_queries, fig7_instance, fig8_instance, pool_db, zipf_chain_workload,
+};
 use coord_sat::{dpll_solve, random_3sat, reduction1};
 use rand::prelude::*;
 
@@ -20,10 +27,16 @@ use rand::prelude::*;
 /// run asked for JSON, in which case one array is emitted at the end.
 struct Report {
     json: bool,
+    only: Option<String>,
     series: Vec<Series>,
 }
 
 impl Report {
+    /// Whether `--only` (if given) selects this section.
+    fn wants(&self, section: &str) -> bool {
+        self.only.as_deref().is_none_or(|only| only == section)
+    }
+
     fn add(&mut self, series: Series) {
         if !self.json {
             print!("{}", series.to_table());
@@ -41,12 +54,34 @@ impl Report {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1).cloned());
+    const SECTIONS: &[&str] = &[
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "hardness",
+        "shard_skew",
+    ];
+    if let Some(section) = &only {
+        // A typo must fail loudly, not upload an empty artifact.
+        if !SECTIONS.contains(&section.as_str()) {
+            eprintln!("unknown --only section `{section}`; expected one of {SECTIONS:?}");
+            std::process::exit(2);
+        }
+    }
     let runs: u32 = if quick { 2 } else { 10 };
 
     let mut report = Report {
         json,
+        only,
         series: Vec::new(),
     };
     report.note(format_args!(
@@ -54,12 +89,27 @@ fn main() {
          (VLDB 2012). One table per paper figure; times are means over {runs} runs.\n"
     ));
 
-    fig4(runs, quick, &mut report);
-    fig5(runs, quick, &mut report);
-    fig6(if quick { 1 } else { 3 }, quick, &mut report);
-    fig7(runs, quick, &mut report);
-    fig8(runs, quick, &mut report);
-    hardness(quick, &mut report);
+    if report.wants("fig4") {
+        fig4(runs, quick, &mut report);
+    }
+    if report.wants("fig5") {
+        fig5(runs, quick, &mut report);
+    }
+    if report.wants("fig6") {
+        fig6(if quick { 1 } else { 3 }, quick, &mut report);
+    }
+    if report.wants("fig7") {
+        fig7(runs, quick, &mut report);
+    }
+    if report.wants("fig8") {
+        fig8(runs, quick, &mut report);
+    }
+    if report.wants("hardness") {
+        hardness(quick, &mut report);
+    }
+    if report.wants("shard_skew") {
+        shard_skew(quick, &mut report);
+    }
 
     if json {
         println!("{}", series_to_json(&report.series));
@@ -240,5 +290,51 @@ fn hardness(quick: bool, report: &mut Report) {
     report.add(bf_series);
     report.note(format_args!(
         "(Theorem 1: the entangled side grows exponentially; DPLL stays flat)"
+    ));
+}
+
+/// Extra experiment (engine scaling): shard skew under a Zipf keystone
+/// workload — the hottest shard's share of evaluation work over the
+/// steady-state second half of phase 1, size-blind round-robin
+/// placement vs the adaptive rebalancer. Values are percentages (the
+/// balanced share on 4 shards is 25%), so the series doubles as the
+/// perf-trajectory record the CI `BENCH_shard_skew.json` step captures.
+fn shard_skew(quick: bool, report: &mut Report) {
+    const SHARDS: usize = 4;
+    const REBALANCE_EVERY: usize = 32;
+    let cases: &[(usize, usize)] = if quick {
+        &[(48, 24)]
+    } else {
+        &[(32, 16), (48, 24), (96, 40)]
+    };
+    let config = RebalanceConfig {
+        skew_threshold: 0.3,
+        min_window_load: 24,
+        max_moves: 8,
+    };
+    let mut baseline_series = Series::new(format!(
+        "Shard skew — hottest-shard eval share %, round-robin baseline ({SHARDS} shards)"
+    ));
+    let mut rebalanced_series = Series::new(format!(
+        "Shard skew — hottest-shard eval share %, with rebalancer ({SHARDS} shards)"
+    ));
+    for &(groups, k) in cases {
+        let db = pool_db(100 * groups + k + 2);
+        let w = zipf_chain_workload(groups, k, 42);
+        let n = w.phase1.len();
+        // Same driver as the `shard_skew` bench gate, so the trajectory
+        // figure and the CI assertion cannot drift apart.
+        let run = |rebalance_every: Option<usize>| -> f64 {
+            let engine = SharedEngine::with_config(&db, SHARDS, Placement::RoundRobin, config);
+            100.0 * drive_phase1(&engine, &w.phase1, rebalance_every).hottest_share
+        };
+        baseline_series.push(n as u64, run(None), 1);
+        rebalanced_series.push(n as u64, run(Some(REBALANCE_EVERY)), 1);
+    }
+    report.add(baseline_series);
+    report.add(rebalanced_series);
+    report.note(format_args!(
+        "(adaptive rebalancing: lower is better; {:.0}% is perfectly balanced)",
+        100.0 / SHARDS as f64
     ));
 }

@@ -5,5 +5,7 @@
 //! Section 6 evaluation.
 
 pub mod harness;
+pub mod skew;
 
 pub use harness::{measure, series_to_json, MeasuredPoint, Series};
+pub use skew::{drive_phase1, SkewRun};

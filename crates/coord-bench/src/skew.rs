@@ -1,0 +1,88 @@
+//! Shared driver for the shard-skew experiments: the `shard_skew`
+//! bench and the `reproduce --only shard_skew` trajectory section run
+//! the **same** phase-1 methodology through this module, so the two
+//! figures cannot drift apart.
+
+use coord_core::engine::{SharedEngine, SubmitResult};
+use coord_core::EntangledQuery;
+
+/// What one phase-1 drive observed.
+pub struct SkewRun {
+    /// Hottest shard's share of the evaluation work accumulated over
+    /// the steady-state **second half** of phase 1 (1/shards would be
+    /// perfectly balanced).
+    pub hottest_share: f64,
+    /// Component groups moved by the rebalancer (0 when disabled).
+    pub groups_moved: usize,
+    /// Pending queries those groups contained.
+    pub queries_moved: usize,
+}
+
+/// Per-shard cumulative evaluation-work counters.
+pub fn eval_counts(engine: &SharedEngine<'_>) -> Vec<u64> {
+    engine
+        .shard_stats()
+        .iter()
+        .map(|s| s.eval_queries)
+        .collect()
+}
+
+/// Hottest shard's share of the evaluation work accumulated between
+/// two [`eval_counts`] snapshots.
+pub fn hottest_share(before: &[u64], after: &[u64]) -> f64 {
+    let deltas: Vec<u64> = after
+        .iter()
+        .zip(before)
+        .map(|(a, b)| a.saturating_sub(*b))
+        .collect();
+    let total: u64 = deltas.iter().sum();
+    deltas.iter().copied().max().unwrap_or(0) as f64 / total.max(1) as f64
+}
+
+/// Drive phase 1 of a skew workload: submit every query in order
+/// (asserting nothing coordinates — the keystones are withheld) and,
+/// when `rebalance_every` is set, run a rebalance pass at that cadence.
+/// The hottest-shard share is measured over the second half, after the
+/// skew has emerged and the rebalancer has had windows to react.
+pub fn drive_phase1(
+    engine: &SharedEngine<'_>,
+    phase1: &[EntangledQuery],
+    rebalance_every: Option<usize>,
+) -> SkewRun {
+    drive_phase1_observed(engine, phase1, rebalance_every, |_, _| {})
+}
+
+/// [`drive_phase1`] with a per-submit observation hook (e.g. the
+/// `shard_skew` bench cross-checks every outcome against a sequential
+/// twin) — same methodology, so the observed run and the plain run
+/// measure identically.
+pub fn drive_phase1_observed(
+    engine: &SharedEngine<'_>,
+    phase1: &[EntangledQuery],
+    rebalance_every: Option<usize>,
+    mut observe: impl FnMut(&EntangledQuery, &SubmitResult),
+) -> SkewRun {
+    let mut groups_moved = 0usize;
+    let mut queries_moved = 0usize;
+    let mut at_midpoint: Vec<u64> = Vec::new();
+    for (i, q) in phase1.iter().enumerate() {
+        if i == phase1.len() / 2 {
+            at_midpoint = eval_counts(engine);
+        }
+        let r = engine.submit(q.clone()).unwrap();
+        assert!(!r.coordinated(), "phase 1 must stay pending");
+        observe(q, &r);
+        if let Some(every) = rebalance_every {
+            if (i + 1) % every == 0 {
+                let report = engine.rebalance();
+                groups_moved += report.groups_moved;
+                queries_moved += report.queries_moved;
+            }
+        }
+    }
+    SkewRun {
+        hottest_share: hottest_share(&at_midpoint, &eval_counts(engine)),
+        groups_moved,
+        queries_moved,
+    }
+}

@@ -30,8 +30,12 @@ use crate::semantics::Grounding;
 use coord_db::{Atom, Database, Symbol, Term, Value};
 use coord_engine::{ComponentEvaluator, CoordinationQuery, IncrementalEngine, ShardedEngine};
 use coord_graph::reach::weakly_connected_components;
+use parking_lot::Mutex;
 
-pub use coord_engine::{EngineMetrics, MetricsSnapshot, ShardStatsSnapshot};
+pub use coord_engine::{
+    EngineMetrics, MetricsSnapshot, Placement, RebalanceConfig, RebalanceReport, Rebalancer,
+    ShardStatsSnapshot,
+};
 
 /// Components at or below this size are evaluated with the exhaustive
 /// search instead of the full SCC algorithm — the regime where the
@@ -223,6 +227,7 @@ fn answer_for(qs: &QuerySet, q: QueryId, grounding: &Grounding) -> QueryAnswer {
 pub struct SharedEngine<'a> {
     db: &'a Database,
     inner: ShardedEngine<EntangledQuery, SccEvaluator<'a>>,
+    rebalancer: Mutex<Rebalancer>,
 }
 
 impl<'a> SharedEngine<'a> {
@@ -235,12 +240,34 @@ impl<'a> SharedEngine<'a> {
         Self::with_shards(db, shards)
     }
 
-    /// An engine with an explicit shard count.
+    /// An engine with an explicit shard count (least-loaded placement,
+    /// default rebalance tuning).
     pub fn with_shards(db: &'a Database, shards: usize) -> Self {
+        Self::with_config(db, shards, Placement::default(), RebalanceConfig::default())
+    }
+
+    /// An engine with explicit shard count, placement policy, and
+    /// rebalance tuning.
+    pub fn with_config(
+        db: &'a Database,
+        shards: usize,
+        placement: Placement,
+        rebalance: RebalanceConfig,
+    ) -> Self {
         SharedEngine {
             db,
-            inner: ShardedEngine::new(SccEvaluator::new(db), shards),
+            inner: ShardedEngine::with_placement(SccEvaluator::new(db), shards, placement),
+            rebalancer: Mutex::new(Rebalancer::new(rebalance)),
         }
+    }
+
+    /// One skew-correction pass: detect a hot shard from the per-shard
+    /// load windows and move its costliest component groups to colder
+    /// shards via the marker-based migration protocol. Safe to call
+    /// from any thread at any time — rebalancing never changes a
+    /// coordination result (see `tests/equivalence_props.rs`).
+    pub fn rebalance(&self) -> RebalanceReport {
+        self.rebalancer.lock().run(&self.inner)
     }
 
     /// Submit a query under its component shard's lock.

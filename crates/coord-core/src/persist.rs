@@ -322,9 +322,24 @@ impl<'a> DurableSharedEngine<'a> {
         self.inner.metrics().snapshot()
     }
 
-    /// Per-shard submit/contention statistics.
+    /// Per-shard load/contention statistics.
     pub fn shard_stats(&self) -> Vec<coord_engine::ShardStatsSnapshot> {
         self.inner.shard_stats()
+    }
+
+    /// One skew-correction pass over the sharded engine: detect a hot
+    /// shard and move its costliest component groups to colder shards.
+    /// Purely an in-memory placement change — commit records written
+    /// after the move land on the new shard's WAL stream, and recovery
+    /// re-routes the pending set regardless, so a crash at any point
+    /// stays exactly recoverable.
+    pub fn rebalance(&self) -> coord_engine::RebalanceReport {
+        self.inner.rebalance()
+    }
+
+    /// Replace the rebalancer's tuning (and reset its load watermarks).
+    pub fn set_rebalance_config(&self, config: coord_engine::RebalanceConfig) {
+        self.inner.set_rebalance_config(config);
     }
 
     /// What recovery found when this engine was opened.
@@ -335,6 +350,12 @@ impl<'a> DurableSharedEngine<'a> {
     /// Durable-store counters (records, bytes, snapshots, epoch).
     pub fn store_stats(&self) -> StoreStatsSnapshot {
         self.inner.store().stats()
+    }
+
+    /// Clean end offset of every WAL stream (stream index = shard
+    /// index) — the truncation points crash-fuzz tests cut at.
+    pub fn wal_stream_lens(&self) -> Vec<u64> {
+        self.inner.wal_stream_lens()
     }
 
     /// Snapshot the pending set now, rotating every shard's WAL to the

@@ -22,7 +22,7 @@
 //! sees every query the true component contains.
 
 use crate::index::{AtomIndex, KeyPattern, Polarity};
-use crate::metrics::EngineMetrics;
+use crate::metrics::{EngineMetrics, ShardStats};
 use coord_graph::UnionFind;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::Hash;
@@ -98,6 +98,24 @@ struct Entry<Q: CoordinationQuery> {
     query: Q,
     provides: Vec<KeyPattern<Q::Rel, Q::Cst>>,
     requires: Vec<KeyPattern<Q::Rel, Q::Cst>>,
+    /// Evaluations this query participated in while pending here — the
+    /// observed-cost signal the rebalancer sums per component when
+    /// picking victims. Reset when the query migrates to another shard
+    /// (migration re-inserts it), which keeps the figure local to the
+    /// shard being drained.
+    cost: u64,
+}
+
+/// One maintained component's routing keys, membership size, and
+/// observed evaluation cost — the unit the rebalancer moves.
+#[derive(Clone, Debug)]
+pub struct ComponentGroup<R, C> {
+    /// Every key pattern held by the component's members (deduplicated).
+    pub keys: Vec<KeyPattern<R, C>>,
+    /// Number of pending queries in the component.
+    pub size: usize,
+    /// Sum of the members' evaluation-participation counts.
+    pub cost: u64,
 }
 
 /// The single-writer incremental engine: one of these sits behind each
@@ -106,6 +124,10 @@ struct Entry<Q: CoordinationQuery> {
 pub struct IncrementalEngine<Q: CoordinationQuery, V> {
     evaluator: V,
     metrics: Arc<EngineMetrics>,
+    /// Per-shard load sink when this engine sits behind a shard lock
+    /// (`None` for standalone use): receives the evaluation-work counts
+    /// the rebalancer's skew detection reads.
+    shard_stats: Option<Arc<ShardStats>>,
     /// Slab of pending queries; retired slots are recycled via `free`.
     slots: Vec<Option<Entry<Q>>>,
     free: Vec<usize>,
@@ -129,6 +151,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
         IncrementalEngine {
             evaluator,
             metrics,
+            shard_stats: None,
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
@@ -137,6 +160,13 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
             members: HashMap::new(),
             delivered: 0,
         }
+    }
+
+    /// Attach a per-shard load sink: evaluation work performed by this
+    /// engine is also recorded there (used by the sharded engine so the
+    /// rebalancer can see *which* shard the work landed on).
+    pub fn set_shard_stats(&mut self, stats: Arc<ShardStats>) {
+        self.shard_stats = Some(stats);
     }
 
     /// Number of pending queries.
@@ -203,6 +233,9 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
         batch.push(query.clone());
 
         EngineMetrics::add(&self.metrics.queries_evaluated, batch.len() as u64);
+        if let Some(stats) = &self.shard_stats {
+            EngineMetrics::add(&stats.eval_queries, batch.len() as u64);
+        }
         EngineMetrics::add(
             &self.metrics.rebuild_avoided,
             (self.live + 1 - batch.len()) as u64,
@@ -211,8 +244,13 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
 
         let verdict = self.evaluator.evaluate(&batch)?;
 
-        // Commit: insert the query and link it with every candidate.
+        // Commit: insert the query and link it with every candidate;
+        // every evaluated member's observed cost grows by one.
+        for &t in &tokens {
+            self.slots[t].as_mut().expect("member token is live").cost += 1;
+        }
         let token = self.insert(query, provides, requires);
+        self.slots[token].as_mut().expect("just inserted").cost += 1;
         for &c in &candidates {
             self.link(token, c);
         }
@@ -299,6 +337,39 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
             }
         }
         (selected, keys)
+    }
+
+    /// Every maintained component's routing keys, size, and observed
+    /// evaluation cost. The sharded engine's rebalancer scans the hot
+    /// shard with this — under that shard's lock only — to pick victim
+    /// groups by cost. Ordered by component root token so victim
+    /// selection (and therefore single-threaded rebalancing) is
+    /// deterministic.
+    pub fn component_groups(&self) -> Vec<ComponentGroup<Q::Rel, Q::Cst>> {
+        let mut roots: Vec<usize> = self.members.keys().copied().collect();
+        roots.sort_unstable();
+        roots
+            .into_iter()
+            .map(|root| {
+                let members = &self.members[&root];
+                let mut keys: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::new();
+                let mut cost = 0u64;
+                for &m in members {
+                    let e = self.slots[m].as_ref().expect("member token is live");
+                    cost += e.cost;
+                    for k in e.provides.iter().chain(&e.requires) {
+                        if !keys.contains(k) {
+                            keys.push(k.clone());
+                        }
+                    }
+                }
+                ComponentGroup {
+                    keys,
+                    size: members.len(),
+                    cost,
+                }
+            })
+            .collect()
     }
 
     /// The full key set held by components related — transitively over
@@ -404,6 +475,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
             query,
             provides,
             requires,
+            cost: 0,
         });
         self.members.insert(token, vec![token]);
         self.live += 1;
@@ -770,6 +842,33 @@ pub(crate) mod tests {
         assert_eq!(names, vec!["x", "y"]);
         assert_eq!(engine.pending_count(), 1);
         engine.validate_invariants();
+    }
+
+    #[test]
+    fn component_groups_report_keys_size_and_observed_cost() {
+        let mut engine = IncrementalEngine::new(SaturationEvaluator);
+        // A 3-member chain: each submit evaluates the growing component,
+        // so costs accumulate 1, 2, 3 across members → 6 total.
+        engine.submit(chain_query(0, Some(1))).unwrap();
+        engine.submit(chain_query(1, Some(2))).unwrap();
+        engine.submit(chain_query(2, Some(3))).unwrap();
+        // A never-evaluated singleton has cost 1 (its own submit).
+        engine.submit(chain_query(50, Some(51))).unwrap();
+        let mut groups = engine.component_groups();
+        groups.sort_by_key(|g| g.size);
+        assert_eq!(groups.len(), 2);
+        assert_eq!((groups[0].size, groups[0].cost), (1, 1));
+        assert_eq!((groups[1].size, groups[1].cost), (3, 6));
+        assert!(groups[1].keys.contains(&("R", Some(0))));
+        assert!(groups[1].keys.contains(&("R", Some(3))));
+        // insert_pending (a migration arrival) starts cost back at 0.
+        engine.insert_pending(chain_query(90, None));
+        let fresh = engine
+            .component_groups()
+            .into_iter()
+            .find(|g| g.keys.contains(&("R", Some(90))))
+            .unwrap();
+        assert_eq!(fresh.cost, 0);
     }
 
     #[test]

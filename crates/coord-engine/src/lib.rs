@@ -14,12 +14,17 @@
 //! * [`engine::IncrementalEngine`] — union-find component maintenance on
 //!   submit/retire around a pluggable [`engine::ComponentEvaluator`],
 //! * [`sharded::ShardedEngine`] — per-component shards, each behind its
-//!   own lock, with a read-mostly routing table and cross-shard
-//!   component migration, so submitters touching disjoint components
-//!   proceed concurrently,
+//!   own lock, with a read-mostly routing table, least-loaded placement
+//!   of fresh components, and cross-shard component migration, so
+//!   submitters touching disjoint components proceed concurrently,
+//! * [`rebalance::Rebalancer`] — adaptive skew correction: detects a
+//!   hot shard from the per-shard load windows and moves its costliest
+//!   component groups to colder shards through the marker-based
+//!   migration protocol,
 //! * [`metrics::EngineMetrics`] — submit/pairing/evaluation counters
 //!   (including the rebuild-avoided figure benchmarked by
-//!   `online_throughput`) and per-shard contention stats.
+//!   `online_throughput`) and per-shard load/contention stats
+//!   (submits, evaluation work, lock-wait).
 //!
 //! The crate is generic over the query type ([`engine::
 //! CoordinationQuery`]) and the evaluation algorithm, which keeps it
@@ -30,11 +35,14 @@
 pub mod engine;
 pub mod index;
 pub mod metrics;
+pub mod rebalance;
 pub mod sharded;
 
 pub use engine::{
-    ComponentEvaluator, CoordinationQuery, EvalVerdict, IncrementalEngine, SubmitOutcome,
+    ComponentEvaluator, ComponentGroup, CoordinationQuery, EvalVerdict, IncrementalEngine,
+    SubmitOutcome,
 };
 pub use index::{AtomIndex, KeyPattern, Polarity};
 pub use metrics::{EngineMetrics, MetricsSnapshot, ShardStats, ShardStatsSnapshot};
-pub use sharded::ShardedEngine;
+pub use rebalance::{RebalanceConfig, RebalanceReport, Rebalancer};
+pub use sharded::{Placement, ShardedEngine};

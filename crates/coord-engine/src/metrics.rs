@@ -35,6 +35,8 @@ pub struct EngineMetrics {
     /// Batch submissions (each covering many queries under one routing
     /// acquisition).
     pub batches: AtomicU64,
+    /// Component groups moved off a hot shard by the rebalancer.
+    pub rebalance_moves: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -62,6 +64,7 @@ impl EngineMetrics {
             migrations: self.migrations.load(Ordering::Relaxed),
             migration_backoffs: self.migration_backoffs.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            rebalance_moves: self.rebalance_moves.load(Ordering::Relaxed),
         }
     }
 }
@@ -79,6 +82,7 @@ pub struct MetricsSnapshot {
     pub migrations: u64,
     pub migration_backoffs: u64,
     pub batches: u64,
+    pub rebalance_moves: u64,
 }
 
 impl MetricsSnapshot {
@@ -93,7 +97,15 @@ impl MetricsSnapshot {
     }
 }
 
-/// Per-shard contention statistics for the sharded engine.
+/// Per-shard load and contention statistics for the sharded engine.
+///
+/// The three load signals the rebalancer reads are `submits` (routing
+/// pressure), `eval_queries` (evaluation work actually performed under
+/// this shard's lock), and `lock_wait_nanos` (time submitters spent
+/// blocked on the shard lock). [`ShardStats::load_score`] combines the
+/// first two into the scalar used for skew detection and least-loaded
+/// placement; lock-wait stays a separate signal because its unit
+/// (nanoseconds) is incommensurable with query counts.
 #[derive(Debug, Default)]
 pub struct ShardStats {
     /// Submits routed to this shard.
@@ -101,16 +113,33 @@ pub struct ShardStats {
     /// Submits that found the shard lock already held (acquired it only
     /// after blocking).
     pub contended: AtomicU64,
-    /// Queries migrated out of this shard by a cross-shard merge.
+    /// Total nanoseconds submitters spent blocked on this shard's lock.
+    pub lock_wait_nanos: AtomicU64,
+    /// Queries handed to the component evaluator under this shard's
+    /// lock (the per-shard slice of `EngineMetrics::queries_evaluated`).
+    pub eval_queries: AtomicU64,
+    /// Queries migrated into this shard by a merge or rebalance.
+    pub migrated_in: AtomicU64,
+    /// Queries migrated out of this shard by a cross-shard merge or
+    /// rebalance.
     pub migrated_out: AtomicU64,
 }
 
 impl ShardStats {
+    /// The scalar load figure used for least-loaded placement and skew
+    /// detection: routing pressure plus evaluation work.
+    pub fn load_score(&self) -> u64 {
+        self.submits.load(Ordering::Relaxed) + self.eval_queries.load(Ordering::Relaxed)
+    }
+
     /// Plain-data copy.
     pub fn snapshot(&self) -> ShardStatsSnapshot {
         ShardStatsSnapshot {
             submits: self.submits.load(Ordering::Relaxed),
             contended: self.contended.load(Ordering::Relaxed),
+            lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
+            eval_queries: self.eval_queries.load(Ordering::Relaxed),
+            migrated_in: self.migrated_in.load(Ordering::Relaxed),
             migrated_out: self.migrated_out.load(Ordering::Relaxed),
         }
     }
@@ -121,7 +150,17 @@ impl ShardStats {
 pub struct ShardStatsSnapshot {
     pub submits: u64,
     pub contended: u64,
+    pub lock_wait_nanos: u64,
+    pub eval_queries: u64,
+    pub migrated_in: u64,
     pub migrated_out: u64,
+}
+
+impl ShardStatsSnapshot {
+    /// The scalar load figure (same formula as [`ShardStats::load_score`]).
+    pub fn load(&self) -> u64 {
+        self.submits + self.eval_queries
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +181,17 @@ mod tests {
     #[test]
     fn evaluated_per_submit_handles_zero() {
         assert_eq!(MetricsSnapshot::default().evaluated_per_submit(), 0.0);
+    }
+
+    #[test]
+    fn shard_load_score_combines_submits_and_eval_work() {
+        let s = ShardStats::default();
+        EngineMetrics::add(&s.submits, 4);
+        EngineMetrics::add(&s.eval_queries, 10);
+        EngineMetrics::add(&s.lock_wait_nanos, 1_000_000);
+        assert_eq!(s.load_score(), 14);
+        let snap = s.snapshot();
+        assert_eq!(snap.load(), 14);
+        assert_eq!(snap.lock_wait_nanos, 1_000_000);
     }
 }

@@ -10,11 +10,24 @@
 //! invariant that *all holders of related keys are co-sharded* — so any
 //! two queries that could ever coordinate always meet inside one shard.
 //!
-//! * A query whose keys are unclaimed is routed round-robin.
+//! * A query whose keys are unclaimed is **placed**: on the least-loaded
+//!   shard by default ([`Placement::LeastLoaded`], ties broken
+//!   round-robin so an idle engine degenerates to round-robin), or
+//!   strictly round-robin ([`Placement::RoundRobin`]). The routing table
+//!   stays the single source of truth either way — placement only picks
+//!   where a *fresh* component lands; lookups remain exact.
 //! * A query whose keys hit one shard is routed there.
 //! * A query bridging several shards triggers a **migration**: the
 //!   bridged components are moved to one target shard before the query
 //!   lands.
+//!
+//! Skewed workloads (a hot relation with Zipf-distributed keys) can
+//! still pile expensive components onto one shard; the
+//! [`crate::rebalance::Rebalancer`] detects that from the per-shard
+//! load stats and moves victim components — picked by observed cost via
+//! [`ShardedEngine::shard_component_groups`] — to colder shards through
+//! [`ShardedEngine::rebalance_group`], which reuses the same
+//! marker-based migration protocol as bridging queries.
 //!
 //! ## Migration protocol (marker-based)
 //!
@@ -44,25 +57,99 @@
 //! ## Lock discipline
 //!
 //! The router write lock is only ever held for in-memory table work —
-//! never while blocking on a shard lock or scanning a slab (the one
-//! exception is the rare rejected-bridge rollback, which undoes a
-//! migration whose shards it can already reach). Threads holding a
-//! shard lock only ever poll the router with non-blocking `try_read`
-//! and back off on failure, so the two lock levels cannot deadlock.
-//! Migrations take shard locks one at a time with no router lock held,
-//! and are **serialized** on a dedicated migration lock (acquired with
-//! no other lock held): seeds that look disjoint can still grow
-//! colliding transitive closures, and one-at-a-time execution keeps the
-//! marker set owned by exactly one migration. Unrelated submitters
-//! never touch that lock.
+//! never while blocking on a shard lock or scanning a slab. That
+//! includes the rejected-bridge rollback, which goes back through the
+//! same marker-based move path as a forward migration (mark → freeze →
+//! move under shard locks → publish) instead of holding the router
+//! write lock across the whole undo. Threads
+//! holding a shard lock only ever poll the router with non-blocking
+//! `try_read` and back off on failure, so the two lock levels cannot
+//! deadlock. Migrations (bridge-driven, rollback, and rebalancer moves
+//! alike) take shard locks one at a time with no router lock held, and
+//! are **serialized** on a dedicated migration lock (acquired with no
+//! other lock held): seeds that look disjoint can still grow colliding
+//! transitive closures, and one-at-a-time execution keeps the marker
+//! set owned by exactly one migration. Unrelated submitters never touch
+//! that lock.
+//!
+//! Submitters whose keys *are* mid-migration park on a condvar-backed
+//! mark gate that the migration notifies when it lifts its marks —
+//! so a wait bounded by a long component evaluation costs wake-up
+//! latency, not blind-sleep latency (the `migration_backoffs` metric
+//! still counts every wait round).
 
-use crate::engine::{ComponentEvaluator, CoordinationQuery, IncrementalEngine, SubmitOutcome};
+use crate::engine::{
+    ComponentEvaluator, ComponentGroup, CoordinationQuery, IncrementalEngine, SubmitOutcome,
+};
 use crate::index::{keys_related, KeyPattern};
 use crate::metrics::{EngineMetrics, ShardStats, ShardStatsSnapshot};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a query whose keys are unclaimed picks its shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Placement {
+    /// Cycle through shards regardless of load.
+    RoundRobin,
+    /// Place on the shard with the least observed load
+    /// ([`ShardStats::load_score`]: submits + evaluation work), ties
+    /// broken round-robin — an idle engine behaves exactly like
+    /// [`Placement::RoundRobin`].
+    #[default]
+    LeastLoaded,
+}
+
+/// A condvar-backed generation counter: submitters blocked on migration
+/// marks park here instead of sleeping blind, and every migration bumps
+/// the generation (waking all waiters) when it lifts its marks.
+struct MarkGate {
+    generation: std::sync::Mutex<u64>,
+    lifted: std::sync::Condvar,
+}
+
+impl MarkGate {
+    fn new() -> Self {
+        MarkGate {
+            generation: std::sync::Mutex::new(0),
+            lifted: std::sync::Condvar::new(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        *self
+            .generation
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Marks were lifted: wake every parked submitter.
+    fn bump(&self) {
+        *self
+            .generation
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) += 1;
+        self.lifted.notify_all();
+    }
+
+    /// Park until the generation moves past `seen` (some migration
+    /// lifted marks after the caller sampled it) or `timeout` elapses —
+    /// the timeout is only a safety net; the normal exit is a wake-up.
+    fn wait_past(&self, seen: u64, timeout: Duration) {
+        let guard = self
+            .generation
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if *guard != seen {
+            return;
+        }
+        let _ = self
+            .lifted
+            .wait_timeout_while(guard, timeout, |generation| *generation == seen);
+    }
+}
 
 /// One key pattern's routing entry.
 struct KeySlot {
@@ -218,7 +305,9 @@ impl<R: Clone + Eq + std::hash::Hash, C: Clone + Eq + std::hash::Hash> Router<R,
 
 struct Shard<Q: CoordinationQuery, V> {
     engine: Mutex<IncrementalEngine<Q, V>>,
-    stats: ShardStats,
+    /// Shared with the shard's engine (which records its evaluation
+    /// work here) and read lock-free by placement and the rebalancer.
+    stats: Arc<ShardStats>,
 }
 
 /// Key groups moved by migrations performed for one submission:
@@ -229,6 +318,13 @@ type MigrationRecord<Q> = Vec<(
     Vec<KeyPattern<<Q as CoordinationQuery>::Rel, <Q as CoordinationQuery>::Cst>>,
 )>;
 
+/// A located migration seed: the keys to move plus the shard they
+/// currently live on (see `ShardedEngine::seed_on_one_shard`).
+type SeedPlan<Q> = (
+    Vec<KeyPattern<<Q as CoordinationQuery>::Rel, <Q as CoordinationQuery>::Cst>>,
+    usize,
+);
+
 /// Per-query outcomes of [`ShardedEngine::submit_batch`], in input
 /// order.
 pub type BatchResults<Q, V> = Vec<
@@ -237,6 +333,16 @@ pub type BatchResults<Q, V> = Vec<
         <V as ComponentEvaluator<Q>>::Error,
     >,
 >;
+
+/// Outcome of [`ShardedEngine::submit_with_shard`]: the shard that ran
+/// the evaluation plus the submit result.
+pub type ShardedSubmit<Q, V> = (
+    usize,
+    Result<
+        SubmitOutcome<Q, <V as ComponentEvaluator<Q>>::Delivery>,
+        <V as ComponentEvaluator<Q>>::Error,
+    >,
+);
 
 /// A planned migration: the marked seed keys, the shards to drain, and
 /// the shard everything lands on.
@@ -252,6 +358,7 @@ pub struct ShardedEngine<Q: CoordinationQuery, V> {
     shards: Vec<Shard<Q, V>>,
     router: RwLock<Router<Q::Rel, Q::Cst>>,
     metrics: Arc<EngineMetrics>,
+    placement: Placement,
     next_shard: AtomicUsize,
     /// Serializes migrations. Two migrations whose *seeds* look
     /// unrelated can still grow colliding transitive closures; running
@@ -260,29 +367,42 @@ pub struct ShardedEngine<Q: CoordinationQuery, V> {
     /// skip dedup and `unmark` clear wholesale. Migrations are rare;
     /// unrelated submitters never touch this lock.
     migration_lock: Mutex<()>,
+    /// Wakes submitters parked on migration marks when a migration
+    /// publishes and lifts them.
+    mark_gate: MarkGate,
 }
 
 impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V> {
     /// A service with `shards` shards, each evaluating components with a
-    /// clone of `evaluator`.
+    /// clone of `evaluator`, placing fresh components least-loaded.
     pub fn new(evaluator: V, shards: usize) -> Self {
+        Self::with_placement(evaluator, shards, Placement::default())
+    }
+
+    /// A service with an explicit placement policy for fresh components.
+    pub fn with_placement(evaluator: V, shards: usize, placement: Placement) -> Self {
         assert!(shards > 0, "at least one shard required");
         let metrics = Arc::new(EngineMetrics::new());
         let shards = (0..shards)
-            .map(|_| Shard {
-                engine: Mutex::new(IncrementalEngine::with_metrics(
-                    evaluator.clone(),
-                    Arc::clone(&metrics),
-                )),
-                stats: ShardStats::default(),
+            .map(|_| {
+                let stats = Arc::new(ShardStats::default());
+                let mut engine =
+                    IncrementalEngine::with_metrics(evaluator.clone(), Arc::clone(&metrics));
+                engine.set_shard_stats(Arc::clone(&stats));
+                Shard {
+                    engine: Mutex::new(engine),
+                    stats,
+                }
             })
             .collect();
         ShardedEngine {
             shards,
             router: RwLock::new(Router::new()),
             metrics,
+            placement,
             next_shard: AtomicUsize::new(0),
             migration_lock: Mutex::new(()),
+            mark_gate: MarkGate::new(),
         }
     }
 }
@@ -298,9 +418,68 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         &self.metrics
     }
 
-    /// Per-shard contention statistics.
+    /// Per-shard load and contention statistics.
     pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
         self.shards.iter().map(|s| s.stats.snapshot()).collect()
+    }
+
+    /// The placement policy for fresh components.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Component groups (keys, size, observed cost) currently resident
+    /// on `shard`, scanned under that shard's lock only — the
+    /// rebalancer's victim-selection input.
+    pub fn shard_component_groups(&self, shard: usize) -> Vec<ComponentGroup<Q::Rel, Q::Cst>> {
+        self.shards[shard].engine.lock().component_groups()
+    }
+
+    /// Pick the shard a fresh component lands on.
+    fn place(&self) -> usize {
+        match self.placement {
+            Placement::RoundRobin => {
+                self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+            }
+            Placement::LeastLoaded => {
+                let mut min = u64::MAX;
+                let mut coldest: Vec<usize> = Vec::with_capacity(self.shards.len());
+                for (i, shard) in self.shards.iter().enumerate() {
+                    let load = shard.stats.load_score();
+                    match load.cmp(&min) {
+                        std::cmp::Ordering::Less => {
+                            min = load;
+                            coldest.clear();
+                            coldest.push(i);
+                        }
+                        std::cmp::Ordering::Equal => coldest.push(i),
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+                coldest[self.next_shard.fetch_add(1, Ordering::Relaxed) % coldest.len()]
+            }
+        }
+    }
+
+    /// Take a shard's engine lock, recording contention and lock-wait
+    /// time when it is already held.
+    fn lock_shard<'a>(
+        &'a self,
+        shard: &'a Shard<Q, V>,
+    ) -> parking_lot::MutexGuard<'a, IncrementalEngine<Q, V>> {
+        match shard.engine.try_lock() {
+            Some(guard) => guard,
+            None => {
+                EngineMetrics::add(&shard.stats.contended, 1);
+                let start = Instant::now();
+                let guard = shard.engine.lock();
+                EngineMetrics::add(
+                    &shard.stats.lock_wait_nanos,
+                    start.elapsed().as_nanos() as u64,
+                );
+                guard
+            }
+        }
     }
 
     /// Total pending queries across shards.
@@ -338,12 +517,20 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// bridged components first if it spans shards), then run the
     /// incremental submit under that shard's lock only.
     pub fn submit(&self, query: Q) -> Result<SubmitOutcome<Q, V::Delivery>, V::Error> {
+        self.submit_with_shard(query).1
+    }
+
+    /// Like [`Self::submit`], additionally reporting which shard ran
+    /// the evaluation. The durable layer routes the accepted submit's
+    /// commit record to that shard's WAL stream, so the per-shard
+    /// stream mapping stays correct as components move between shards.
+    pub fn submit_with_shard(&self, query: Q) -> ShardedSubmit<Q, V> {
         let qkeys = route_keys(&query);
         let mut migrated: MigrationRecord<Q> = Vec::new();
         let target = self.claim(&qkeys, &mut migrated, true);
-        let outcome =
+        let (shard, outcome) =
             self.with_owned_shard(&qkeys, target, &mut migrated, true, |e| e.submit(query));
-        self.finish(&qkeys, migrated, outcome)
+        (shard, self.finish(&qkeys, migrated, outcome))
     }
 
     /// Insert a query that is known to be stable-pending — recovered
@@ -388,7 +575,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 }
                 let owners = router.owners_related(qkeys);
                 let t = match owners.len() {
-                    0 => self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
+                    0 => self.place(),
                     1 => *owners.iter().next().unwrap(),
                     _ => continue,
                 };
@@ -411,13 +598,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         }
         for (&t, idxs) in &by_shard {
             let shard = &self.shards[t];
-            let mut engine = match shard.engine.try_lock() {
-                Some(guard) => guard,
-                None => {
-                    EngineMetrics::add(&shard.stats.contended, 1);
-                    shard.engine.lock()
-                }
-            };
+            let mut engine = self.lock_shard(shard);
             for &i in idxs {
                 let qkeys = &keysets[i];
                 // Same post-lock validation as the one-query path; an
@@ -450,7 +631,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 None => results[i] = Some(self.submit(query)),
                 Some(t0) => {
                     let mut migrated: MigrationRecord<Q> = Vec::new();
-                    let outcome =
+                    let (_, outcome) =
                         self.with_owned_shard(&keysets[i], t0, &mut migrated, true, |e| {
                             e.submit(query)
                         });
@@ -500,10 +681,15 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         register: bool,
     ) -> usize {
         if qkeys.is_empty() {
-            return self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+            return self.place();
         }
         let mut backoffs = 0u32;
         loop {
+            // Sample the gate's generation *before* probing the marks:
+            // a migration that publishes between the probe and the wait
+            // has already bumped past the sample, so the wait returns
+            // immediately (no lost wake-up).
+            let mark_generation = self.mark_gate.generation();
             let plan = {
                 let mut router = self.router.write();
                 if router.blocked(qkeys) {
@@ -512,8 +698,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                     let owners = router.owners_related(qkeys);
                     match owners.len() {
                         0 => {
-                            let t =
-                                self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                            let t = self.place();
                             if register {
                                 for k in qkeys {
                                     router.register(k, t);
@@ -543,18 +728,24 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 None => {
                     // The in-flight migration owns (some of) our keys:
                     // wait it out without holding any lock. Migrations
-                    // can span a long component evaluation, so
-                    // persistent waits sleep (capped exponential)
-                    // instead of burning a core on yield — on a
-                    // single-CPU box that spinning would steal cycles
-                    // from the very evaluation the migration is waiting
-                    // on.
+                    // can span a long component evaluation, so after a
+                    // few optimistic yields the waiter parks on the
+                    // mark gate and is woken the instant the marks lift
+                    // — a blind sleep here used to add milliseconds of
+                    // idle latency on a single-CPU host after a long
+                    // gate. The timeout is a safety net only.
                     EngineMetrics::add(&self.metrics.migration_backoffs, 1);
                     if backoffs < 4 {
                         std::thread::yield_now();
                     } else {
-                        let exp = (backoffs - 4).min(7);
-                        std::thread::sleep(std::time::Duration::from_micros(50 << exp));
+                        // Generous timeout: the condvar bump is the
+                        // normal wake path, and every timeout wake
+                        // re-probes the marks under the router *write*
+                        // lock — a short timeout would have long-gated
+                        // waiters hammering exactly the lock the
+                        // marker protocol keeps free.
+                        self.mark_gate
+                            .wait_past(mark_generation, Duration::from_millis(50));
                     }
                     backoffs += 1;
                 }
@@ -598,12 +789,23 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 target,
             }
         };
-        let MigrationPlan {
-            mut seed,
-            sources,
-            target,
-        } = plan;
+        let (moved, _) = self.execute_migration(plan.seed, &plan.sources, plan.target);
+        migrated.extend(moved);
+    }
 
+    /// Freeze, move, and publish already-marked `seed` keys from
+    /// `sources` onto `target`. The caller holds the migration lock and
+    /// has marked `seed` under a (brief) router write; this routine
+    /// never holds the router write lock while blocking on a shard lock
+    /// or scanning a slab. Returns `(source, moved keys)` per drained
+    /// shard — enough to undo the move — plus the number of queries
+    /// moved.
+    fn execute_migration(
+        &self,
+        mut seed: Vec<KeyPattern<Q::Rel, Q::Cst>>,
+        sources: &[usize],
+        target: usize,
+    ) -> (MigrationRecord<Q>, usize) {
         // Freeze: grow the marked set to the transitive key closure of
         // the components being moved. Marked keys block related routing,
         // so once a scan finds nothing new the closure can no longer
@@ -616,7 +818,10 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         let mut frontier: Vec<KeyPattern<Q::Rel, Q::Cst>> = seed.clone();
         loop {
             let mut extra: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::new();
-            for &src in &sources {
+            for &src in sources {
+                // Plain lock(): a migration waiting out a long
+                // evaluation is expected, and must not pollute the
+                // submitter-facing contended / lock-wait signals.
                 let found = self.shards[src].engine.lock().related_keys(&frontier);
                 for k in found {
                     if seen.insert(k.clone()) {
@@ -634,12 +839,16 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
 
         // Move: drain each source shard and refill the target, one
         // shard lock at a time, with no router lock held.
-        for &src in &sources {
+        let mut migrated: MigrationRecord<Q> = Vec::new();
+        let mut queries_moved = 0usize;
+        for &src in sources {
             let moved = self.shards[src].engine.lock().extract_related(&seed);
             if moved.is_empty() {
                 continue;
             }
+            queries_moved += moved.len();
             EngineMetrics::add(&self.shards[src].stats.migrated_out, moved.len() as u64);
+            EngineMetrics::add(&self.shards[target].stats.migrated_in, moved.len() as u64);
             let mut moved_keys: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::new();
             {
                 let mut tgt = self.shards[target].engine.lock();
@@ -658,18 +867,80 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         // Publish: point every closure key at the target — including
         // keys claimed by in-flight submitters whose query is not
         // inserted anywhere yet; their post-lock validation sees the
-        // move (or the marks) and follows — then lift the marks.
-        let mut router = self.router.write();
-        for k in &seed {
-            router.reassign(k, target);
+        // move (or the marks) and follows — then lift the marks and
+        // wake everyone parked on them.
+        {
+            let mut router = self.router.write();
+            for k in &seed {
+                router.reassign(k, target);
+            }
+            router.unmark(&seen);
         }
-        router.unmark(&seen);
+        self.mark_gate.bump();
+        (migrated, queries_moved)
+    }
+
+    /// Move the component group holding `seed_keys` (and, transitively,
+    /// everything key-related to it) onto `target` through the
+    /// marker-based migration protocol. Used by the
+    /// [`crate::rebalance::Rebalancer`]; the group is located through
+    /// the routing table, so a group that retired, merged, or already
+    /// moved since the caller scanned it is skipped. Returns the number
+    /// of queries moved.
+    pub fn rebalance_group(
+        &self,
+        seed_keys: &[KeyPattern<Q::Rel, Q::Cst>],
+        target: usize,
+    ) -> usize {
+        assert!(target < self.shards.len(), "target shard out of range");
+        let _one_at_a_time = self.migration_lock.lock();
+        let plan = {
+            let mut router = self.router.write();
+            let Some((seed, source)) = Self::seed_on_one_shard(&router, seed_keys) else {
+                return 0;
+            };
+            if source == target {
+                return 0;
+            }
+            router.mark(&seed);
+            (seed, source)
+        };
+        let (seed, source) = plan;
+        let moved = self.execute_migration(seed, &[source], target).1;
+        if moved > 0 {
+            EngineMetrics::add(&self.metrics.rebalance_moves, 1);
+        }
+        moved
+    }
+
+    /// The subset of `candidate` keys still registered **on one shard**
+    /// — the shard of the first surviving key — plus that shard. The
+    /// caller recorded the keys when their holders were co-sharded, but
+    /// the group may have retired since and its key *patterns* been
+    /// re-registered by unrelated fresh queries on several shards;
+    /// moving (or republishing) a key that lives elsewhere would point
+    /// the router away from that key's actual holder, so such keys are
+    /// dropped from the seed rather than dragged along.
+    fn seed_on_one_shard(
+        router: &Router<Q::Rel, Q::Cst>,
+        candidate: &[KeyPattern<Q::Rel, Q::Cst>],
+    ) -> Option<SeedPlan<Q>> {
+        let source = candidate
+            .iter()
+            .find_map(|k| router.keys.get(k).map(|slot| slot.shard))?;
+        let seed: Vec<KeyPattern<Q::Rel, Q::Cst>> = candidate
+            .iter()
+            .filter(|k| router.keys.get(*k).is_some_and(|slot| slot.shard == source))
+            .cloned()
+            .collect();
+        Some((seed, source))
     }
 
     /// Run `op` on the shard that owns `qkeys`, re-validating the claim
     /// after acquiring the shard lock: every key must still point at the
     /// target and none may be frozen by a migration (see the module docs
-    /// for why this cannot deadlock or lose the query).
+    /// for why this cannot deadlock or lose the query). Returns the
+    /// shard `op` finally ran on alongside its result.
     fn with_owned_shard<T>(
         &self,
         qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
@@ -677,17 +948,11 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         migrated: &mut MigrationRecord<Q>,
         record_submit: bool,
         op: impl FnOnce(&mut IncrementalEngine<Q, V>) -> T,
-    ) -> T {
+    ) -> (usize, T) {
         let mut op = Some(op);
         loop {
             let shard = &self.shards[target];
-            let mut engine = match shard.engine.try_lock() {
-                Some(guard) => guard,
-                None => {
-                    EngineMetrics::add(&shard.stats.contended, 1);
-                    shard.engine.lock()
-                }
-            };
+            let mut engine = self.lock_shard(shard);
             if !qkeys.is_empty() {
                 match self.router.try_read() {
                     Some(router) => {
@@ -715,7 +980,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             if record_submit {
                 EngineMetrics::add(&shard.stats.submits, 1);
             }
-            break (op.take().expect("op runs once"))(&mut engine);
+            break (target, (op.take().expect("op runs once"))(&mut engine));
         }
     }
 
@@ -730,45 +995,43 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     ) -> Result<SubmitOutcome<Q, V::Delivery>, V::Error> {
         match outcome {
             Err(e) => {
-                let mut router = self.router.write();
-                for k in qkeys {
-                    router.unregister(k);
+                {
+                    let mut router = self.router.write();
+                    for k in qkeys {
+                        router.unregister(k);
+                    }
                 }
                 // Undo the merges performed for this submission: they
                 // were justified only by the now-rejected bridging
                 // query. Without this, repeated rejected bridges would
                 // progressively collapse unrelated components onto one
-                // shard with no way to re-split before retirement.
+                // shard with no way to re-split before retirement. The
+                // undo is an ordinary marker-based migration back to
+                // the source shard — mark under a brief router write,
+                // freeze and move under shard locks only, publish —
+                // NEVER a slab scan under the router write lock, so
+                // unrelated submitters keep routing while a rollback
+                // waits on a busy shard.
                 for (src, keys) in &migrated {
-                    // A concurrent migration may own these keys now;
-                    // leaving the merge in place is only a load-balance
-                    // pessimization, never a correctness issue.
-                    if router.blocked(keys) {
-                        continue;
-                    }
-                    // The group may have retired or moved meanwhile —
-                    // follow its keys to wherever they live now.
-                    let Some(cur) = keys
-                        .iter()
-                        .find_map(|k| router.keys.get(k).map(|slot| slot.shard))
-                    else {
-                        continue;
-                    };
-                    if cur == *src {
-                        continue;
-                    }
-                    let moved_back = self.shards[cur].engine.lock().extract_related(keys);
-                    EngineMetrics::add(
-                        &self.shards[cur].stats.migrated_out,
-                        moved_back.len() as u64,
-                    );
-                    let mut src_engine = self.shards[*src].engine.lock();
-                    for q in moved_back {
-                        for k in route_keys(&q) {
-                            router.reassign(&k, *src);
+                    let _one_at_a_time = self.migration_lock.lock();
+                    let plan = {
+                        let mut router = self.router.write();
+                        // The group may have (partially) retired
+                        // meanwhile — follow the surviving keys to
+                        // wherever they live now, dropping any key
+                        // pattern that unrelated fresh queries have
+                        // since re-registered on another shard (see
+                        // `seed_on_one_shard`).
+                        let Some((seed, cur)) = Self::seed_on_one_shard(&router, keys) else {
+                            continue;
+                        };
+                        if cur == *src {
+                            continue;
                         }
-                        src_engine.insert_pending(q);
-                    }
+                        router.mark(&seed);
+                        (seed, cur)
+                    };
+                    self.execute_migration(plan.0, &[plan.1], *src);
                 }
                 Err(e)
             }
@@ -1099,6 +1362,248 @@ mod tests {
         assert_eq!(engine.pending_count(), 2);
         // q7's keys were released; a fresh submit of the same keys works.
         assert_eq!(engine.router.read().keys.len(), 4);
+    }
+
+    #[test]
+    fn least_loaded_placement_avoids_the_hot_shard() {
+        let engine = ShardedEngine::new(SaturationEvaluator, 2);
+        // Build a heavy component on one shard: a chain that every new
+        // member re-evaluates.
+        for i in 0..6 {
+            engine.submit(chain_query(i, Some(i + 1))).unwrap();
+        }
+        let loads: Vec<u64> = engine.shard_stats().iter().map(|s| s.load()).collect();
+        let hot = if loads[0] > loads[1] { 0 } else { 1 };
+        // Fresh unrelated components must land on the colder shard.
+        for g in 0..3 {
+            engine
+                .submit(chain_query(1000 + 10 * g, Some(1000 + 10 * g + 1)))
+                .unwrap();
+        }
+        let stats = engine.shard_stats();
+        assert_eq!(
+            stats[1 - hot].submits,
+            3,
+            "fresh components did not avoid the hot shard: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn rebalancer_moves_costly_groups_off_the_hot_shard() {
+        use crate::rebalance::{RebalanceConfig, Rebalancer};
+        // Round-robin placement over 2 shards: groups alternate, so
+        // pinning extra traffic on shard 0's groups creates real skew.
+        let engine = ShardedEngine::with_placement(SaturationEvaluator, 2, Placement::RoundRobin);
+        // Four waiting groups: 0 and 2 land on shard 0, 1 and 3 on 1.
+        for g in 0..4i64 {
+            engine
+                .submit(chain_query(100 * g, Some(100 * g + 1)))
+                .unwrap();
+        }
+        // Grow the shard-0 groups into long chains: every submit
+        // re-evaluates the whole component, so shard 0's load and the
+        // groups' observed cost climb together.
+        for g in [0i64, 2] {
+            for i in 1..8 {
+                engine
+                    .submit(chain_query(100 * g + i, Some(100 * g + i + 1)))
+                    .unwrap();
+            }
+        }
+        let mut rebalancer = Rebalancer::new(RebalanceConfig {
+            skew_threshold: 0.7,
+            min_window_load: 8,
+            max_moves: 4,
+        });
+        let loads: Vec<u64> = engine.shard_stats().iter().map(|s| s.load()).collect();
+        assert!(loads[0] > loads[1], "setup did not skew shard 0: {loads:?}");
+
+        let report = rebalancer.run(&engine);
+        assert!(report.triggered, "{report:?}");
+        assert_eq!(report.hot_shard, 0);
+        assert!(report.hot_share > 0.7, "{report:?}");
+        assert!(report.groups_moved >= 1, "{report:?}");
+        assert!(report.queries_moved >= 8, "{report:?}");
+        assert_eq!(
+            engine.metrics().snapshot().rebalance_moves,
+            report.groups_moved as u64
+        );
+        // The moved group left shard 0 whole…
+        let per_shard: Vec<usize> = engine
+            .shards
+            .iter()
+            .map(|s| s.engine.lock().pending_count())
+            .collect();
+        assert_eq!(per_shard.iter().sum::<usize>(), 18);
+        assert!(
+            per_shard[0] < 16 && per_shard[1] > 2,
+            "nothing actually moved: {per_shard:?}"
+        );
+        assert!(engine.router.read().migrating.is_empty(), "marks leaked");
+        // …and every group still coordinates exactly as before: the
+        // routing table followed the move.
+        for (g, len) in [(0i64, 8i64), (1, 1), (2, 8), (3, 1)] {
+            let r = engine.submit(chain_query(100 * g + len, None)).unwrap();
+            assert!(r.coordinated(), "group {g} lost by the rebalance");
+            assert_eq!(r.retired.len() as i64, len + 1, "group {g}");
+        }
+        assert_eq!(engine.pending_count(), 0);
+
+        // A balanced engine does not trigger another pass.
+        let quiet = rebalancer.run(&engine);
+        assert!(!quiet.triggered, "{quiet:?}");
+    }
+
+    /// Regression: a rebalance seeded with a *stale* key list — the
+    /// group retired and unrelated fresh queries re-registered its key
+    /// patterns on different shards — must only move (and republish)
+    /// the keys resident on the chosen source shard. Reassigning the
+    /// foreign key would point the router away from its actual holder
+    /// and silently lose the coordination.
+    #[test]
+    fn rebalance_group_ignores_seed_keys_owned_elsewhere() {
+        let engine = ShardedEngine::with_placement(SaturationEvaluator, 3, Placement::RoundRobin);
+        // Two unrelated queries holding (R,10) and (R,11) on distinct
+        // shards — the same key patterns a retired group once held.
+        engine
+            .submit(TestQuery::new(
+                "a",
+                vec![("R", Some(10))],
+                vec![("A", Some(0))],
+            ))
+            .unwrap(); // shard 0
+        engine
+            .submit(TestQuery::new(
+                "b",
+                vec![("R", Some(11))],
+                vec![("B", Some(0))],
+            ))
+            .unwrap(); // shard 1
+        let stale_seed = vec![("R", Some(10)), ("R", Some(11))];
+        // The move relocates only shard 0's resident (a); b's key must
+        // keep pointing at b's shard.
+        assert_eq!(engine.rebalance_group(&stale_seed, 2), 1);
+        {
+            let router = engine.router.read();
+            assert_eq!(router.keys[&("R", Some(10))].shard, 2);
+            assert_eq!(router.keys[&("R", Some(11))].shard, 1);
+        }
+        // b is still reachable through its key: a partner requiring
+        // R(11) routes to it and coordinates.
+        let r = engine
+            .submit(TestQuery::new(
+                "c",
+                vec![("B", Some(0))],
+                vec![("R", Some(11))],
+            ))
+            .unwrap();
+        assert!(r.coordinated(), "b lost by the stale-seed rebalance");
+        assert_eq!(r.retired.len(), 2);
+    }
+
+    #[test]
+    fn rebalance_group_follows_stale_keys_and_skips_gone_groups() {
+        let engine = ShardedEngine::with_placement(SaturationEvaluator, 2, Placement::RoundRobin);
+        engine.submit(chain_query(0, Some(1))).unwrap(); // shard 0
+        let keys = vec![("R", Some(0)), ("R", Some(1))];
+        // Moving to its own shard is a no-op.
+        assert_eq!(engine.rebalance_group(&keys, 0), 0);
+        // A real move relocates the whole group.
+        assert_eq!(engine.rebalance_group(&keys, 1), 1);
+        let r = engine.submit(chain_query(1, None)).unwrap();
+        assert!(r.coordinated());
+        // Keys of a retired group are gone: skipped, not panicked.
+        assert_eq!(engine.rebalance_group(&keys, 0), 0);
+    }
+
+    /// A submitter parked on migration marks must wake when the
+    /// migration publishes — promptly via the gate, not via a blind
+    /// sleep schedule (the behavior is asserted, the latency is
+    /// measured by the `shard_skew` bench's backoff figures).
+    #[test]
+    fn parked_submitter_wakes_when_marks_lift() {
+        use std::sync::atomic::AtomicBool;
+
+        #[derive(Clone)]
+        struct Gate {
+            started: Arc<AtomicBool>,
+            release: Arc<AtomicBool>,
+        }
+        impl ComponentEvaluator<TestQuery> for Gate {
+            type Delivery = ();
+            type Error = String;
+            fn evaluate(&self, queries: &[TestQuery]) -> Result<Option<(Vec<usize>, ())>, String> {
+                if queries.iter().any(|q| q.name == "slow") {
+                    self.started.store(true, Ordering::SeqCst);
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    while !self.release.load(Ordering::SeqCst) {
+                        assert!(Instant::now() < deadline, "gate never released");
+                        std::thread::yield_now();
+                    }
+                }
+                Ok(None)
+            }
+        }
+
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let engine = ShardedEngine::with_placement(
+            Gate {
+                started: Arc::clone(&started),
+                release: Arc::clone(&release),
+            },
+            2,
+            Placement::RoundRobin,
+        );
+        engine.submit(chain_query(0, Some(1))).unwrap(); // shard 0
+        engine.submit(chain_query(10, Some(11))).unwrap(); // shard 1
+        std::thread::scope(|s| {
+            // Pin shard 0 with a long evaluation…
+            let e = &engine;
+            let slow = s.spawn(move || {
+                e.submit(TestQuery::new(
+                    "slow",
+                    vec![("R", Some(1))],
+                    vec![("R", Some(2))],
+                ))
+            });
+            while !started.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // …so the bridge's migration marks both groups' keys and
+            // then blocks waiting for shard 0.
+            let bridge = s.spawn(move || {
+                e.submit(TestQuery::new(
+                    "bridge",
+                    vec![("R", Some(2)), ("R", Some(11))],
+                    vec![],
+                ))
+            });
+            while e.metrics().snapshot().migrations < 1 {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            // A submitter whose keys are marked parks on the gate.
+            // R(10) belongs to the frozen closure, so this submitter
+            // backs off on the marks and parks on the gate.
+            let parked = s.spawn(move || {
+                e.submit(TestQuery::new(
+                    "parked",
+                    vec![("R", Some(99))],
+                    vec![("R", Some(10))],
+                ))
+            });
+            while e.metrics().snapshot().migration_backoffs == 0 {
+                std::thread::yield_now();
+            }
+            // Lift the gate: everything must drain.
+            release.store(true, Ordering::SeqCst);
+            slow.join().unwrap().unwrap();
+            bridge.join().unwrap().unwrap();
+            parked.join().unwrap().unwrap();
+        });
+        assert!(engine.metrics().snapshot().migration_backoffs > 0);
+        assert_eq!(engine.pending_count(), 5);
     }
 
     #[test]

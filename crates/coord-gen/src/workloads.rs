@@ -90,6 +90,75 @@ pub fn queries_from_graph(graph: &DiGraph<usize>) -> Vec<EntangledQuery> {
         .collect()
 }
 
+/// A Zipf keystone-chain workload for the shard-skew experiments: `G`
+/// open partner chains whose sizes follow a Zipf law with exponent ½
+/// (`size_g = K / √(g+1)`, floored at 1) — one hot group, a heavy tail.
+pub struct SkewWorkload {
+    /// Phase 1 in arrival order: the chains' members, randomly
+    /// interleaved with intra-group order preserved. Every member
+    /// requires its successor and the keystone is withheld, so nothing
+    /// coordinates.
+    pub phase1: Vec<EntangledQuery>,
+    /// Phase 2: one free keystone per group, closing its chain.
+    pub keystones: Vec<EntangledQuery>,
+    /// Per-group chain sizes (keystones excluded).
+    pub sizes: Vec<usize>,
+}
+
+/// Zipf(½) group sizes: `K / √(g+1)`, floored at 1.
+pub fn zipf_sizes(groups: usize, k: usize) -> Vec<usize> {
+    (0..groups)
+        .map(|g| ((k as f64) / ((g + 1) as f64).sqrt()).round().max(1.0) as usize)
+        .collect()
+}
+
+/// Randomly interleave the groups' members into one arrival order,
+/// preserving each group's internal order (so chains arrive head
+/// first). Deterministic for a fixed seed.
+pub fn interleave_arrivals(groups: Vec<Vec<EntangledQuery>>, seed: u64) -> Vec<EntangledQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queues: Vec<std::collections::VecDeque<EntangledQuery>> =
+        groups.into_iter().map(Into::into).collect();
+    let mut order = Vec::new();
+    while queues.iter().any(|q| !q.is_empty()) {
+        let pick = rng.random_range(0..queues.len());
+        if let Some(q) = queues[pick].pop_front() {
+            order.push(q);
+        }
+    }
+    order
+}
+
+/// Build the skew workload: group `g` occupies user ids
+/// `100·g .. 100·g + size_g` with its keystone at `100·g + size_g`
+/// (size the pool table for `100·groups + k + 2` ids).
+pub fn zipf_chain_workload(groups: usize, k: usize, seed: u64) -> SkewWorkload {
+    // Group id ranges are strided at 100: a hot-group size reaching the
+    // stride would make chains cross-entangle and the workload's
+    // "independent groups" premise silently fail.
+    assert!(k < 100, "hot-group size {k} must stay below the id stride");
+    let sizes = zipf_sizes(groups, k);
+    let chains: Vec<Vec<EntangledQuery>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(g, &n)| {
+            (0..n)
+                .map(|i| partner_query(100 * g + i, &[100 * g + i + 1]))
+                .collect()
+        })
+        .collect();
+    let keystones = sizes
+        .iter()
+        .enumerate()
+        .map(|(g, &n)| partner_query(100 * g + n, &[]))
+        .collect();
+    SkewWorkload {
+        phase1: interleave_arrivals(chains, seed),
+        keystones,
+        sizes,
+    }
+}
+
 /// The flights schema-binding shared by the Figure 7–8 experiments:
 /// coordinate on (destination, day), personal attributes (source,
 /// airline).

@@ -30,22 +30,46 @@
 //! the engine apply, so a concurrent submit on another thread that
 //! retires the query always finds its seq.
 //!
-//! ## Sharded acknowledgment window
+//! ## Sharded acknowledgment window (closed)
 //!
-//! With multiple log streams, a submit can retire a query whose own
-//! commit record (on another stream) has not hit the log yet. Recovery is
-//! still exact — a retire naming a never-logged seq is simply ignored,
-//! and the unlogged query was never acknowledged — but it means a
-//! delivered coordination can mention a partner whose submitter never
-//! got its ack. The single-stream [`DurableEngine`] has strict prefix
-//! semantics with no such window.
+//! With multiple log streams, a submit used to be able to retire a
+//! query whose own commit record (on another stream) had not hit the
+//! log yet: recovery stayed exact — a retire naming a never-logged seq
+//! is simply ignored, and the unlogged query was never acknowledged —
+//! but a *delivered* coordination could mention a partner whose commit
+//! record was lost with the crash. The sharded wrapper now enforces a
+//! **per-coordination flush barrier**: the registry tracks, per seq,
+//! whether the submit's commit record has been appended, a retire only
+//! pops seqs whose record is on its stream (waiting out the short
+//! append-in-flight window of a concurrent partner), and a delivering
+//! submit syncs every stream before acknowledging (under any policy
+//! stronger than [`SyncPolicy::Never`]). So at the moment a
+//! coordination is delivered, every partner's commit record is appended
+//! — and as durable as the deliverer's own record. The one residual
+//! caveat: if a partner's *append itself failed* (a [`StoreError`]
+//! already surfaced to that partner's submitter), its seq is released
+//! rather than blocking the retirer forever — that degraded-durability
+//! state is explicit on both sides. The single-stream [`DurableEngine`]
+//! has strict prefix semantics and needs none of this.
+//!
+//! ## Rebalancing and the per-shard streams
+//!
+//! [`DurableShardedEngine`] routes each commit record to the WAL stream
+//! of the shard that ran the submit (`submit_with_shard`), so the
+//! stream mapping stays correct as the [`coord_engine::Rebalancer`]
+//! moves components between shards — a component's post-move commits
+//! land on its new shard's stream with no `Rebalanced` log record
+//! needed, because recovery is order-independent across streams and
+//! re-routes the surviving pending set against the *current* placement
+//! on replay.
 
 use crate::codec::QueryCodec;
 use crate::error::{DurableError, StoreError};
 use crate::store::{CommitRecord, CoordStore, RecoveryReport, StoreOptions};
 use crate::wal::SyncPolicy;
 use coord_engine::{
-    ComponentEvaluator, CoordinationQuery, IncrementalEngine, ShardedEngine, SubmitOutcome,
+    ComponentEvaluator, CoordinationQuery, IncrementalEngine, RebalanceConfig, RebalanceReport,
+    Rebalancer, ShardedEngine, SubmitOutcome,
 };
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -81,16 +105,21 @@ impl DurabilityOptions {
     }
 }
 
-/// One registered pending query: its encoding plus whether the engine
-/// apply has succeeded. Sharded submits *reserve* an entry before the
-/// engine apply (so a racing retire on another thread always finds the
-/// seq) and confirm it afterwards; snapshots skip unconfirmed entries —
-/// a reserved entry may belong to a submit the engine is about to
-/// reject, and capturing it would resurrect a query no uninterrupted
-/// run ever held.
+/// One registered pending query: its encoding plus where its submit
+/// stands. Sharded submits *reserve* an entry before the engine apply
+/// (so a racing retire on another thread always finds the seq) and
+/// confirm it afterwards; snapshots skip unconfirmed entries — a
+/// reserved entry may belong to a submit the engine is about to reject,
+/// and capturing it would resurrect a query no uninterrupted run ever
+/// held. `logged` flips once the submit's commit record is appended to
+/// its stream (or its append definitively failed): the ack-window
+/// barrier only lets a retire pop logged entries, so a delivered
+/// coordination can never name a partner whose record is still in
+/// flight.
 struct RegistryEntry {
     bytes: Vec<u8>,
     applied: bool,
+    logged: bool,
 }
 
 /// Pending-set bookkeeping shared by both wrappers: seq → encoding (the
@@ -102,12 +131,19 @@ struct Registry {
 }
 
 impl Registry {
-    fn insert(&mut self, seq: u64, bytes: Vec<u8>, applied: bool) {
+    fn insert(&mut self, seq: u64, bytes: Vec<u8>, applied: bool, logged: bool) {
         self.by_bytes
             .entry(bytes.clone())
             .or_default()
             .push_back(seq);
-        self.live.insert(seq, RegistryEntry { bytes, applied });
+        self.live.insert(
+            seq,
+            RegistryEntry {
+                bytes,
+                applied,
+                logged,
+            },
+        );
     }
 
     /// Mark a reserved seq as applied by the engine (snapshots may now
@@ -118,17 +154,34 @@ impl Registry {
         }
     }
 
-    /// Pop the oldest **applied** live seq whose query has this
-    /// encoding. Reserved (unapplied) seqs are never taken: they may
-    /// belong to a concurrent submit the engine is about to reject, and
-    /// retiring one would leave the applied duplicate's seq in the
-    /// registry with no engine copy behind it — which a snapshot or
-    /// replay would then resurrect.
-    fn retire(&mut self, bytes: &[u8]) -> Option<u64> {
+    /// Mark a seq's commit record as appended to its stream (no-op if
+    /// the entry was already retired — a submit that coordinated
+    /// immediately pops its own entry before appending).
+    fn mark_logged(&mut self, seq: u64) {
+        if let Some(entry) = self.live.get_mut(&seq) {
+            entry.logged = true;
+        }
+    }
+
+    /// Pop the oldest **applied and logged** live seq whose query has
+    /// this encoding (`own_seq` — the retiring submit's own reservation
+    /// — is exempt from the logged requirement: its record is appended,
+    /// with the retire list, right after). Reserved (unapplied) seqs
+    /// are never taken: they may belong to a concurrent submit the
+    /// engine is about to reject, and retiring one would leave the
+    /// applied duplicate's seq in the registry with no engine copy
+    /// behind it — which a snapshot or replay would then resurrect.
+    /// Applied-but-unlogged seqs are not taken either — that is the
+    /// acknowledgment-window barrier: the caller waits out the
+    /// partner's in-flight append instead of delivering a coordination
+    /// whose partner might never reach the log.
+    fn retire(&mut self, bytes: &[u8], own_seq: Option<u64>) -> Option<u64> {
         let seqs = self.by_bytes.get(bytes)?;
-        let pos = seqs
-            .iter()
-            .position(|s| self.live.get(s).is_some_and(|e| e.applied))?;
+        let pos = seqs.iter().position(|s| {
+            self.live
+                .get(s)
+                .is_some_and(|e| e.applied && (e.logged || own_seq == Some(*s)))
+        })?;
         let seqs = self.by_bytes.get_mut(bytes).expect("checked above");
         let seq = seqs.remove(pos).expect("position in bounds");
         if seqs.is_empty() {
@@ -197,7 +250,7 @@ where
         let mut registry = Registry::default();
         for (seq, bytes) in &recovered.live {
             inner.insert_pending(codec.decode(bytes)?);
-            registry.insert(*seq, bytes.clone(), true);
+            registry.insert(*seq, bytes.clone(), true, true);
         }
         Ok(DurableEngine {
             inner,
@@ -229,14 +282,16 @@ where
         let outcome = self.inner.submit(query).map_err(DurableError::Engine)?;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.registry.insert(seq, qbytes.clone(), true);
+        // Single-writer strict prefix: no append can race a retire, so
+        // the entry is born logged.
+        self.registry.insert(seq, qbytes.clone(), true, true);
         let mut retired = Vec::with_capacity(outcome.retired.len());
         for q in &outcome.retired {
             let mut b = Vec::new();
             self.codec.encode(q, &mut b);
             let s = self
                 .registry
-                .retire(&b)
+                .retire(&b, None)
                 .expect("retired query was registered pending");
             retired.push(s);
         }
@@ -335,6 +390,8 @@ pub struct DurableShardedEngine<Q: CoordinationQuery, V, C> {
     registry: Mutex<Registry>,
     next_seq: AtomicU64,
     report: RecoveryReport,
+    /// Skew correction over the wrapped engine (see [`Self::rebalance`]).
+    rebalancer: Mutex<Rebalancer>,
     /// Last failed background rotation (see [`Self::take_snapshot_error`]).
     snapshot_error: Mutex<Option<StoreError>>,
 }
@@ -362,7 +419,7 @@ where
             // and re-indexed only (the log proved they did not
             // coordinate before the crash).
             inner.insert_pending(codec.decode(bytes)?);
-            registry.insert(*seq, bytes.clone(), true);
+            registry.insert(*seq, bytes.clone(), true, true);
         }
         Ok(DurableShardedEngine {
             inner,
@@ -371,16 +428,20 @@ where
             registry: Mutex::new(registry),
             next_seq: AtomicU64::new(recovered.next_seq),
             report: recovered.report,
+            rebalancer: Mutex::new(Rebalancer::new(RebalanceConfig::default())),
             snapshot_error: Mutex::new(None),
         })
     }
 
     /// Submit under the owning shard's lock; the accepted mutation is
-    /// logged before the caller is acknowledged (records round-robin
-    /// across the per-shard stream set; recovery is order-independent,
-    /// so streams need not be pinned to the owning shard). Snapshot
-    /// failures during a background rotation do not fail the submit —
-    /// see [`Self::take_snapshot_error`].
+    /// logged — to **that shard's** WAL stream, so the stream mapping
+    /// tracks rebalancing moves — before the caller is acknowledged.
+    /// A submit that delivers a coordination additionally waits for
+    /// every retired partner's commit record to be appended, and syncs
+    /// all streams before returning (the per-coordination flush
+    /// barrier; see the module docs). Snapshot failures during a
+    /// background rotation do not fail the submit — see
+    /// [`Self::take_snapshot_error`].
     pub fn submit(
         &self,
         query: Q,
@@ -392,13 +453,15 @@ where
         // reservation is unapplied, so a concurrent snapshot will not
         // capture it (the submit might still be rejected).
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        self.registry.lock().insert(seq, qbytes.clone(), false);
-        let outcome = match self.inner.submit(query) {
-            Ok(o) => o,
-            Err(e) => {
+        self.registry
+            .lock()
+            .insert(seq, qbytes.clone(), false, false);
+        let (shard, outcome) = match self.inner.submit_with_shard(query) {
+            (_, Err(e)) => {
                 self.registry.lock().remove(seq);
                 return Err(DurableError::Engine(e));
             }
+            (shard, Ok(o)) => (shard, o),
         };
         let mut retired = Vec::with_capacity(outcome.retired.len());
         self.registry.lock().confirm(seq);
@@ -407,37 +470,78 @@ where
             self.codec.encode(q, &mut b);
             // The retired query was in the engine, so a matching
             // *applied* entry exists — or its submitter sits in the
-            // short window between engine apply and confirm. Wait that
-            // window out (without holding the registry lock) rather
-            // than pop a reserved entry that may belong to a submit
-            // about to be rejected.
+            // short window between engine apply and confirm, or between
+            // confirm and its append. Wait those windows out (without
+            // holding the registry lock) rather than pop a reserved
+            // entry that may belong to a submit about to be rejected,
+            // or deliver a coordination naming a partner whose commit
+            // record never reached its stream. The waited-on submit
+            // never waits on us in turn — its own retire targets were
+            // applied strictly before it applied — so the wait graph
+            // follows engine-apply order and cannot cycle.
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
             let s = loop {
-                if let Some(s) = self.registry.lock().retire(&b) {
+                if let Some(s) = self.registry.lock().retire(&b, Some(seq)) {
                     break s;
                 }
                 assert!(
                     std::time::Instant::now() < deadline,
-                    "retired query has no applied registry entry"
+                    "retired query has no applied+logged registry entry"
                 );
                 std::thread::yield_now();
             };
             retired.push(s);
         }
-        self.store.append_commit(
-            seq as usize,
+        let appended = self.store.append_commit(
+            shard,
             &CommitRecord {
                 seq,
                 query: qbytes,
-                retired,
+                retired: retired.clone(),
             },
-        )?;
+        );
+        // Release waiters either way: on success the record is on its
+        // stream; on failure the submit is about to surface a store
+        // error (the documented applied-but-not-durable state) and no
+        // record will ever come — blocking a retirer forever would turn
+        // one stream's fault into a service-wide stall.
+        self.registry.lock().mark_logged(seq);
+        appended?;
+        // Per-coordination flush barrier: partners' records are
+        // *appended* (the retire loop waited for that); make them as
+        // durable as this record before acknowledging the delivery.
+        // Only `EveryN` needs the explicit sync — under `EveryRecord`
+        // every partner append already synced itself before its
+        // `mark_logged`, and under `Never` nothing is ever synced, so
+        // there is nothing to strengthen.
+        if !retired.is_empty() && matches!(self.store.options().sync, SyncPolicy::EveryN(_)) {
+            self.store.sync_all()?;
+        }
         if self.store.snapshot_due() {
             if let Err(e) = self.snapshot_if_due() {
                 *self.snapshot_error.lock() = Some(e);
             }
         }
         Ok(outcome)
+    }
+
+    /// One rebalance pass over the wrapped engine: detect a hot shard
+    /// from the per-shard load windows and move its costliest component
+    /// groups to colder shards (marker-based migration; related traffic
+    /// backs off briefly, unrelated traffic never blocks). Purely an
+    /// in-memory placement change: commit records written after the
+    /// move land on the new shard's stream, and recovery re-routes the
+    /// pending set anyway, so no log record is needed and a crash at
+    /// any point stays exactly recoverable.
+    pub fn rebalance(&self) -> RebalanceReport {
+        self.rebalancer.lock().run(&self.inner)
+    }
+
+    /// Replace the rebalancer's tuning (and reset its load watermarks).
+    /// The default is conservative; tests and small deployments can
+    /// lower the window/threshold so passes trigger on light traffic.
+    pub fn set_rebalance_config(&self, config: RebalanceConfig) {
+        *self.rebalancer.lock() = Rebalancer::new(config);
     }
 
     /// Take a snapshot now, rotating every shard's WAL to the next
@@ -478,6 +582,14 @@ where
     /// The underlying store (stats, epoch, stream offsets).
     pub fn store(&self) -> &CoordStore {
         &self.store
+    }
+
+    /// Clean end offset of every WAL stream (stream index = shard
+    /// index) — the per-stream truncation points crash tests cut at.
+    pub fn wal_stream_lens(&self) -> Vec<u64> {
+        (0..self.store.options().streams)
+            .map(|s| self.store.stream_len(s))
+            .collect()
     }
 
     /// Number of shards.
@@ -779,6 +891,74 @@ mod tests {
         .unwrap();
         assert!(e.recovery_report().had_snapshot);
         assert_eq!(e.pending_count(), 0, "rejected submit resurrected");
+    }
+
+    /// The acknowledgment-window barrier at the registry level: an
+    /// applied entry whose commit record is still in flight cannot be
+    /// popped by a concurrent retirer — only by its own submit.
+    #[test]
+    fn registry_retire_waits_for_logged_entries() {
+        let mut r = Registry::default();
+        r.insert(1, b"q".to_vec(), true, false); // applied, append in flight
+        assert_eq!(r.retire(b"q", None), None, "unlogged entry popped");
+        assert_eq!(r.retire(b"q", Some(1)), Some(1), "own seq is exempt");
+        r.insert(2, b"q".to_vec(), true, false);
+        assert_eq!(r.retire(b"q", None), None);
+        r.mark_logged(2);
+        assert_eq!(r.retire(b"q", None), Some(2));
+        // Reserved (unapplied) entries stay untouchable either way.
+        r.insert(3, b"q".to_vec(), false, true);
+        assert_eq!(r.retire(b"q", None), None);
+    }
+
+    /// A rebalance pass between submits is invisible to durability:
+    /// post-move commits land on the new shard's stream, and recovery
+    /// restores the exact pending set.
+    #[test]
+    fn rebalance_then_crash_recovers_the_exact_pending_set() {
+        let dir = TempDir::new("durable-rebalance");
+        {
+            let e = DurableShardedEngine::open(dir.path(), Saturation, 2, MiniCodec, opts(None))
+                .unwrap();
+            // Two medium chains land on distinct shards; the third —
+            // twice as long — co-locates with one of them and makes
+            // its shard hot.
+            for i in 0..8i64 {
+                e.submit(chain(i, Some(i + 1))).unwrap();
+            }
+            for i in 0..8i64 {
+                e.submit(chain(100 + i, Some(100 + i + 1))).unwrap();
+            }
+            for i in 0..16i64 {
+                e.submit(chain(200 + i, Some(200 + i + 1))).unwrap();
+            }
+            let report = e.rebalance();
+            assert!(report.triggered, "no skew detected: {report:?}");
+            assert!(report.groups_moved >= 1, "nothing moved: {report:?}");
+            // Post-move submits follow the moved component; their
+            // records go to its new shard's stream.
+            let lens_before = e.wal_stream_lens();
+            e.submit(chain(8, Some(9))).unwrap();
+            e.submit(chain(108, Some(109))).unwrap();
+            e.submit(chain(216, Some(217))).unwrap();
+            let lens_after = e.wal_stream_lens();
+            assert!(
+                lens_before.iter().zip(&lens_after).all(|(b, a)| a >= b)
+                    && lens_after.iter().sum::<u64>() > lens_before.iter().sum::<u64>(),
+                "commit records not appended: {lens_before:?} → {lens_after:?}"
+            );
+            assert_eq!(e.pending_count(), 35);
+        } // crash
+        let e =
+            DurableShardedEngine::open(dir.path(), Saturation, 2, MiniCodec, opts(None)).unwrap();
+        assert_eq!(e.pending_count(), 35);
+        // Every chain — moved or not — still completes.
+        for (start, len) in [(0i64, 10i64), (100, 10), (200, 18)] {
+            let r = e.submit(chain(start + len - 1, None)).unwrap();
+            assert!(r.coordinated(), "chain at {start} lost");
+            assert_eq!(r.retired.len() as i64, len, "chain at {start}");
+        }
+        assert_eq!(e.pending_count(), 0);
     }
 
     #[test]

@@ -4,15 +4,16 @@
 //! prefix, and sharded recovery with concurrent submitters.
 
 use proptest::prelude::*;
-use rand::prelude::*;
 use social_coordination::core::engine::CoordinationEngine;
 use social_coordination::core::persist::{
-    DurabilityOptions, DurableCoordinationEngine, DurableSharedEngine,
+    DurabilityOptions, DurableCoordinationEngine, DurableSharedEngine, EntangledQueryCodec,
 };
 use social_coordination::core::scc::SccCoordinator;
 use social_coordination::core::EntangledQuery;
-use social_coordination::gen::workloads::{partner_query, pool_db};
+use social_coordination::gen::workloads::{interleave_arrivals, partner_query, pool_db};
 use social_coordination::store::temp::TempDir;
+use social_coordination::store::wal::read_wal;
+use social_coordination::store::{CommitRecord, QueryCodec};
 
 /// Pool rows: must cover every user id the workloads mint (each
 /// `partner_query(i, …)` body selects pool row `i`).
@@ -33,20 +34,6 @@ fn group(offset: usize, size: usize, cycle: bool) -> Vec<EntangledQuery> {
             partner_query(offset + i, &partners)
         })
         .collect()
-}
-
-fn interleave(groups: Vec<Vec<EntangledQuery>>, seed: u64) -> Vec<EntangledQuery> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut queues: Vec<std::collections::VecDeque<EntangledQuery>> =
-        groups.into_iter().map(Into::into).collect();
-    let mut order = Vec::new();
-    while queues.iter().any(|q| !q.is_empty()) {
-        let pick = rng.random_range(0..queues.len());
-        if let Some(q) = queues[pick].pop_front() {
-            order.push(q);
-        }
-    }
-    order
 }
 
 fn sorted_names<'a>(queries: impl IntoIterator<Item = &'a EntangledQuery>) -> Vec<String> {
@@ -83,7 +70,7 @@ proptest! {
             .enumerate()
             .map(|(g, &(cycle, size))| group(100 * g, size, cycle))
             .collect();
-        let arrivals = interleave(groups, seed);
+        let arrivals = interleave_arrivals(groups, seed);
         let crash_at = crash_at % (arrivals.len() + 1);
         let dir = TempDir::new("durability-props");
 
@@ -158,7 +145,7 @@ proptest! {
             .enumerate()
             .map(|(g, &(cycle, size))| group(100 * g, size, cycle))
             .collect();
-        let arrivals = interleave(groups, seed);
+        let arrivals = interleave_arrivals(groups, seed);
         let dir = TempDir::new("durability-cut");
 
         // Drive, recording (wal end, pending set) after every ack.
@@ -264,6 +251,122 @@ fn sharded_durable_engine_recovers_concurrent_workload() {
         }
     }
     assert_eq!(engine.pending_count(), 0);
+}
+
+/// The sharded acknowledgment-window invariant, fuzzed across shard
+/// streams under concurrent coordinating submitters: at the moment a
+/// coordination is acknowledged, the commit record of **every** partner
+/// it retired is already appended to its stream. Each coordinated ack
+/// samples the clean end offset of every stream (each sample is a
+/// record boundary — appends hold the stream lock); truncating every
+/// stream at those offsets is the worst crash that can follow the ack,
+/// and the delivering record plus all its partners must survive it.
+/// Before the flush barrier, a partner's record could still be in
+/// flight on another stream at ack time, and this test's cut would
+/// drop it while keeping the record that names it.
+#[test]
+fn delivered_coordination_names_only_logged_partners() {
+    const THREADS: usize = 4;
+    const CHAINS_PER_THREAD: usize = 6;
+    const CHAIN: usize = 3;
+
+    let db = pool_db(POOL);
+    let dir = TempDir::new("durable-ack-window");
+    // (keystone name, per-stream clean lengths sampled right after the
+    // coordinated ack)
+    let samples: std::sync::Mutex<Vec<(String, Vec<u64>)>> = std::sync::Mutex::new(Vec::new());
+    {
+        let engine = DurableSharedEngine::open_with(&db, dir.path(), THREADS, opts(None)).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let engine = &engine;
+                let samples = &samples;
+                s.spawn(move || {
+                    for c in 0..CHAINS_PER_THREAD {
+                        let offset = 1_000 * t + 100 * c;
+                        for q in group(offset, CHAIN, false).into_iter().take(CHAIN - 1) {
+                            assert!(!engine.submit(q).unwrap().coordinated());
+                        }
+                        // The free tail coordinates and retires the
+                        // chain: sample the crash cut at the ack.
+                        let tail = partner_query(offset + CHAIN - 1, &[]);
+                        let r = engine.submit(tail).unwrap();
+                        assert!(r.coordinated());
+                        let lens = engine.wal_stream_lens();
+                        samples
+                            .lock()
+                            .unwrap()
+                            .push((format!("q{}", offset + CHAIN - 1), lens));
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.pending_count(), 0);
+    } // crash
+
+    // Decode every stream's records with their end offsets.
+    let mut streams: Vec<Vec<(u64, CommitRecord)>> = Vec::new();
+    for s in 0..THREADS {
+        let path = dir.path().join(format!("wal-{:020}-{:04}.log", 0, s));
+        let contents = read_wal(&path).unwrap();
+        assert!(!contents.torn, "stream {s} torn without a crash");
+        streams.push(
+            contents
+                .records
+                .iter()
+                .zip(&contents.record_ends)
+                .map(|(payload, &end)| (end, CommitRecord::decode(payload).unwrap()))
+                .collect(),
+        );
+    }
+    let keystone_of = |record: &CommitRecord| {
+        EntangledQueryCodec
+            .decode(&record.query)
+            .expect("logged query decodes")
+            .name()
+            .to_string()
+    };
+
+    let samples = samples.into_inner().unwrap();
+    assert_eq!(samples.len(), THREADS * CHAINS_PER_THREAD);
+    for (keystone, lens) in &samples {
+        // The records surviving a crash at this ack's sampled offsets.
+        let visible: Vec<&CommitRecord> = streams
+            .iter()
+            .zip(lens)
+            .flat_map(|(records, &cut)| {
+                records
+                    .iter()
+                    .filter(move |(end, _)| *end <= cut)
+                    .map(|(_, r)| r)
+            })
+            .collect();
+        let visible_seqs: std::collections::HashSet<u64> = visible.iter().map(|r| r.seq).collect();
+        // The acknowledged coordination's own record survived the cut…
+        let delivered = visible
+            .iter()
+            .find(|r| !r.retired.is_empty() && keystone_of(r) == *keystone)
+            .unwrap_or_else(|| panic!("{keystone}'s delivered record lost by its own ack cut"));
+        // …and so did every partner it named.
+        assert_eq!(delivered.retired.len(), CHAIN);
+        for seq in &delivered.retired {
+            assert!(
+                visible_seqs.contains(seq),
+                "{keystone}'s delivery names partner seq {seq} whose commit record \
+                 was not yet appended at ack time"
+            );
+        }
+    }
+
+    // Quiescent full-file check: every record's retired seqs are logged
+    // somewhere — nothing in the final log names a phantom.
+    let all_seqs: std::collections::HashSet<u64> =
+        streams.iter().flatten().map(|(_, r)| r.seq).collect();
+    for (_, record) in streams.iter().flatten() {
+        for seq in &record.retired {
+            assert!(all_seqs.contains(seq), "retire of never-logged seq {seq}");
+        }
+    }
 }
 
 /// A crash mid-rotation (snapshot renamed, WALs of the new epoch never

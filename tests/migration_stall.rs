@@ -11,7 +11,7 @@
 //! freely, and only submitters whose keys are mid-migration back off.
 
 use coord_engine::index::{keys_related, KeyPattern};
-use coord_engine::{ComponentEvaluator, CoordinationQuery, ShardedEngine};
+use coord_engine::{ComponentEvaluator, CoordinationQuery, Placement, ShardedEngine};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -194,4 +194,185 @@ fn unrelated_submitters_proceed_while_a_migration_waits() {
     // The unrelated waiters (and c) are still pending; nothing leaked.
     assert_eq!(engine.pending_count(), 9);
     assert_eq!(engine.metrics().snapshot().migrations, 1);
+}
+
+/// Saturation semantics with two gates: a query named `bridge` blocks
+/// until released and is then rejected; a component containing `wake`
+/// blocks until released (pinning its shard's lock).
+#[derive(Clone)]
+struct RollbackEvaluator {
+    bridge_entered: Arc<AtomicBool>,
+    release_bridge: Arc<AtomicBool>,
+    wake_entered: Arc<AtomicBool>,
+    release_wake: Arc<AtomicBool>,
+}
+
+impl ComponentEvaluator<Query> for RollbackEvaluator {
+    type Delivery = Vec<String>;
+    type Error = String;
+
+    fn evaluate(&self, queries: &[Query]) -> Result<Option<(Vec<usize>, Vec<String>)>, String> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        if queries.iter().any(|x| x.name == "bridge") {
+            self.bridge_entered.store(true, Ordering::SeqCst);
+            while !self.release_bridge.load(Ordering::SeqCst) {
+                if Instant::now() > deadline {
+                    return Err("bridge gate never released".into());
+                }
+                std::thread::yield_now();
+            }
+            return Err("bridge poisons the component".into());
+        }
+        if queries.iter().any(|x| x.name == "wake") {
+            self.wake_entered.store(true, Ordering::SeqCst);
+            while !self.release_wake.load(Ordering::SeqCst) {
+                if Instant::now() > deadline {
+                    return Err("wake gate never released".into());
+                }
+                std::thread::yield_now();
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Regression for the residual PR 4 bug: the rejected-bridge rollback
+/// used to move components back *while holding the router write lock*,
+/// so a rollback blocked on a busy source shard stalled every submitter
+/// in the service. The rollback now goes through the marker-based move
+/// path (mark → freeze/move under shard locks → publish), so unrelated
+/// traffic keeps routing while the rollback waits.
+#[test]
+fn unrelated_submitters_proceed_while_a_rollback_waits() {
+    let bridge_entered = Arc::new(AtomicBool::new(false));
+    let release_bridge = Arc::new(AtomicBool::new(false));
+    let wake_entered = Arc::new(AtomicBool::new(false));
+    let release_wake = Arc::new(AtomicBool::new(false));
+    let engine = Arc::new(ShardedEngine::with_placement(
+        RollbackEvaluator {
+            bridge_entered: Arc::clone(&bridge_entered),
+            release_bridge: Arc::clone(&release_bridge),
+            wake_entered: Arc::clone(&wake_entered),
+            release_wake: Arc::clone(&release_wake),
+        },
+        4,
+        Placement::RoundRobin,
+    ));
+
+    // Round-robin placement: a → shard 0, b → shard 1, three fillers →
+    // shards 2, 3, 0, and v (the rollback's roadblock) → shard 1,
+    // co-resident with b.
+    engine
+        .submit(q("a", vec![("R", Some(0))], vec![("R", Some(1))]))
+        .unwrap();
+    engine
+        .submit(q("b", vec![("R", Some(10))], vec![("R", Some(11))]))
+        .unwrap();
+    engine
+        .submit(q("f2", vec![("Z", Some(2))], vec![("Z", Some(99))]))
+        .unwrap(); // shard 2 — the unrelated submitters' anchor
+    engine
+        .submit(q("f3", vec![("Z", Some(3))], vec![("Z", Some(98))]))
+        .unwrap(); // shard 3
+    engine
+        .submit(q("f0", vec![("Z", Some(4))], vec![("Z", Some(97))]))
+        .unwrap(); // shard 0
+    engine
+        .submit(q("v", vec![("V", Some(0))], vec![("V", Some(99))]))
+        .unwrap(); // shard 1
+
+    std::thread::scope(|s| {
+        // The bridge merges a's and b's groups (migrating b's from
+        // shard 1 to shard 0) and then blocks inside its evaluation.
+        let bridge_engine = Arc::clone(&engine);
+        let bridge = s.spawn(move || {
+            bridge_engine
+                .submit(q("bridge", vec![("R", Some(1)), ("R", Some(11))], vec![]))
+                .unwrap_err()
+        });
+        let spin_deadline = Instant::now() + Duration::from_secs(30);
+        while !bridge_entered.load(Ordering::SeqCst) {
+            assert!(Instant::now() < spin_deadline, "bridge never evaluated");
+            std::thread::yield_now();
+        }
+        assert_eq!(engine.metrics().snapshot().migrations, 1);
+
+        // Pin shard 1 (the rollback's destination) with a long
+        // evaluation on v's — unrelated — component.
+        let wake_engine = Arc::clone(&engine);
+        let wake = s.spawn(move || {
+            wake_engine
+                .submit(q("wake", vec![("V", Some(99))], vec![("V", Some(0))]))
+                .unwrap()
+        });
+        while !wake_entered.load(Ordering::SeqCst) {
+            assert!(Instant::now() < spin_deadline, "wake never evaluated");
+            std::thread::yield_now();
+        }
+
+        // Reject the bridge: its rollback wants to move b's group from
+        // shard 0 back to shard 1 — whose lock `wake` holds.
+        release_bridge.store(true, Ordering::SeqCst);
+        // Wait until the rollback is demonstrably in flight (it marks
+        // b's keys before touching any shard lock), then give it a
+        // moment to reach the blocking shard-1 acquisition.
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Unrelated submitters — keys anchored to shard 2 — must make
+        // progress while the rollback waits. Before the fix, the
+        // rollback held the router write lock here and every one of
+        // these stalled for the duration of the wake evaluation.
+        let done = Arc::new(AtomicBool::new(false));
+        let unrelated_engine = Arc::clone(&engine);
+        let done_flag = Arc::clone(&done);
+        s.spawn(move || {
+            for i in 0..8 {
+                let r = unrelated_engine
+                    .submit(q("u", vec![("Z", Some(200 + i))], vec![("Z", Some(2))]))
+                    .unwrap();
+                assert!(!r.coordinated());
+            }
+            done_flag.store(true, Ordering::SeqCst);
+        });
+        let unrelated_deadline = Instant::now() + Duration::from_secs(10);
+        while !done.load(Ordering::SeqCst) {
+            if Instant::now() > unrelated_deadline {
+                release_wake.store(true, Ordering::SeqCst);
+                panic!("unrelated submitters stalled behind a waiting rollback");
+            }
+            std::thread::yield_now();
+        }
+        // The rollback is still blocked (the wake gate is closed):
+        // progress happened *during* it.
+        assert!(!release_wake.load(Ordering::SeqCst));
+
+        // Release the roadblock: the rollback completes and the
+        // rejected bridge returns its error.
+        release_wake.store(true, Ordering::SeqCst);
+        let err = bridge.join().unwrap();
+        assert!(err.contains("poisons"));
+        assert!(!wake.join().unwrap().coordinated());
+    });
+
+    // Everything is still pending (a, b, f2, f3, f0, v, wake, u×8 =
+    // 15 queries — the rejected bridge is not), and the merge was
+    // undone: one query migrated out for the merge, one moved back by
+    // the rollback.
+    assert_eq!(engine.pending_count(), 15);
+    assert_eq!(engine.metrics().snapshot().migrations, 1);
+    let stats = engine.shard_stats();
+    let moved_out: u64 = stats.iter().map(|s| s.migrated_out).sum();
+    let moved_in: u64 = stats.iter().map(|s| s.migrated_in).sum();
+    assert_eq!(
+        (moved_out, moved_in),
+        (2, 2),
+        "rollback did not move the group back: {stats:?}"
+    );
+    // Reaching b's group afterwards needs no migration: its routing
+    // was restored along with the move.
+    let before = engine.metrics().snapshot().migrations;
+    engine
+        .submit(q("w", vec![("R", Some(11))], vec![("R", Some(10))]))
+        .unwrap();
+    assert_eq!(engine.metrics().snapshot().migrations, before);
 }

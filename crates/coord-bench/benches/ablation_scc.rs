@@ -83,6 +83,41 @@ fn bench_cycle_vs_list(c: &mut Criterion) {
          ({:.1}× below the {all_pairs}-test all-pairs baseline)",
         all_pairs as f64 / large as f64,
     );
+
+    // Assert-while-measuring, differential gate: on the list workload
+    // closure i contains i + 1 queries, so from-scratch evaluation pays
+    // Σ|closure| ≈ n²/2 grounding operations where delta joins against
+    // memoized successors pay O(n·Δ) = O(n). Gate both the growth rate
+    // (≤ 8× over the 5× step; quadratic would be 25×) and the absolute
+    // gap to the from-scratch baseline (≥ 10× at n = 100). Asserted in
+    // `--quick` too, so CI catches a regression to scratch evaluation.
+    let ground_at = |n: usize, scratch: bool| {
+        let coordinator = SccCoordinator::new(&db);
+        let coordinator = if scratch {
+            coordinator.with_from_scratch_evaluation()
+        } else {
+            coordinator
+        };
+        let out = coordinator.run(&fig4_queries(n)).unwrap();
+        assert_eq!(out.found.len(), n);
+        out.stats.ground_work
+    };
+    let (d_small, d_large) = (ground_at(20, false), ground_at(100, false));
+    let scratch_large = ground_at(100, true);
+    assert!(
+        d_large <= 8 * d_small,
+        "differential grounding work grew {d_small} → {d_large} (> 8×) over a 5× size step"
+    );
+    assert!(
+        d_large * 10 <= scratch_large,
+        "differential grounding work {d_large} at n = 100 not ≥ 10× below \
+         the from-scratch baseline {scratch_large}"
+    );
+    println!(
+        "ablation_cycle_vs_list/analysis: grounding work {d_small} @ n=20 → {d_large} @ n=100 \
+         differential vs {scratch_large} from-scratch ({:.1}× saving)",
+        scratch_large as f64 / d_large as f64,
+    );
 }
 
 fn bench_preprocessing_cut(c: &mut Criterion) {

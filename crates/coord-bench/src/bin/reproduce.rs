@@ -7,9 +7,10 @@
 //! `--quick` shrinks repetition counts for a fast smoke run. `--json`
 //! emits every series as one machine-readable JSON array on stdout
 //! instead of the aligned text tables. `--only <section>` runs a single
-//! section (`fig4` … `fig8`, `hardness`, `shard_skew`) — CI uses
-//! `--only shard_skew --json` to emit the `BENCH_shard_skew.json`
-//! trajectory artifact.
+//! section (`fig4` … `fig8`, `hardness`, `shard_skew`, `differential`)
+//! — CI uses `--only shard_skew --json` and `--only differential
+//! --json` to emit the `BENCH_shard_skew.json` and
+//! `BENCH_differential.json` trajectory artifacts.
 
 use coord_bench::{drive_phase1, measure, series_to_json, Series};
 use coord_core::bruteforce;
@@ -69,6 +70,7 @@ fn main() {
         "fig8",
         "hardness",
         "shard_skew",
+        "differential",
     ];
     if let Some(section) = &only {
         // A typo must fail loudly, not upload an empty artifact.
@@ -109,6 +111,9 @@ fn main() {
     }
     if report.wants("shard_skew") {
         shard_skew(quick, &mut report);
+    }
+    if report.wants("differential") {
+        differential(quick, &mut report);
     }
 
     if json {
@@ -336,5 +341,59 @@ fn shard_skew(quick: bool, report: &mut Report) {
     report.note(format_args!(
         "(adaptive rebalancing: lower is better; {:.0}% is perfectly balanced)",
         100.0 / SHARDS as f64
+    ));
+}
+
+/// Extra experiment (differential closure evaluation): grounding-work
+/// operations vs n on the list workload, memoized delta joins vs
+/// from-scratch re-evaluation. From-scratch pays Σ|closure| ≈ n²/2;
+/// differential pays ~2n − 1. Counter-based (deterministic on a 1-CPU
+/// runner), asserted while measuring, and emitted as the CI
+/// `BENCH_differential.json` trajectory artifact.
+fn differential(quick: bool, report: &mut Report) {
+    let db = pool_db(1_000);
+    let sizes: &[usize] = if quick {
+        &[20, 60, 100]
+    } else {
+        &[10, 20, 40, 60, 80, 100]
+    };
+    let mut diff_series =
+        Series::new("Differential — grounding work on the list workload, memoized delta joins");
+    let mut scratch_series =
+        Series::new("Differential — grounding work on the list workload, from-scratch baseline");
+    let work_at = |n: usize, scratch: bool| -> u64 {
+        let coordinator = SccCoordinator::new(&db);
+        let coordinator = if scratch {
+            coordinator.with_from_scratch_evaluation()
+        } else {
+            coordinator
+        };
+        let out = coordinator.run(&fig4_queries(n)).unwrap();
+        // Both evaluation modes must produce byte-identical answers.
+        assert_eq!(out.found.len(), n);
+        assert_eq!(out.best().unwrap().len(), n);
+        out.stats.ground_work
+    };
+    let mut last = (0u64, 0u64);
+    for &n in sizes {
+        let diff = work_at(n, false);
+        let scratch = work_at(n, true);
+        diff_series.push(n as u64, diff as f64, 1);
+        scratch_series.push(n as u64, scratch as f64, 1);
+        last = (diff, scratch);
+    }
+    // The same gate the ablation bench asserts: ≥ 10× saving at n = 100.
+    let (diff, scratch) = last;
+    assert!(
+        diff * 10 <= scratch,
+        "differential grounding work {diff} not ≥ 10× below from-scratch {scratch}"
+    );
+    report.add(diff_series);
+    report.add(scratch_series);
+    report.note(format_args!(
+        "(differential evaluation: ~2n−1 operations vs Σ|closure| ≈ n²/2 from scratch; \
+         {:.1}× saving at n = {})",
+        scratch as f64 / diff as f64,
+        sizes.last().unwrap(),
     ));
 }

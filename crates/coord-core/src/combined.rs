@@ -7,6 +7,7 @@
 //! the member bodies — rewritten under the resulting Most General Unifier —
 //! to the database as a single conjunctive query.
 
+use crate::differential::GroundWork;
 use crate::error::CoordError;
 use crate::graphs::HeadIndex;
 use crate::instance::QuerySet;
@@ -27,8 +28,21 @@ use coord_db::{ConjunctiveQuery, Database, Term};
 pub fn unify_members(
     qs: &QuerySet,
     members: &[QueryId],
+    subst: Substitution,
+    index: &HeadIndex,
+) -> Result<Substitution, UnifyError> {
+    unify_members_counted(qs, members, subst, index, &mut GroundWork::default())
+}
+
+/// [`unify_members`], tallying one [`GroundWork::unified`] operation per
+/// postcondition–head MGU merge — the per-closure unification cost the
+/// differential evaluation layer keeps proportional to the delta.
+pub fn unify_members_counted(
+    qs: &QuerySet,
+    members: &[QueryId],
     mut subst: Substitution,
     index: &HeadIndex,
+    work: &mut GroundWork,
 ) -> Result<Substitution, UnifyError> {
     debug_assert!(
         members.windows(2).all(|w| w[0] < w[1]),
@@ -53,7 +67,10 @@ pub fn unify_members(
                 }
             }
             match matched {
-                Some(h) => subst.unify_atoms(&p, &h)?,
+                Some(h) => {
+                    subst.unify_atoms(&p, &h)?;
+                    work.unified += 1;
+                }
                 None => {
                     // No producer for this postcondition: unsatisfiable.
                     return Err(UnifyError::RelationMismatch {
@@ -74,10 +91,23 @@ pub fn combined_body(
     members: &[QueryId],
     subst: &mut Substitution,
 ) -> ConjunctiveQuery {
+    combined_body_counted(qs, members, subst, &mut GroundWork::default())
+}
+
+/// [`combined_body`], tallying one [`GroundWork::rewritten`] operation per
+/// body atom rewritten under the MGU. Differential evaluation reuses
+/// cached fragments instead of paying this per closure.
+pub fn combined_body_counted(
+    qs: &QuerySet,
+    members: &[QueryId],
+    subst: &mut Substitution,
+    work: &mut GroundWork,
+) -> ConjunctiveQuery {
     let mut atoms = Vec::new();
     for &m in members {
         for atom in qs.body(m) {
             atoms.push(subst.apply(&atom));
+            work.rewritten += 1;
         }
     }
     ConjunctiveQuery::new(atoms)
@@ -98,7 +128,20 @@ pub fn ground_members(
     subst: &mut Substitution,
 ) -> Result<Option<Grounding>, CoordError> {
     let cq = combined_body(qs, members, subst);
-    let Some(assignment) = db.find_one(&cq)? else {
+    ground_assembled(db, qs, members, subst, &cq)
+}
+
+/// Ground a pre-assembled combined query: [`ground_members`] with the
+/// body-rewriting step factored out, so differential evaluation can feed
+/// in a query assembled from cached fragments.
+pub fn ground_assembled(
+    db: &Database,
+    qs: &QuerySet,
+    members: &[QueryId],
+    subst: &mut Substitution,
+    cq: &ConjunctiveQuery,
+) -> Result<Option<Grounding>, CoordError> {
+    let Some(assignment) = db.find_one(cq)? else {
         return Ok(None);
     };
 

@@ -21,6 +21,7 @@
 //! full-rebuild-per-submit behavior as the baseline the
 //! `online_throughput` bench (and the property tests) compare against.
 
+use crate::differential::{digest_query, ClosureCache, MemoStats};
 use crate::error::CoordError;
 use crate::graphs::coordination_graph;
 use crate::instance::QuerySet;
@@ -31,6 +32,7 @@ use coord_db::{Atom, Database, Symbol, Term, Value};
 use coord_engine::{ComponentEvaluator, CoordinationQuery, IncrementalEngine, ShardedEngine};
 use coord_graph::reach::weakly_connected_components;
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 pub use coord_engine::{
     EngineMetrics, MetricsSnapshot, Placement, RebalanceConfig, RebalanceReport, Rebalancer,
@@ -95,15 +97,41 @@ impl CoordinationQuery for EntangledQuery {
 
 /// The component evaluator wiring the SCC Coordination Algorithm (with
 /// the small-instance brute-force fast path) into the service crate.
-#[derive(Clone, Copy)]
+///
+/// By default it carries a shared [`ClosureCache`]: component closures
+/// whose member contents were already decided against this database are
+/// answered from the cache, and re-evaluating a component after a
+/// single-query delta touches only the affected closures. Clones (one
+/// per shard in the sharded engine) share the cache through an [`Arc`],
+/// so component migration between shards never loses or stales it —
+/// the keys are content digests, valid on every shard.
+#[derive(Clone)]
 pub struct SccEvaluator<'a> {
     db: &'a Database,
+    cache: Option<Arc<ClosureCache>>,
 }
 
 impl<'a> SccEvaluator<'a> {
-    /// An evaluator over the given database.
+    /// An evaluator over the given database, with differential
+    /// evaluation and a fresh cross-run closure cache.
     pub fn new(db: &'a Database) -> Self {
-        SccEvaluator { db }
+        SccEvaluator {
+            db,
+            cache: Some(Arc::new(ClosureCache::new())),
+        }
+    }
+
+    /// An evaluator with no memoization at all: every component is
+    /// re-unified and re-ground from scratch on every evaluation. The
+    /// oracle baseline the differential equivalence suite compares the
+    /// default evaluator against.
+    pub fn memo_free(db: &'a Database) -> Self {
+        SccEvaluator { db, cache: None }
+    }
+
+    /// Closure-cache counters, if this evaluator memoizes.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 }
 
@@ -115,9 +143,13 @@ impl ComponentEvaluator<EntangledQuery> for SccEvaluator<'_> {
         &self,
         queries: &[EntangledQuery],
     ) -> Result<Option<(Vec<usize>, Vec<QueryAnswer>)>, CoordError> {
-        let outcome = SccCoordinator::new(self.db)
-            .with_bruteforce_cutoff(SMALL_COMPONENT_CUTOFF)
-            .run(queries)?;
+        let coordinator =
+            SccCoordinator::new(self.db).with_bruteforce_cutoff(SMALL_COMPONENT_CUTOFF);
+        let coordinator = match &self.cache {
+            Some(cache) => coordinator.with_closure_cache(Arc::clone(cache)),
+            None => coordinator.with_from_scratch_evaluation(),
+        };
+        let outcome = coordinator.run(queries)?;
         let Some(best) = outcome.best() else {
             return Ok(None);
         };
@@ -129,6 +161,17 @@ impl ComponentEvaluator<EntangledQuery> for SccEvaluator<'_> {
         let members = best.queries.iter().map(|q| q.index()).collect();
         Ok(Some((members, answers)))
     }
+
+    fn note_departed(&self, queries: &[EntangledQuery]) {
+        // Retired queries never reappear in a closure, so their cache
+        // entries can only waste capacity — drop them eagerly. Content
+        // addressing keeps this an optimization, never a correctness
+        // requirement.
+        if let Some(cache) = &self.cache {
+            let departed: Vec<u128> = queries.iter().map(digest_query).collect();
+            cache.evict_members(&departed);
+        }
+    }
 }
 
 /// The online evaluation loop: buffer queries, evaluate the affected
@@ -138,15 +181,35 @@ impl ComponentEvaluator<EntangledQuery> for SccEvaluator<'_> {
 pub struct CoordinationEngine<'a> {
     db: &'a Database,
     inner: IncrementalEngine<EntangledQuery, SccEvaluator<'a>>,
+    cache: Option<Arc<ClosureCache>>,
 }
 
 impl<'a> CoordinationEngine<'a> {
     /// An engine over the given database.
     pub fn new(db: &'a Database) -> Self {
+        let evaluator = SccEvaluator::new(db);
+        let cache = evaluator.cache.clone();
         CoordinationEngine {
             db,
-            inner: IncrementalEngine::new(SccEvaluator::new(db)),
+            inner: IncrementalEngine::new(evaluator),
+            cache,
         }
+    }
+
+    /// An engine whose evaluator never memoizes (see
+    /// [`SccEvaluator::memo_free`]) — byte-identical answers, used as
+    /// the oracle in the differential equivalence suite.
+    pub fn memo_free(db: &'a Database) -> Self {
+        CoordinationEngine {
+            db,
+            inner: IncrementalEngine::new(SccEvaluator::memo_free(db)),
+            cache: None,
+        }
+    }
+
+    /// Closure-cache counters, if this engine's evaluator memoizes.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Queries currently buffered (unsatisfied coordination requirements).
@@ -228,6 +291,7 @@ pub struct SharedEngine<'a> {
     db: &'a Database,
     inner: ShardedEngine<EntangledQuery, SccEvaluator<'a>>,
     rebalancer: Mutex<Rebalancer>,
+    cache: Option<Arc<ClosureCache>>,
 }
 
 impl<'a> SharedEngine<'a> {
@@ -254,11 +318,36 @@ impl<'a> SharedEngine<'a> {
         placement: Placement,
         rebalance: RebalanceConfig,
     ) -> Self {
+        let evaluator = SccEvaluator::new(db);
+        let cache = evaluator.cache.clone();
         SharedEngine {
             db,
-            inner: ShardedEngine::with_placement(SccEvaluator::new(db), shards, placement),
+            inner: ShardedEngine::with_placement(evaluator, shards, placement),
             rebalancer: Mutex::new(Rebalancer::new(rebalance)),
+            cache,
         }
+    }
+
+    /// An engine whose shards never memoize (see
+    /// [`SccEvaluator::memo_free`]) — the oracle configuration of the
+    /// differential equivalence suite.
+    pub fn memo_free(db: &'a Database, shards: usize) -> Self {
+        SharedEngine {
+            db,
+            inner: ShardedEngine::with_placement(
+                SccEvaluator::memo_free(db),
+                shards,
+                Placement::default(),
+            ),
+            rebalancer: Mutex::new(Rebalancer::new(RebalanceConfig::default())),
+            cache: None,
+        }
+    }
+
+    /// Closure-cache counters (shared across all shards), if this
+    /// engine memoizes.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// One skew-correction pass: detect a hot shard from the per-shard
@@ -422,6 +511,7 @@ impl<'a> RebuildEngine<'a> {
 
         let outcome = match SccCoordinator::new(self.db)
             .with_bruteforce_cutoff(SMALL_COMPONENT_CUTOFF)
+            .with_from_scratch_evaluation()
             .run(&comp_queries)
         {
             Ok(o) => o,

@@ -27,6 +27,9 @@
 //!   general entangled query is A-consistent and recovers its structured
 //!   form,
 //! * [`selector`] — pluggable selection among coordinating sets,
+//! * [`differential`] — memoized closure evaluation: per-sweep delta
+//!   joins along the condensation plus a content-addressed cross-run
+//!   verdict cache (DBSP-style incremental view maintenance),
 //! * [`engine`] — a Youtopia-style online evaluation loop: a thin
 //!   adapter wiring the SCC algorithm into the `coord-engine` service
 //!   crate's incremental, sharded machinery,
@@ -71,6 +74,7 @@ pub mod bruteforce;
 pub mod classify;
 pub mod combined;
 pub mod consistent;
+pub mod differential;
 pub mod engine;
 pub mod error;
 pub mod graphs;
@@ -86,6 +90,7 @@ pub mod semantics;
 pub mod single_connected;
 pub mod unify;
 
+pub use differential::{ClosureCache, GroundWork, MemoStats};
 pub use error::CoordError;
 pub use instance::QuerySet;
 pub use outcome::FoundSet;

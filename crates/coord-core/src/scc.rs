@@ -20,7 +20,11 @@
 //! quadratic in `|Q|` (Section 4, "Running Time").
 
 use crate::bruteforce;
-use crate::combined::{ground_members, unify_members};
+use crate::combined::ground_assembled;
+use crate::differential::{
+    bindings_from_grounding, closure_key, delta_unify, digest_query, grounding_from_bindings,
+    scratch_closure, CachedVerdict, ClosureCache, ClosureMemo, GroundWork,
+};
 use crate::error::CoordError;
 use crate::graphs::{coordination_graph_counted, safety_violations_counted, HeadIndex};
 use crate::instance::QuerySet;
@@ -28,10 +32,11 @@ use crate::outcome::FoundSet;
 use crate::query::{EntangledQuery, QueryId};
 use crate::selector::{MaxSize, Selector};
 use crate::semantics::Grounding;
-use crate::unify::{Substitution, UnifyCounter};
+use crate::unify::UnifyCounter;
 use coord_db::Database;
 use coord_graph::{condensation, Condensation, DiGraph, NodeId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Statistics gathered during a run (mirrors the measurements of
 /// Figures 4–6).
@@ -54,6 +59,25 @@ pub struct SccStats {
     /// bound by the scaling tests and the ablation bench's `--quick`
     /// gate.
     pub unify_calls: u64,
+    /// Closure-evaluation operations ([`GroundWork::total`]): MGU
+    /// merges, body-atom rewrites and fragment staleness checks. Under
+    /// the default differential evaluation this grows ~O(n·Δ) on a list
+    /// workload where from-scratch evaluation pays Σ|closure| ≈ n²/2
+    /// (gated by the scaling tests and the ablation bench). Zero on the
+    /// bruteforce fast path, which never builds closures.
+    pub ground_work: u64,
+}
+
+/// How component closures are evaluated along the condensation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Evaluation {
+    /// Delta joins against memoized successor closures (the default) —
+    /// byte-identical results, work proportional to the delta.
+    #[default]
+    Differential,
+    /// Re-unify and re-rewrite every closure from scratch — the
+    /// baseline the differential equivalence suite compares against.
+    FromScratch,
 }
 
 /// Everything the algorithm computes before touching the database:
@@ -189,6 +213,8 @@ pub struct SccCoordinator<'a> {
     db: &'a Database,
     selector: Box<dyn Selector + 'a>,
     bruteforce_cutoff: usize,
+    evaluation: Evaluation,
+    cache: Option<Arc<ClosureCache>>,
 }
 
 impl<'a> SccCoordinator<'a> {
@@ -198,6 +224,8 @@ impl<'a> SccCoordinator<'a> {
             db,
             selector: Box::new(MaxSize),
             bruteforce_cutoff: 0,
+            evaluation: Evaluation::default(),
+            cache: None,
         }
     }
 
@@ -207,7 +235,28 @@ impl<'a> SccCoordinator<'a> {
             db,
             selector: Box::new(selector),
             bruteforce_cutoff: 0,
+            evaluation: Evaluation::default(),
+            cache: None,
         }
+    }
+
+    /// Disable differential evaluation: every closure is re-unified and
+    /// re-rewritten from scratch, and the cross-run cache (if any) is
+    /// neither read nor written. The results are byte-identical to the
+    /// default — this exists as the baseline the equivalence suite and
+    /// the ablation bench compare against.
+    pub fn with_from_scratch_evaluation(mut self) -> Self {
+        self.evaluation = Evaluation::FromScratch;
+        self
+    }
+
+    /// Attach a cross-run [`ClosureCache`]: closures whose member
+    /// contents were already decided against this database answer from
+    /// the cache without unification or a database query. Ignored under
+    /// [`Evaluation::FromScratch`].
+    pub fn with_closure_cache(mut self, cache: Arc<ClosureCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Enable the small-instance fast path: [`SccCoordinator::run`]
@@ -364,12 +413,25 @@ impl<'a> SccCoordinator<'a> {
         // One head index shared by every component's unification pass.
         let head_index = HeadIndex::build(&qs);
 
+        // Per-query content digests for the cross-run cache, computed
+        // once per run (the cache is ignored under from-scratch
+        // evaluation, which must remain a true baseline).
+        let cache = match self.evaluation {
+            Evaluation::Differential => self.cache.as_deref(),
+            Evaluation::FromScratch => None,
+        };
+        let digests: Option<Vec<u128>> =
+            cache.map(|_| qs.queries().iter().map(digest_query).collect());
+
         let ctx = SweepCtx {
             db: self.db,
             qs: &qs,
             head_index: &head_index,
             cond: &cond,
             removed_set: &removed_set,
+            mode: self.evaluation,
+            cache,
+            digests: digests.as_deref(),
         };
 
         // Per-component state: whether it failed, and the set of component
@@ -379,7 +441,7 @@ impl<'a> SccCoordinator<'a> {
         let mut state = SweepState::new(n_comp);
         if threads == 1 {
             for c in 0..n_comp {
-                let ev = eval_component(&ctx, &state.failed, &state.closures, c)?;
+                let ev = eval_component(&ctx, &state.failed, &state.closures, &state.memos, c)?;
                 state.commit(c, ev);
             }
         } else {
@@ -396,6 +458,10 @@ impl<'a> SccCoordinator<'a> {
         }
 
         stats.db_queries = state.db_queries;
+        stats.ground_work = state.ground.total();
+        if let Some(cache) = cache {
+            cache.record_work(stats.ground_work);
+        }
         // Candidate sets in component-id order — exactly the sequential
         // discovery order.
         let found: Vec<FoundSet> = state.found_per.into_iter().flatten().collect();
@@ -418,14 +484,23 @@ struct SweepCtx<'a> {
     head_index: &'a HeadIndex,
     cond: &'a Condensation,
     removed_set: &'a [bool],
+    mode: Evaluation,
+    cache: Option<&'a ClosureCache>,
+    digests: Option<&'a [u128]>,
 }
 
 /// Mutable per-component results of a sweep, committed in id order.
 struct SweepState {
     failed: Vec<bool>,
     closures: Vec<BTreeSet<usize>>,
+    /// Memoized closure of each successfully grounded component —
+    /// what predecessors delta-join against. `None` for failed
+    /// components and for cross-run cache hits (which skip unification
+    /// entirely; predecessors fall back to a counted scratch pass).
+    memos: Vec<Option<ClosureMemo>>,
     found_per: Vec<Option<FoundSet>>,
     db_queries: usize,
+    ground: GroundWork,
 }
 
 impl SweepState {
@@ -433,8 +508,10 @@ impl SweepState {
         SweepState {
             failed: vec![false; n_comp],
             closures: vec![BTreeSet::new(); n_comp],
+            memos: (0..n_comp).map(|_| None).collect(),
             found_per: (0..n_comp).map(|_| None).collect(),
             db_queries: 0,
+            ground: GroundWork::default(),
         }
     }
 
@@ -442,8 +519,10 @@ impl SweepState {
         if ev.queried_db {
             self.db_queries += 1;
         }
+        self.ground.absorb(ev.work);
         self.failed[c] = ev.failed;
         self.closures[c] = ev.closure;
+        self.memos[c] = ev.memo;
         self.found_per[c] = ev.found;
     }
 }
@@ -482,6 +561,7 @@ struct WorkerVerdict {
     comp: usize,
     failed: bool,
     queried_db: bool,
+    work: GroundWork,
     found: Option<FoundSet>,
 }
 
@@ -527,12 +607,13 @@ fn sweep_groups(
                 let mut local = SweepState::new(ctx.cond.len());
                 let mut out = Vec::with_capacity(own.len());
                 for &c in own {
-                    match eval_component(ctx, &local.failed, &local.closures, c) {
+                    match eval_component(ctx, &local.failed, &local.closures, &local.memos, c) {
                         Ok(mut ev) => {
                             out.push(WorkerVerdict {
                                 comp: c,
                                 failed: ev.failed,
                                 queried_db: ev.queried_db,
+                                work: ev.work,
                                 found: ev.found.take(),
                             });
                             local.commit(c, ev);
@@ -569,11 +650,12 @@ fn sweep_groups(
         if v.queried_db {
             state.db_queries += 1;
         }
+        state.ground.absorb(v.work);
         state.failed[v.comp] = v.failed;
         state.found_per[v.comp] = v.found;
-        // `state.closures` stays empty for group-swept components:
-        // closures never cross group boundaries and nothing reads them
-        // after the sweep completes.
+        // `state.closures` and `state.memos` stay empty for group-swept
+        // components: closures and memos never cross group boundaries
+        // and nothing reads them after the sweep completes.
     }
     Ok(())
 }
@@ -610,19 +692,26 @@ fn sweep_wavefronts(
     for wave in &waves {
         let results: Vec<(usize, Result<ComponentEval, CoordError>)> = if wave.len() < 2 {
             wave.iter()
-                .map(|&c| (c, eval_component(ctx, &state.failed, &state.closures, c)))
+                .map(|&c| {
+                    (
+                        c,
+                        eval_component(ctx, &state.failed, &state.closures, &state.memos, c),
+                    )
+                })
                 .collect()
         } else {
             // Chunk the wave across scoped threads sharing the read-only
             // state of earlier waves (cf. `consistent.rs`'s value sweep).
+            // Memos are shared read-only too: the delta join clones a
+            // successor memo before extending it.
             std::thread::scope(|scope| {
                 let chunk = wave.len().div_ceil(threads);
                 let mut handles = Vec::new();
                 for ch in wave.chunks(chunk.max(1)) {
-                    let (failed, closures) = (&state.failed, &state.closures);
+                    let (failed, closures, memos) = (&state.failed, &state.closures, &state.memos);
                     handles.push(scope.spawn(move || {
                         ch.iter()
-                            .map(|&c| (c, eval_component(ctx, failed, closures, c)))
+                            .map(|&c| (c, eval_component(ctx, failed, closures, memos, c)))
                             .collect::<Vec<_>>()
                     }));
                 }
@@ -644,50 +733,72 @@ fn sweep_wavefronts(
 /// What evaluating one component produced. Exactly one of `failed` /
 /// `found` describes the verdict; `closure` is empty on failure so
 /// predecessors merging it see the same sets the sequential sweep built.
+/// `memo` is the closure's reusable unification state (absent on
+/// failures, cross-run cache hits and from-scratch evaluation).
 struct ComponentEval {
     failed: bool,
     closure: BTreeSet<usize>,
     queried_db: bool,
     found: Option<FoundSet>,
+    memo: Option<ClosureMemo>,
+    work: GroundWork,
 }
 
 /// Evaluate one component of the condensation DAG: merge successor
 /// closures, unify the closure's postconditions with their unique heads,
 /// and ground the combined body with one conjunctive query. Reads only
-/// already-evaluated successor state (`failed` / `closures`), so the
-/// sequential sweep and both parallel sweeps share it verbatim — which
-/// is what keeps their per-closure candidates and stats identical.
+/// already-evaluated successor state (`failed` / `closures` / `memos`),
+/// so the sequential sweep and both parallel sweeps share it verbatim —
+/// which is what keeps their per-closure candidates and stats identical.
+///
+/// Under the default [`Evaluation::Differential`] mode the closure is
+/// built as a delta join against the successors' memos (falling back to
+/// a counted scratch pass when a live successor carries no memo — i.e.
+/// it was answered by the cross-run cache); under
+/// [`Evaluation::FromScratch`] every closure is re-unified in full.
+/// Either way the assembled conjunctive query is isomorphic and the
+/// verdict byte-identical (see [`crate::differential`]).
 fn eval_component(
     ctx: &SweepCtx<'_>,
     failed: &[bool],
     closures: &[BTreeSet<usize>],
+    memos: &[Option<ClosureMemo>],
     c: usize,
 ) -> Result<ComponentEval, CoordError> {
-    let failure = || ComponentEval {
+    let mut work = GroundWork::default();
+    let failure = |work: GroundWork| ComponentEval {
         failed: true,
         closure: BTreeSet::new(),
         queried_db: false,
         found: None,
+        memo: None,
+        work,
     };
 
-    // Removed queries cannot participate.
+    // Removed queries cannot participate. (Removal depends on the whole
+    // batch, not just this closure, so this verdict is never cached.)
     if ctx
         .cond
         .members(c)
         .iter()
         .any(|n| ctx.removed_set[n.index()])
     {
-        return Ok(failure());
+        return Ok(failure(work));
     }
 
-    // Merge successor closures; fail if any successor failed.
+    // Merge successor closures; fail if any successor failed. (Also not
+    // cached: the failure belongs to the successor's closure.)
+    let mut succs: BTreeSet<usize> = BTreeSet::new();
+    for succ in ctx.cond.dag.successors(NodeId(c)) {
+        succs.insert(succ.index());
+    }
     let mut closure: BTreeSet<usize> = BTreeSet::new();
     closure.insert(c);
-    for succ in ctx.cond.dag.successors(NodeId(c)) {
-        if failed[succ.index()] {
-            return Ok(failure());
+    for &s in &succs {
+        if failed[s] {
+            return Ok(failure(work));
         }
-        closure.extend(closures[succ.index()].iter().copied());
+        closure.extend(closures[s].iter().copied());
     }
 
     // Collect the member queries of the whole closure R(q).
@@ -697,28 +808,108 @@ fn eval_component(
         .collect();
     member_queries.sort_unstable();
 
-    // Unify the closure: every postcondition with its unique head.
-    let subst = Substitution::identity(ctx.qs.total_vars());
-    let mut subst = match unify_members(ctx.qs, &member_queries, subst, ctx.head_index) {
-        Ok(s) => s,
-        Err(_) => return Ok(failure()),
+    // Cross-run cache: a closure with these exact member contents may
+    // already have a verdict against this database. Hits skip
+    // unification and the database query entirely (and produce no memo
+    // — a predecessor then takes the counted scratch path).
+    let cache_key = match (ctx.cache, ctx.digests) {
+        (Some(cache), Some(digests)) => {
+            let member_digests: Vec<u128> =
+                member_queries.iter().map(|q| digests[q.index()]).collect();
+            let key = closure_key(&member_digests);
+            if let Some(verdict) = cache.lookup(key) {
+                return Ok(match verdict {
+                    CachedVerdict::Failed => failure(work),
+                    CachedVerdict::Found { bindings } => {
+                        let grounding = grounding_from_bindings(ctx.qs, &member_queries, &bindings);
+                        ComponentEval {
+                            failed: false,
+                            closure,
+                            queried_db: false,
+                            found: Some(FoundSet {
+                                queries: member_queries,
+                                grounding,
+                            }),
+                            memo: None,
+                            work,
+                        }
+                    }
+                });
+            }
+            Some((key, member_digests))
+        }
+        _ => None,
+    };
+    let cache_verdict = |verdict: CachedVerdict| {
+        if let (Some(cache), Some((key, md))) = (ctx.cache, &cache_key) {
+            cache.insert(*key, md.clone().into_boxed_slice(), verdict);
+        }
+    };
+
+    // Unify the closure: every postcondition with its unique head —
+    // differentially against successor memos where possible.
+    let memo = match ctx.mode {
+        Evaluation::FromScratch => {
+            scratch_closure(ctx.qs, ctx.head_index, &member_queries, &mut work)
+        }
+        Evaluation::Differential => {
+            let succ_memos: Vec<&ClosureMemo> =
+                succs.iter().filter_map(|&s| memos[s].as_ref()).collect();
+            if !succ_memos.is_empty() && succ_memos.len() == succs.len() {
+                let mut own: Vec<QueryId> = ctx
+                    .cond
+                    .members(c)
+                    .iter()
+                    .map(|n| QueryId(n.index()))
+                    .collect();
+                own.sort_unstable();
+                delta_unify(
+                    ctx.qs,
+                    ctx.head_index,
+                    &member_queries,
+                    &own,
+                    &succ_memos,
+                    &mut work,
+                )
+            } else {
+                scratch_closure(ctx.qs, ctx.head_index, &member_queries, &mut work)
+            }
+        }
+    };
+    let Some(mut memo) = memo else {
+        cache_verdict(CachedVerdict::Failed);
+        return Ok(failure(work));
     };
 
     // One conjunctive query to the database for this component.
-    match ground_members(ctx.db, ctx.qs, &member_queries, &mut subst)? {
-        Some(grounding) => Ok(ComponentEval {
-            failed: false,
-            closure,
-            queried_db: true,
-            found: Some(FoundSet {
-                queries: member_queries,
-                grounding,
-            }),
-        }),
-        None => Ok(ComponentEval {
-            queried_db: true,
-            ..failure()
-        }),
+    let cq = memo.assemble();
+    match ground_assembled(ctx.db, ctx.qs, &member_queries, &mut memo.subst, &cq)? {
+        Some(grounding) => {
+            cache_verdict(CachedVerdict::Found {
+                bindings: Arc::new(bindings_from_grounding(ctx.qs, &member_queries, &grounding)),
+            });
+            Ok(ComponentEval {
+                failed: false,
+                closure,
+                queried_db: true,
+                found: Some(FoundSet {
+                    queries: member_queries,
+                    grounding,
+                }),
+                memo: match ctx.mode {
+                    Evaluation::Differential => Some(memo),
+                    Evaluation::FromScratch => None,
+                },
+                work,
+            })
+        }
+        None => {
+            cache_verdict(CachedVerdict::Failed);
+            Ok(ComponentEval {
+                queried_db: true,
+                ..failure(work)
+            })
+        }
     }
 }
 

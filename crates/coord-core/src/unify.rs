@@ -91,6 +91,12 @@ impl Substitution {
         Var(x as u32)
     }
 
+    /// Whether `v`'s class is bound to a constant (immutable lookup, no
+    /// path compression — safe on shared substitutions).
+    pub fn is_bound(&self, v: Var) -> bool {
+        self.binding[self.find_immutable(v).0 as usize].is_some()
+    }
+
     /// The constant bound to `v`'s class, if any.
     pub fn value_of(&mut self, v: Var) -> Option<Value> {
         let r = self.find(v);
@@ -216,6 +222,165 @@ impl Substitution {
             self.unify_terms(ta, tb)?;
         }
         Ok(())
+    }
+
+    /// Bind, logging the class representative into `log` when the class
+    /// goes from unbound to bound (cached atoms showing that variable are
+    /// now stale).
+    pub fn bind_logged(&mut self, v: Var, c: Value, log: &mut DeltaLog) -> Result<(), UnifyError> {
+        let r = self.find(v);
+        let was_unbound = self.binding[r.0 as usize].is_none();
+        self.bind(r, c)?;
+        if was_unbound {
+            log.dirty.push(r);
+        }
+        Ok(())
+    }
+
+    /// Merge the classes of `keep` and `other`, making `keep`'s current
+    /// representative the representative of the merged class regardless
+    /// of rank. The differential closure evaluation uses this to keep
+    /// the representatives that cached closure fragments were rewritten
+    /// under: the dethroned representative (and, if the merge imports a
+    /// binding onto a previously unbound winner, the winner itself) is
+    /// logged into `log` so stale fragments can be found and repaired.
+    pub fn union_keeping(
+        &mut self,
+        keep: Var,
+        other: Var,
+        log: &mut DeltaLog,
+    ) -> Result<(), UnifyError> {
+        let rk = self.find(keep);
+        let ro = self.find(other);
+        if rk == ro {
+            return Ok(());
+        }
+        let merged = match (
+            self.binding[rk.0 as usize].take(),
+            self.binding[ro.0 as usize].take(),
+        ) {
+            (Some(x), Some(y)) if x != y => {
+                self.binding[rk.0 as usize] = Some(x.clone());
+                self.binding[ro.0 as usize] = Some(y.clone());
+                return Err(UnifyError::ConstantConflict { left: x, right: y });
+            }
+            (Some(x), _) => Some(x),
+            (None, y) => {
+                if y.is_some() {
+                    // The winner was unbound and inherits a constant:
+                    // fragments still showing `rk` as a variable are stale.
+                    log.dirty.push(rk);
+                }
+                y
+            }
+        };
+        self.parent[ro.0 as usize] = rk.0;
+        if self.rank[rk.0 as usize] == self.rank[ro.0 as usize] {
+            self.rank[rk.0 as usize] += 1;
+        }
+        self.binding[rk.0 as usize] = merged;
+        log.dirty.push(ro);
+        Ok(())
+    }
+
+    /// Unify a postcondition term against a head term, preferring the
+    /// head side's representative on variable–variable merges (the head
+    /// belongs to an already-memoized closure whose cached fragments
+    /// were rewritten under its representative; the postcondition side
+    /// is fresh). Mutations that can invalidate cached fragments are
+    /// logged.
+    pub fn unify_terms_directed(
+        &mut self,
+        post: &Term,
+        head: &Term,
+        log: &mut DeltaLog,
+    ) -> Result<(), UnifyError> {
+        match (post, head) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x == y {
+                    Ok(())
+                } else {
+                    Err(UnifyError::ConstantConflict {
+                        left: x.clone(),
+                        right: y.clone(),
+                    })
+                }
+            }
+            (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                self.bind_logged(*v, c.clone(), log)
+            }
+            (Term::Var(p), Term::Var(h)) => self.union_keeping(*h, *p, log),
+        }
+    }
+
+    /// [`Substitution::unify_atoms`] with the head-preferring,
+    /// fragment-dirt-logging term unification of
+    /// [`Substitution::unify_terms_directed`].
+    pub fn unify_atoms_directed(
+        &mut self,
+        post: &Atom,
+        head: &Atom,
+        log: &mut DeltaLog,
+    ) -> Result<(), UnifyError> {
+        if post.relation != head.relation {
+            return Err(UnifyError::RelationMismatch {
+                left: post.relation.to_string(),
+                right: head.relation.to_string(),
+            });
+        }
+        if post.arity() != head.arity() {
+            return Err(UnifyError::ArityMismatch {
+                relation: post.relation.to_string(),
+                left: post.arity(),
+                right: head.arity(),
+            });
+        }
+        for (tp, th) in post.terms.iter().zip(&head.terms) {
+            self.unify_terms_directed(tp, th, log)?;
+        }
+        Ok(())
+    }
+
+    /// Fold every equivalence and binding of `other` into `self`:
+    /// afterwards `self` entails the union of both constraint sets.
+    /// Fails with the usual [`UnifyError::ConstantConflict`] exactly
+    /// when that union is inconsistent — the same verdict a from-scratch
+    /// unification of the combined constraints would reach. Used when a
+    /// closure has several memoized successors: one memo is cloned as
+    /// the base, the others absorbed. O(|vars|) bookkeeping.
+    pub fn absorb(&mut self, other: &Substitution) -> Result<(), UnifyError> {
+        debug_assert_eq!(self.n_vars(), other.n_vars());
+        for v in 0..other.parent.len() as u32 {
+            let r = other.find_immutable(Var(v));
+            if r.0 != v {
+                self.union(Var(v), r)?;
+            }
+        }
+        for (v, b) in other.binding.iter().enumerate() {
+            if let Some(c) = b {
+                self.bind(Var(v as u32), c.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mutation log of a delta unification pass: representatives whose class
+/// identity or binding changed, i.e. variables that may appear inside
+/// memoized closure fragments that are now stale. An empty log proves
+/// every cached fragment is still exact and the validation scan can be
+/// skipped entirely — the common case on chain-shaped condensations,
+/// where each component adds constraints only over fresh variables.
+#[derive(Debug, Default)]
+pub struct DeltaLog {
+    /// Representatives dethroned or newly bound during the delta pass.
+    pub dirty: Vec<Var>,
+}
+
+impl DeltaLog {
+    /// Whether no cached fragment can have gone stale.
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
     }
 }
 
@@ -377,6 +542,80 @@ mod tests {
         // Vars 0 and 1 resolve to the same representative; var 2 to Paris.
         assert_eq!(applied.terms[0], applied.terms[1]);
         assert_eq!(applied.terms[2], Term::Const(Value::str("Paris")));
+    }
+
+    #[test]
+    fn union_keeping_preserves_the_requested_representative() {
+        let mut s = Substitution::identity(4);
+        // Build a class around var 0 with higher rank.
+        s.union(Var(0), Var(1)).unwrap();
+        s.union(Var(0), Var(2)).unwrap();
+        let mut log = DeltaLog::default();
+        // Keep var 3's rep even though var 0's class outranks it.
+        s.union_keeping(Var(3), Var(0), &mut log).unwrap();
+        assert_eq!(s.find(Var(0)), Var(3));
+        assert_eq!(s.find(Var(1)), Var(3));
+        // The dethroned representative is logged.
+        assert_eq!(log.dirty, vec![Var(0)]);
+        assert!(!log.is_clean());
+    }
+
+    #[test]
+    fn union_keeping_logs_winner_when_it_inherits_a_binding() {
+        let mut s = Substitution::identity(2);
+        s.bind(Var(1), Value::int(9)).unwrap();
+        let mut log = DeltaLog::default();
+        s.union_keeping(Var(0), Var(1), &mut log).unwrap();
+        // Var 0 stayed representative but went from unbound to bound, so
+        // both it and the dethroned rep are dirty.
+        assert_eq!(s.value_of(Var(0)), Some(Value::int(9)));
+        assert!(log.dirty.contains(&Var(0)));
+        assert!(log.dirty.contains(&Var(1)));
+    }
+
+    #[test]
+    fn union_keeping_detects_conflicts_without_corruption() {
+        let mut s = Substitution::identity(2);
+        s.bind(Var(0), Value::int(1)).unwrap();
+        s.bind(Var(1), Value::int(2)).unwrap();
+        let mut log = DeltaLog::default();
+        assert!(s.union_keeping(Var(0), Var(1), &mut log).is_err());
+        assert_eq!(s.value_of(Var(0)), Some(Value::int(1)));
+        assert_eq!(s.value_of(Var(1)), Some(Value::int(2)));
+    }
+
+    #[test]
+    fn directed_unification_reaches_the_same_mgu() {
+        let post = atom("R", vec![Term::constant("C"), Term::var(0)]);
+        let head = atom("R", vec![Term::var(1), Term::constant(5i64)]);
+        let mut plain = Substitution::identity(2);
+        plain.unify_atoms(&post, &head).unwrap();
+        let mut directed = Substitution::identity(2);
+        let mut log = DeltaLog::default();
+        directed
+            .unify_atoms_directed(&post, &head, &mut log)
+            .unwrap();
+        for v in 0..2 {
+            assert_eq!(plain.value_of(Var(v)), directed.value_of(Var(v)));
+        }
+    }
+
+    #[test]
+    fn absorb_entails_the_union_of_constraints() {
+        // other: {0 ~ 1 ↦ 7}; self: {1 ~ 2}. After absorb, all three
+        // share a class bound to 7.
+        let mut other = Substitution::identity(3);
+        other.union(Var(0), Var(1)).unwrap();
+        other.bind(Var(0), Value::int(7)).unwrap();
+        let mut s = Substitution::identity(3);
+        s.union(Var(1), Var(2)).unwrap();
+        s.absorb(&other).unwrap();
+        assert_eq!(s.find(Var(0)), s.find(Var(2)));
+        assert_eq!(s.value_of(Var(2)), Some(Value::int(7)));
+        // Conflicting absorb fails like from-scratch unification would.
+        let mut conflicted = Substitution::identity(3);
+        conflicted.bind(Var(1), Value::int(8)).unwrap();
+        assert!(conflicted.absorb(&other).is_err());
     }
 
     #[test]

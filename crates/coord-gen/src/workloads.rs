@@ -34,6 +34,51 @@ pub fn partner_query(i: usize, partners: &[usize]) -> EntangledQuery {
         .expect("workload query is well-formed")
 }
 
+/// A [`partner_query`] variant whose postconditions *contend* on the
+/// head variable:
+///
+/// ```text
+/// c_i = {R(u_p, x) : p ∈ partners}  R(u_i, x)  :-  S(x, t_i)
+/// ```
+///
+/// A cycle of these unifies every member's `x` into one class, so the
+/// combined body demands one pool tuple carrying every member's tag —
+/// unsatisfiable for cycles of length ≥ 2 (pool tags are per-user
+/// distinct). The grounding *fails* rather than the unification, which
+/// makes such cycles exercise the cached-failure path of the
+/// differential layer: the verdict costs one database query the first
+/// time and none afterwards.
+pub fn contending_partner_query(i: usize, partners: &[usize]) -> EntangledQuery {
+    let mut b = QueryBuilder::new(format!("c{i}"));
+    for &p in partners {
+        b = b.postcondition("R", |a| a.constant(user_name(p)).var("x"));
+    }
+    b.head("R", |a| a.constant(user_name(i)).var("x"))
+        .body(POOL_TABLE, |a| a.var("x").constant(tag_for(i)))
+        .build()
+        .expect("workload query is well-formed")
+}
+
+/// An unsatisfiable-core workload for the cross-run closure cache: a
+/// [`contending_partner_query`] cycle of `k` members (one SCC whose
+/// grounding always fails; pick `k` above the engine's small-component
+/// cutoff so the SCC path runs) plus `spokes` independent
+/// [`partner_query`] chains of length 2 hanging off users
+/// `k, k+1, …` — each spoke requires a cycle member, so every spoke
+/// submit re-confronts the engine with the same failed cycle closure.
+/// Returns `(cycle, spokes)` in arrival order.
+pub fn unsat_cycle_with_spokes(
+    k: usize,
+    spokes: usize,
+) -> (Vec<EntangledQuery>, Vec<EntangledQuery>) {
+    let cycle: Vec<EntangledQuery> = (0..k)
+        .map(|i| contending_partner_query(i, &[(i + 1) % k]))
+        .collect();
+    let spoke_queries: Vec<EntangledQuery> =
+        (0..spokes).map(|s| partner_query(k + s, &[0])).collect();
+    (cycle, spoke_queries)
+}
+
 /// A database holding just the tuple-pool table with `rows` rows —
 /// build once and share across workload sizes (the table is the same for
 /// every point of Figures 4–6).
@@ -275,5 +320,24 @@ mod tests {
         assert_eq!(q.heads().len(), 1);
         assert_eq!(q.body().len(), 1);
         assert_eq!(q.name(), "q3");
+    }
+
+    #[test]
+    fn contending_cycle_is_safe_but_never_coordinates() {
+        let (cycle, spokes) = unsat_cycle_with_spokes(7, 2);
+        assert_eq!(cycle.len(), 7);
+        assert_eq!(spokes.len(), 2);
+        let all: Vec<_> = cycle.iter().chain(spokes.iter()).cloned().collect();
+        let qs = QuerySet::new(all.clone());
+        assert!(is_safe(&qs));
+        let db = pool_db(100);
+        let out = SccCoordinator::new(&db).run(&all).unwrap();
+        // The cycle's head variables all unify into one class, so its
+        // combined body asks for a single pool tuple with seven distinct
+        // tags: grounding fails, and the spokes fail with it.
+        assert!(out.found.is_empty());
+        // The failure costs exactly one database probe (the cycle SCC);
+        // spokes fail by propagation without touching the database.
+        assert_eq!(out.stats.db_queries, 1);
     }
 }

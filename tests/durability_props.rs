@@ -198,6 +198,91 @@ proptest! {
         prop_assert!(sorted_names(reopened.pending().iter().copied())
             .contains(&"q999".to_string()));
     }
+
+    /// The memo/WAL crash window: the keystone submit coordinates the
+    /// chain, which invalidates the evaluator's cached closure verdicts
+    /// (`note_departed`) *before* the crash destroys the commit record.
+    /// Recovery must not depend on the lost memo state: the replayed
+    /// engine starts from a fresh cache, reaches the same pending set,
+    /// and re-coordinating the keystone yields answers byte-identical
+    /// both to the original acknowledgment and to a memo-free twin.
+    #[test]
+    fn crash_between_memo_invalidation_and_wal_commit_replays_identically(
+        size in 7usize..=10,
+        probe in 0usize..=2,
+    ) {
+        // The vendored proptest shim shrinks below strategy bounds; keep
+        // the body total (and above the bruteforce cutoff) regardless.
+        let size = size.max(7);
+        let db = pool_db(POOL);
+        let chain = group(0, size, false);
+        let keystone = chain[size - 1].clone();
+        let dir = TempDir::new("memo-crash-window");
+
+        let (wal_before, original) = {
+            let mut durable =
+                DurableCoordinationEngine::open_with(&db, dir.path(), opts(None)).unwrap();
+            for q in &chain[..size - 1] {
+                prop_assert!(!durable.submit(q.clone()).unwrap().coordinated());
+            }
+            // A few unrelated still-pending probes (their partners never
+            // arrive) so the recovered state holds more than the chain.
+            for p in 0..probe {
+                durable.submit(partner_query(500 + p, &[600 + p])).unwrap();
+            }
+            let wal_before = durable.wal_len();
+            let r = durable.submit(keystone.clone()).unwrap();
+            prop_assert!(r.coordinated());
+            let mut answers = r.answers;
+            answers.sort_by(|x, y| x.query.cmp(&y.query));
+            (wal_before, answers)
+        }; // crash — after the ack, after memo invalidation
+
+        // Destroy the keystone's commit record: truncate the WAL back to
+        // its pre-submit length.
+        let wal = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("wal-"))
+            })
+            .unwrap();
+        let full = std::fs::read(&wal).unwrap();
+        prop_assert!((wal_before as usize) < full.len());
+        std::fs::write(&wal, &full[..wal_before as usize]).unwrap();
+
+        // Recover (fresh engine, fresh memo state): the whole chain is
+        // pending again, as if the keystone had never arrived.
+        let mut recovered =
+            DurableCoordinationEngine::open_with(&db, dir.path(), opts(None)).unwrap();
+        recovered.validate_invariants();
+        let mut expected: Vec<String> = sorted_names(chain[..size - 1].iter());
+        for p in 0..probe {
+            expected.push(format!("q{}", 500 + p));
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(
+            sorted_names(recovered.pending().iter().copied()),
+            expected,
+            "recovery must replay exactly the pre-keystone pending set"
+        );
+
+        // A memo-free twin that never crashed and never cached anything.
+        let mut twin = CoordinationEngine::memo_free(&db);
+        for q in &chain[..size - 1] {
+            twin.submit(q.clone()).unwrap();
+        }
+        let replayed = recovered.submit(keystone.clone()).unwrap();
+        let scratch = twin.submit(keystone).unwrap();
+        let mut replayed = replayed.answers;
+        replayed.sort_by(|x, y| x.query.cmp(&y.query));
+        let mut scratch = scratch.answers;
+        scratch.sort_by(|x, y| x.query.cmp(&y.query));
+        prop_assert_eq!(&replayed, &original, "replay diverged from the lost ack");
+        prop_assert_eq!(&replayed, &scratch, "replay diverged from memo-free evaluation");
+    }
 }
 
 /// Sharded durability: concurrent submitters, per-shard logs, snapshot

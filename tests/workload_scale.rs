@@ -126,6 +126,46 @@ fn list_workload_unify_calls_grow_linearly_not_quadratically() {
     );
 }
 
+/// Differential-evaluation gate for the ROADMAP "quadratic closure
+/// wall clock" item: on the list workload, closure `i` (counting from
+/// the free tail) contains i + 1 queries, so from-scratch evaluation
+/// pays Σ|closure| ≈ n²/2 grounding work, while delta joins against the
+/// successor's memo pay O(Δ) = O(1) per component — ~2n − 1 total.
+/// Assert the differential counter grows ≤ c·n·Δ over a 5× size step
+/// (quadratic growth would be 25×), and that it sits ≥ 10× below the
+/// from-scratch baseline on the same instance.
+#[test]
+fn list_workload_grounding_work_grows_with_n_delta_not_n_squared() {
+    let db = pool_db(1_000);
+    let work_at = |n: usize| {
+        let out = SccCoordinator::new(&db).run(&fig4_queries(n)).unwrap();
+        assert_eq!(out.found.len(), n, "every suffix must still coordinate");
+        out.stats.ground_work
+    };
+    let small = work_at(20);
+    let large = work_at(100);
+    assert!(small > 0, "the SCC path must account its closure work");
+    // n·Δ growth is exactly 5× here (Δ = 1 per component); allow
+    // constant-factor headroom but stay far below the quadratic 25×.
+    assert!(
+        large <= 8 * small,
+        "grounding work grew {small} → {large} (> 8×) on a 5× size step: \
+         differential evaluation regressed toward from-scratch"
+    );
+    // The from-scratch baseline on the same instance: Σ|closure| work.
+    let scratch = SccCoordinator::new(&db)
+        .with_from_scratch_evaluation()
+        .run(&fig4_queries(100))
+        .unwrap()
+        .stats
+        .ground_work;
+    assert!(
+        large * 10 <= scratch,
+        "differential grounding work {large} not ≥ 10× below the \
+         from-scratch baseline {scratch}"
+    );
+}
+
 /// `SccCoordinator::run_parallel` must return results *identical* to the
 /// sequential sweep — same candidate sets in the same order, same
 /// groundings, same stats — on the cycle, list and random scale-free

@@ -201,6 +201,58 @@ fn bench_online_throughput(c: &mut Criterion) {
             reb_work as f64 / inc_work as f64,
             inc.metrics().evaluated_per_submit(),
         );
+
+        // Assert-while-measuring, observability overhead gate: the same
+        // single-threaded workload through the sharded engine with an
+        // enabled registry (histograms + trace ring recording on every
+        // submit) vs a disabled one (one branch per instrument, no clock
+        // reads). Best-of-5 wall clock on each side to shed scheduler
+        // noise on the 1-CPU runner; the enabled run must stay within 5%
+        // (plus a 2ms absolute floor so a sub-millisecond quick workload
+        // cannot fail on timer granularity alone).
+        let run_once = |obs: coord_obs::Registry| -> std::time::Duration {
+            let engine = SharedEngine::with_obs(
+                &db,
+                4,
+                coord_core::engine::Placement::default(),
+                coord_core::engine::RebalanceConfig::default(),
+                obs,
+            );
+            let start = std::time::Instant::now();
+            let mut coordinated = 0usize;
+            for q in arrivals.iter().cloned() {
+                if engine.submit(q).unwrap().coordinated() {
+                    coordinated += 1;
+                }
+            }
+            assert_eq!(coordinated, keystones);
+            start.elapsed()
+        };
+        let best_of = |disabled: bool| -> std::time::Duration {
+            (0..5)
+                .map(|_| {
+                    run_once(if disabled {
+                        coord_obs::Registry::disabled()
+                    } else {
+                        coord_obs::Registry::new()
+                    })
+                })
+                .min()
+                .unwrap()
+        };
+        let off = best_of(true);
+        let on = best_of(false);
+        let budget = off.mul_f64(1.05) + std::time::Duration::from_millis(2);
+        assert!(
+            on <= budget,
+            "at n = {n}: enabled observability took {on:?} vs {off:?} disabled \
+             (> 5% + 2ms overhead)"
+        );
+        println!(
+            "online_throughput/analysis/{n}: observability overhead {on:?} enabled \
+             vs {off:?} disabled ({:+.1}%)",
+            100.0 * (on.as_secs_f64() / off.as_secs_f64() - 1.0),
+        );
     }
     group.finish();
 }

@@ -60,6 +60,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use coord_obs::{Counter, Tracer};
 use parking_lot::Mutex;
 
 use crate::combined::unify_members_counted;
@@ -375,10 +376,9 @@ struct CacheEntry {
 struct CacheInner {
     map: HashMap<u128, CacheEntry>,
     generation: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    work: u64,
+    /// Trace sink for per-lookup `cache_hit` / `cache_miss` instants
+    /// (disabled until [`ClosureCache::attach`] wires a registry in).
+    tracer: Tracer,
 }
 
 /// Observable cache counters (`hits`/`misses` per lookup, cumulative
@@ -400,6 +400,13 @@ pub struct MemoStats {
 pub struct ClosureCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    /// Lock-free counters, readable without the map mutex and
+    /// exportable through a [`coord_obs::Registry`] via
+    /// [`ClosureCache::attach`].
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    work: Counter,
 }
 
 impl Default for ClosureCache {
@@ -420,7 +427,22 @@ impl ClosureCache {
         ClosureCache {
             inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(4),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            work: Counter::new(),
         }
+    }
+
+    /// Export this cache's counters through `obs` (as `memo_hits`,
+    /// `memo_misses`, `memo_evictions`, `memo_ground_work`) and route
+    /// per-lookup `cache_hit`/`cache_miss` instants into its tracer.
+    pub fn attach(&self, obs: &coord_obs::Registry) {
+        obs.register_counter("memo_hits", &self.hits);
+        obs.register_counter("memo_misses", &self.misses);
+        obs.register_counter("memo_evictions", &self.evictions);
+        obs.register_counter("memo_ground_work", &self.work);
+        self.inner.lock().tracer = obs.tracer();
     }
 
     /// Look up a closure verdict by key.
@@ -432,11 +454,14 @@ impl ClosureCache {
             Some(e) => {
                 e.last_used = generation;
                 let v = e.verdict.clone();
-                inner.hits += 1;
+                let members = e.members.len() as u64;
+                self.hits.incr();
+                inner.tracer.instant("cache_hit", members);
                 Some(v)
             }
             None => {
-                inner.misses += 1;
+                self.misses.incr();
+                inner.tracer.instant("cache_miss", 0);
                 None
             }
         }
@@ -463,7 +488,7 @@ impl ClosureCache {
             let drop_n = (self.capacity / 4).max(1);
             for (_, k) in order.into_iter().take(drop_n) {
                 inner.map.remove(&k);
-                inner.evictions += 1;
+                self.evictions.incr();
             }
         }
     }
@@ -481,23 +506,23 @@ impl ClosureCache {
         inner
             .map
             .retain(|_, e| !e.members.iter().any(|m| departed.contains(m)));
-        inner.evictions += (before - inner.map.len()) as u64;
+        self.evictions.add((before - inner.map.len()) as u64);
     }
 
     /// Accumulate grounding work observed by the owning evaluator.
     pub fn record_work(&self, work: u64) {
-        self.inner.lock().work += work;
+        self.work.add(work);
     }
 
     /// Current counters.
     pub fn stats(&self) -> MemoStats {
-        let inner = self.inner.lock();
+        let entries = self.inner.lock().map.len();
         MemoStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.map.len(),
-            ground_work: inner.work,
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            entries,
+            ground_work: self.work.get(),
         }
     }
 }

@@ -31,6 +31,7 @@ use crate::semantics::Grounding;
 use coord_db::{Atom, Database, Symbol, Term, Value};
 use coord_engine::{ComponentEvaluator, CoordinationQuery, IncrementalEngine, ShardedEngine};
 use coord_graph::reach::weakly_connected_components;
+use coord_obs::Registry as ObsRegistry;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -132,6 +133,12 @@ impl<'a> SccEvaluator<'a> {
     /// Closure-cache counters, if this evaluator memoizes.
     pub fn memo_stats(&self) -> Option<MemoStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The shared closure cache, if this evaluator memoizes (used to
+    /// attach the cache's counters to an observability registry).
+    pub fn closure_cache(&self) -> Option<&Arc<ClosureCache>> {
+        self.cache.as_ref()
     }
 }
 
@@ -311,18 +318,37 @@ impl<'a> SharedEngine<'a> {
     }
 
     /// An engine with explicit shard count, placement policy, and
-    /// rebalance tuning.
+    /// rebalance tuning (and its own enabled observability registry).
     pub fn with_config(
         db: &'a Database,
         shards: usize,
         placement: Placement,
         rebalance: RebalanceConfig,
     ) -> Self {
+        Self::with_obs(db, shards, placement, rebalance, ObsRegistry::new())
+    }
+
+    /// An engine recording into an explicit observability registry —
+    /// pass [`ObsRegistry::disabled`] to compile every histogram, trace
+    /// event, and export hook down to a branch per call (the overhead
+    /// gate in `online_throughput` holds the enabled/disabled gap under
+    /// 5%). The closure cache's `memo_*` counters are registered too,
+    /// so one snapshot covers engine and memoization.
+    pub fn with_obs(
+        db: &'a Database,
+        shards: usize,
+        placement: Placement,
+        rebalance: RebalanceConfig,
+        obs: ObsRegistry,
+    ) -> Self {
         let evaluator = SccEvaluator::new(db);
         let cache = evaluator.cache.clone();
+        if let Some(cache) = &cache {
+            cache.attach(&obs);
+        }
         SharedEngine {
             db,
-            inner: ShardedEngine::with_placement(evaluator, shards, placement),
+            inner: ShardedEngine::with_obs(evaluator, shards, placement, obs),
             rebalancer: Mutex::new(Rebalancer::new(rebalance)),
             cache,
         }
@@ -439,6 +465,13 @@ impl<'a> SharedEngine<'a> {
     /// Per-shard submit/contention statistics.
     pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
         self.inner.shard_stats()
+    }
+
+    /// The observability registry this engine records into: `engine_*`
+    /// counters, submit/lock-wait/migration/rebalance histograms,
+    /// `memo_*` cache counters, and the trace ring.
+    pub fn obs(&self) -> &ObsRegistry {
+        self.inner.obs()
     }
 }
 

@@ -32,6 +32,7 @@ use crate::error::CoordError;
 use crate::query::EntangledQuery;
 use coord_db::{Atom, Database, Term, Value, Var};
 use coord_engine::MetricsSnapshot;
+use coord_obs::Registry as ObsRegistry;
 use coord_store::bytes::{put_i64, put_str, put_u32, Reader};
 use coord_store::{DurableError, QueryCodec, RecoveryReport, StoreError};
 use std::path::Path;
@@ -157,11 +158,28 @@ impl<'a> DurableCoordinationEngine<'a> {
         dir: impl AsRef<Path>,
         options: DurabilityOptions,
     ) -> Result<Self, CoordError> {
-        let inner = coord_store::DurableEngine::open(
+        Self::open_with_obs(db, dir, options, ObsRegistry::new())
+    }
+
+    /// Open with an explicit observability registry shared by the store
+    /// and the engine; the evaluator's closure cache registers its
+    /// `memo_*` counters there too.
+    pub fn open_with_obs(
+        db: &'a Database,
+        dir: impl AsRef<Path>,
+        options: DurabilityOptions,
+        obs: ObsRegistry,
+    ) -> Result<Self, CoordError> {
+        let evaluator = SccEvaluator::new(db);
+        if let Some(cache) = evaluator.closure_cache() {
+            cache.attach(&obs);
+        }
+        let inner = coord_store::DurableEngine::open_with_obs(
             dir,
-            SccEvaluator::new(db),
+            evaluator,
             EntangledQueryCodec,
             options,
+            obs,
         )
         .map_err(store_err)?;
         Ok(DurableCoordinationEngine { db, inner })
@@ -219,6 +237,11 @@ impl<'a> DurableCoordinationEngine<'a> {
         self.inner.store().stats()
     }
 
+    /// The observability registry shared by the store and the engine.
+    pub fn obs(&self) -> &ObsRegistry {
+        self.inner.obs()
+    }
+
     /// End offset of the WAL after the last acknowledged submit.
     pub fn wal_len(&self) -> u64 {
         self.inner.wal_len()
@@ -271,12 +294,33 @@ impl<'a> DurableSharedEngine<'a> {
         shards: usize,
         options: DurabilityOptions,
     ) -> Result<Self, CoordError> {
-        let inner = coord_store::DurableShardedEngine::open(
+        Self::open_with_obs(db, dir, shards, options, ObsRegistry::new())
+    }
+
+    /// Open with an explicit observability registry threaded through
+    /// the whole durable stack — one [`ObsRegistry::snapshot`] then
+    /// covers submit latency, WAL append/sync, snapshot rotations,
+    /// migrations, rebalance passes, and the closure cache's `memo_*`
+    /// counters. Pass [`ObsRegistry::disabled`] for near-zero-cost
+    /// instruments.
+    pub fn open_with_obs(
+        db: &'a Database,
+        dir: impl AsRef<Path>,
+        shards: usize,
+        options: DurabilityOptions,
+        obs: ObsRegistry,
+    ) -> Result<Self, CoordError> {
+        let evaluator = SccEvaluator::new(db);
+        if let Some(cache) = evaluator.closure_cache() {
+            cache.attach(&obs);
+        }
+        let inner = coord_store::DurableShardedEngine::open_with_obs(
             dir,
-            SccEvaluator::new(db),
+            evaluator,
             shards,
             EntangledQueryCodec,
             options,
+            obs,
         )
         .map_err(store_err)?;
         Ok(DurableSharedEngine { db, inner })
@@ -350,6 +394,14 @@ impl<'a> DurableSharedEngine<'a> {
     /// Durable-store counters (records, bytes, snapshots, epoch).
     pub fn store_stats(&self) -> StoreStatsSnapshot {
         self.inner.store().stats()
+    }
+
+    /// The observability registry threaded through the whole durable
+    /// stack: `engine_*`/`store_*`/`memo_*` counters, submit and WAL
+    /// latency histograms, and the trace ring. One
+    /// [`ObsRegistry::snapshot`] covers engine, store, and cache.
+    pub fn obs(&self) -> &ObsRegistry {
+        self.inner.obs()
     }
 
     /// Clean end offset of every WAL stream (stream index = shard

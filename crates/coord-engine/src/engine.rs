@@ -50,6 +50,7 @@
 use crate::index::{AtomIndex, KeyPattern, Polarity};
 use crate::metrics::{EngineMetrics, ShardStats};
 use coord_graph::UnionFind;
+use coord_obs::Tracer;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::Arc;
@@ -164,6 +165,9 @@ pub struct IncrementalEngine<Q: CoordinationQuery, V> {
     /// (`None` for standalone use): receives the evaluation-work counts
     /// the rebalancer's skew detection reads.
     shard_stats: Option<Arc<ShardStats>>,
+    /// Trace sink for per-submit evaluate spans (disabled by default;
+    /// the sharded engine wires its registry's tracer in).
+    tracer: Tracer,
     /// Slab of pending queries; retired slots are recycled via `free`.
     slots: Vec<Option<Entry<Q>>>,
     free: Vec<usize>,
@@ -188,6 +192,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
             evaluator,
             metrics,
             shard_stats: None,
+            tracer: Tracer::disabled(),
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
@@ -203,6 +208,12 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
     /// rebalancer can see *which* shard the work landed on).
     pub fn set_shard_stats(&mut self, stats: Arc<ShardStats>) {
         self.shard_stats = Some(stats);
+    }
+
+    /// Attach a trace sink: each submit's component evaluation becomes
+    /// a `evaluate` begin/end span in the ring.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of pending queries.
@@ -278,7 +289,10 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
         );
         EngineMetrics::add(&self.metrics.evaluations, 1);
 
-        let verdict = self.evaluator.evaluate(&batch)?;
+        let verdict = {
+            let _span = self.tracer.begin("evaluate");
+            self.evaluator.evaluate(&batch)?
+        };
 
         // Commit: insert the query and link it with every candidate;
         // every evaluated member's observed cost grows by one.

@@ -1,4 +1,6 @@
-//! Engine observability: cheap atomic counters shared by every shard.
+//! Engine observability: cheap atomic counters shared by every shard,
+//! registry-backed so one [`coord_obs::Registry::snapshot`] exports
+//! them next to the latency histograms.
 //!
 //! The counters double as the *assert-while-measuring* hooks of the
 //! `online_throughput` bench: `queries_evaluated` is exactly the
@@ -6,37 +8,43 @@
 //! `rebuild_avoided` is the work the pre-incremental engine (a full
 //! coordination-graph rebuild over all pending queries per submit) would
 //! have done on top.
+//!
+//! Each counter is a [`coord_obs::Counter`] — the same relaxed atomic
+//! the pre-registry ad-hoc fields were, so the counters stay live (and
+//! every existing accessor keeps working) whether or not a registry is
+//! attached; [`EngineMetrics::register`] only makes them visible to
+//! registry snapshots and the JSON/Prometheus exporters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use coord_obs::{Counter, Registry};
 
 /// Shared counters for one engine (or one sharded engine — all shards
 /// update the same metrics).
 #[derive(Debug, Default)]
 pub struct EngineMetrics {
     /// Queries submitted (accepted or rejected).
-    pub submits: AtomicU64,
+    pub submits: Counter,
     /// Queries answered and retired.
-    pub delivered: AtomicU64,
+    pub delivered: Counter,
     /// Candidate partner pairs examined through the atom index.
-    pub pairings_checked: AtomicU64,
+    pub pairings_checked: Counter,
     /// Total queries handed to the component evaluator across submits.
-    pub queries_evaluated: AtomicU64,
+    pub queries_evaluated: Counter,
     /// Pending queries *not* re-examined compared to a full per-submit
     /// rebuild: Σ (pending − component size) over submits.
-    pub rebuild_avoided: AtomicU64,
+    pub rebuild_avoided: Counter,
     /// Component evaluations performed.
-    pub evaluations: AtomicU64,
+    pub evaluations: Counter,
     /// Retirement-triggered local component re-partitions.
-    pub repartitions: AtomicU64,
+    pub repartitions: Counter,
     /// Cross-shard component migrations.
-    pub migrations: AtomicU64,
+    pub migrations: Counter,
     /// Routing attempts that backed off because a key was mid-migration.
-    pub migration_backoffs: AtomicU64,
+    pub migration_backoffs: Counter,
     /// Batch submissions (each covering many queries under one routing
     /// acquisition).
-    pub batches: AtomicU64,
+    pub batches: Counter,
     /// Component groups moved off a hot shard by the rebalancer.
-    pub rebalance_moves: AtomicU64,
+    pub rebalance_moves: Counter,
 }
 
 impl EngineMetrics {
@@ -45,8 +53,25 @@ impl EngineMetrics {
         Self::default()
     }
 
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    pub(crate) fn add(counter: &Counter, n: u64) {
+        counter.add(n);
+    }
+
+    /// Register every counter with `obs` under its `engine_*` name, so
+    /// registry snapshots and exporters see the live values. No-op when
+    /// the registry is disabled; the counters count either way.
+    pub fn register(&self, obs: &Registry) {
+        obs.register_counter("engine_submits", &self.submits);
+        obs.register_counter("engine_delivered", &self.delivered);
+        obs.register_counter("engine_pairings_checked", &self.pairings_checked);
+        obs.register_counter("engine_queries_evaluated", &self.queries_evaluated);
+        obs.register_counter("engine_rebuild_avoided", &self.rebuild_avoided);
+        obs.register_counter("engine_evaluations", &self.evaluations);
+        obs.register_counter("engine_repartitions", &self.repartitions);
+        obs.register_counter("engine_migrations", &self.migrations);
+        obs.register_counter("engine_migration_backoffs", &self.migration_backoffs);
+        obs.register_counter("engine_batches", &self.batches);
+        obs.register_counter("engine_rebalance_moves", &self.rebalance_moves);
     }
 
     /// A consistent-enough point-in-time copy (counters are read with
@@ -54,17 +79,17 @@ impl EngineMetrics {
     /// for monitoring).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            submits: self.submits.load(Ordering::Relaxed),
-            delivered: self.delivered.load(Ordering::Relaxed),
-            pairings_checked: self.pairings_checked.load(Ordering::Relaxed),
-            queries_evaluated: self.queries_evaluated.load(Ordering::Relaxed),
-            rebuild_avoided: self.rebuild_avoided.load(Ordering::Relaxed),
-            evaluations: self.evaluations.load(Ordering::Relaxed),
-            repartitions: self.repartitions.load(Ordering::Relaxed),
-            migrations: self.migrations.load(Ordering::Relaxed),
-            migration_backoffs: self.migration_backoffs.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            rebalance_moves: self.rebalance_moves.load(Ordering::Relaxed),
+            submits: self.submits.get(),
+            delivered: self.delivered.get(),
+            pairings_checked: self.pairings_checked.get(),
+            queries_evaluated: self.queries_evaluated.get(),
+            rebuild_avoided: self.rebuild_avoided.get(),
+            evaluations: self.evaluations.get(),
+            repartitions: self.repartitions.get(),
+            migrations: self.migrations.get(),
+            migration_backoffs: self.migration_backoffs.get(),
+            batches: self.batches.get(),
+            rebalance_moves: self.rebalance_moves.get(),
         }
     }
 }
@@ -109,38 +134,40 @@ impl MetricsSnapshot {
 #[derive(Debug, Default)]
 pub struct ShardStats {
     /// Submits routed to this shard.
-    pub submits: AtomicU64,
+    pub submits: Counter,
     /// Submits that found the shard lock already held (acquired it only
     /// after blocking).
-    pub contended: AtomicU64,
+    pub contended: Counter,
     /// Total nanoseconds submitters spent blocked on this shard's lock.
-    pub lock_wait_nanos: AtomicU64,
+    pub lock_wait_nanos: Counter,
     /// Queries handed to the component evaluator under this shard's
     /// lock (the per-shard slice of `EngineMetrics::queries_evaluated`).
-    pub eval_queries: AtomicU64,
+    pub eval_queries: Counter,
     /// Queries migrated into this shard by a merge or rebalance.
-    pub migrated_in: AtomicU64,
+    pub migrated_in: Counter,
     /// Queries migrated out of this shard by a cross-shard merge or
     /// rebalance.
-    pub migrated_out: AtomicU64,
+    pub migrated_out: Counter,
 }
 
 impl ShardStats {
     /// The scalar load figure used for least-loaded placement and skew
-    /// detection: routing pressure plus evaluation work.
+    /// detection. Delegates to [`ShardStatsSnapshot::load`] — one
+    /// formula, two access paths, so the live and snapshot views can
+    /// never drift.
     pub fn load_score(&self) -> u64 {
-        self.submits.load(Ordering::Relaxed) + self.eval_queries.load(Ordering::Relaxed)
+        self.snapshot().load()
     }
 
     /// Plain-data copy.
     pub fn snapshot(&self) -> ShardStatsSnapshot {
         ShardStatsSnapshot {
-            submits: self.submits.load(Ordering::Relaxed),
-            contended: self.contended.load(Ordering::Relaxed),
-            lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
-            eval_queries: self.eval_queries.load(Ordering::Relaxed),
-            migrated_in: self.migrated_in.load(Ordering::Relaxed),
-            migrated_out: self.migrated_out.load(Ordering::Relaxed),
+            submits: self.submits.get(),
+            contended: self.contended.get(),
+            lock_wait_nanos: self.lock_wait_nanos.get(),
+            eval_queries: self.eval_queries.get(),
+            migrated_in: self.migrated_in.get(),
+            migrated_out: self.migrated_out.get(),
         }
     }
 }
@@ -157,7 +184,9 @@ pub struct ShardStatsSnapshot {
 }
 
 impl ShardStatsSnapshot {
-    /// The scalar load figure (same formula as [`ShardStats::load_score`]).
+    /// The scalar load figure: routing pressure plus evaluation work.
+    /// The **single** definition of the load formula —
+    /// [`ShardStats::load_score`] delegates here.
     pub fn load(&self) -> u64 {
         self.submits + self.eval_queries
     }
@@ -193,5 +222,39 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.load(), 14);
         assert_eq!(snap.lock_wait_nanos, 1_000_000);
+    }
+
+    /// Pin the live and snapshot load formulas to each other on the
+    /// same inputs — the two used to be written out twice and could
+    /// drift; now `load_score` delegates and this test keeps it so.
+    #[test]
+    fn load_score_and_snapshot_load_agree_on_same_inputs() {
+        for (submits, evals, wait) in [(0, 0, 0), (1, 0, 7), (0, 9, 3), (17, 4, 99), (1000, 1, 0)] {
+            let s = ShardStats::default();
+            EngineMetrics::add(&s.submits, submits);
+            EngineMetrics::add(&s.eval_queries, evals);
+            EngineMetrics::add(&s.lock_wait_nanos, wait);
+            assert_eq!(
+                s.load_score(),
+                s.snapshot().load(),
+                "live and snapshot load diverged at submits={submits} evals={evals}"
+            );
+            assert_eq!(s.load_score(), submits + evals);
+        }
+    }
+
+    #[test]
+    fn register_exports_counters_into_a_registry() {
+        let m = EngineMetrics::new();
+        let obs = coord_obs::Registry::new();
+        m.register(&obs);
+        EngineMetrics::add(&m.submits, 2);
+        EngineMetrics::add(&m.delivered, 1);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("engine_submits"), Some(2));
+        assert_eq!(snap.counter("engine_delivered"), Some(1));
+        // Registration shares the counter, not a copy.
+        EngineMetrics::add(&m.submits, 1);
+        assert_eq!(obs.snapshot().counter("engine_submits"), Some(3));
     }
 }

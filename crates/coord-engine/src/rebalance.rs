@@ -100,6 +100,9 @@ impl Rebalancer {
         Q: CoordinationQuery,
         V: ComponentEvaluator<Q>,
     {
+        let obs = engine.obs_handles();
+        let _span = obs.tracer.begin("rebalance");
+        let _timer = obs.rebalance_hist.start();
         let stats = engine.shard_stats();
         let cumulative: Vec<u64> = stats.iter().map(|s| s.load()).collect();
         if self.watermarks.len() != cumulative.len() {

@@ -83,6 +83,7 @@ use crate::engine::{
 };
 use crate::index::{keys_related, KeyPattern};
 use crate::metrics::{EngineMetrics, ShardStats, ShardStatsSnapshot};
+use coord_obs::{Histogram, Registry, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -352,6 +353,37 @@ struct MigrationPlan<R, C> {
     target: usize,
 }
 
+/// The engine's observability handles: one registry plus the latency
+/// histograms and tracer every shard records into. Histograms and
+/// tracer are inert (a branch per call, no clock reads) when the
+/// registry is disabled; the [`EngineMetrics`] counters count either
+/// way.
+pub(crate) struct EngineObs {
+    registry: Registry,
+    /// End-to-end submit latency (routing + lock + evaluate + commit).
+    pub(crate) submit_hist: Histogram,
+    /// Nanoseconds submitters spent blocked on a contended shard lock.
+    pub(crate) lock_wait_hist: Histogram,
+    /// Duration of one marker-based migration (freeze + move + publish).
+    pub(crate) migration_hist: Histogram,
+    /// Duration of one rebalancer detection + move pass.
+    pub(crate) rebalance_hist: Histogram,
+    pub(crate) tracer: Tracer,
+}
+
+impl EngineObs {
+    fn new(registry: Registry) -> Self {
+        EngineObs {
+            submit_hist: registry.histogram("engine_submit_nanos"),
+            lock_wait_hist: registry.histogram("engine_lock_wait_nanos"),
+            migration_hist: registry.histogram("engine_migration_nanos"),
+            rebalance_hist: registry.histogram("engine_rebalance_nanos"),
+            tracer: registry.tracer(),
+            registry,
+        }
+    }
+}
+
 /// The sharded online coordination service: replaces the pre-incremental
 /// `SharedEngine`'s single global mutex with per-component shards.
 pub struct ShardedEngine<Q: CoordinationQuery, V> {
@@ -370,6 +402,8 @@ pub struct ShardedEngine<Q: CoordinationQuery, V> {
     /// Wakes submitters parked on migration marks when a migration
     /// publishes and lifts them.
     mark_gate: MarkGate,
+    /// Registry-backed histograms and tracer (see [`EngineObs`]).
+    obs: EngineObs,
 }
 
 impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V> {
@@ -379,16 +413,28 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V>
         Self::with_placement(evaluator, shards, Placement::default())
     }
 
-    /// A service with an explicit placement policy for fresh components.
+    /// A service with an explicit placement policy for fresh components
+    /// and its own enabled observability registry.
     pub fn with_placement(evaluator: V, shards: usize, placement: Placement) -> Self {
+        Self::with_obs(evaluator, shards, placement, Registry::new())
+    }
+
+    /// A service recording into an explicit observability registry —
+    /// shared with other layers (the durable store threads one registry
+    /// through engine, WAL and cache), or [`Registry::disabled`] to
+    /// compile the histograms and tracer down to a branch per call.
+    pub fn with_obs(evaluator: V, shards: usize, placement: Placement, registry: Registry) -> Self {
         assert!(shards > 0, "at least one shard required");
+        let obs = EngineObs::new(registry);
         let metrics = Arc::new(EngineMetrics::new());
+        metrics.register(&obs.registry);
         let shards = (0..shards)
             .map(|_| {
                 let stats = Arc::new(ShardStats::default());
                 let mut engine =
                     IncrementalEngine::with_metrics(evaluator.clone(), Arc::clone(&metrics));
                 engine.set_shard_stats(Arc::clone(&stats));
+                engine.set_tracer(obs.tracer.clone());
                 Shard {
                     engine: Mutex::new(engine),
                     stats,
@@ -403,6 +449,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V>
             next_shard: AtomicUsize::new(0),
             migration_lock: Mutex::new(()),
             mark_gate: MarkGate::new(),
+            obs,
         }
     }
 }
@@ -416,6 +463,19 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// Aggregated metrics across all shards.
     pub fn metrics(&self) -> &Arc<EngineMetrics> {
         &self.metrics
+    }
+
+    /// The observability registry this engine records into: counters,
+    /// submit-latency / lock-wait / migration / rebalance histograms,
+    /// and the trace ring.
+    pub fn obs(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// The engine's recording handles (crate-internal: the rebalancer
+    /// times its passes through these).
+    pub(crate) fn obs_handles(&self) -> &EngineObs {
+        &self.obs
     }
 
     /// Per-shard load and contention statistics.
@@ -473,10 +533,10 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 EngineMetrics::add(&shard.stats.contended, 1);
                 let start = Instant::now();
                 let guard = shard.engine.lock();
-                EngineMetrics::add(
-                    &shard.stats.lock_wait_nanos,
-                    start.elapsed().as_nanos() as u64,
-                );
+                let waited = start.elapsed().as_nanos() as u64;
+                EngineMetrics::add(&shard.stats.lock_wait_nanos, waited);
+                self.obs.lock_wait_hist.record(waited);
+                self.obs.tracer.instant("lock_wait", waited);
                 guard
             }
         }
@@ -500,7 +560,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
 
     /// Total queries answered and retired.
     pub fn delivered(&self) -> u64 {
-        self.metrics.delivered.load(Ordering::Relaxed)
+        self.metrics.delivered.get()
     }
 
     /// Clones of all pending queries (shard by shard; a moving snapshot
@@ -525,6 +585,8 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// commit record to that shard's WAL stream, so the per-shard
     /// stream mapping stays correct as components move between shards.
     pub fn submit_with_shard(&self, query: Q) -> ShardedSubmit<Q, V> {
+        let _span = self.obs.tracer.begin("submit");
+        let _timer = self.obs.submit_hist.start();
         let qkeys = route_keys(&query);
         let mut migrated: MigrationRecord<Q> = Vec::new();
         let target = self.claim(&qkeys, &mut migrated, true);
@@ -616,6 +678,8 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                     continue;
                 }
                 EngineMetrics::add(&shard.stats.submits, 1);
+                let _span = self.obs.tracer.begin("submit");
+                let _timer = self.obs.submit_hist.start();
                 results[i] = Some(engine.submit(slots[i].take().expect("query unconsumed")));
             }
         }
@@ -630,6 +694,8 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             match targets[i] {
                 None => results[i] = Some(self.submit(query)),
                 Some(t0) => {
+                    let _span = self.obs.tracer.begin("submit");
+                    let _timer = self.obs.submit_hist.start();
                     let mut migrated: MigrationRecord<Q> = Vec::new();
                     let (_, outcome) =
                         self.with_owned_shard(&keysets[i], t0, &mut migrated, true, |e| {
@@ -806,6 +872,8 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         sources: &[usize],
         target: usize,
     ) -> (MigrationRecord<Q>, usize) {
+        let _span = self.obs.tracer.begin("migrate");
+        let _timer = self.obs.migration_hist.start();
         // Freeze: grow the marked set to the transitive key closure of
         // the components being moved. Marked keys block related routing,
         // so once a scan finds nothing new the closure can no longer

@@ -1,0 +1,195 @@
+//! Exporters: [`ObsSnapshot`] → JSON and Prometheus text exposition.
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::ObsSnapshot;
+
+/// Escape a string for a JSON string literal (RFC 8259 §7).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitize a metric name for Prometheus (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    for (k, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if buckets.len() > 1 {
+            buckets.push(',');
+        }
+        buckets.push_str(&format!("[{},{}]", HistogramSnapshot::bucket_upper(k), c));
+    }
+    buckets.push(']');
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\
+         \"mean\":{},\"buckets\":{}}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.mean(),
+        buckets
+    )
+}
+
+impl ObsSnapshot {
+    /// One JSON object: `counters` and `gauges` as name→value maps,
+    /// `histograms` as name→`{count,sum,max,p50,p90,p99,mean,buckets}`
+    /// with `buckets` listing only non-empty `[upper_bound, count]`
+    /// pairs. Hand-rolled (serde is unavailable offline); names are
+    /// escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape_json(name), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape_json(name), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape_json(name), hist_json(h)));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Prometheus text exposition format (version 0.0.4): counters and
+    /// gauges as single samples, histograms as cumulative `_bucket{le=}`
+    /// series plus `_sum` and `_count`. Only non-empty buckets are
+    /// emitted (plus the mandatory `+Inf`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (k, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    HistogramSnapshot::bucket_upper(k)
+                ));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> ObsSnapshot {
+        let r = Registry::new();
+        r.counter("engine_submits").add(7);
+        r.gauge("store_epoch").set(2);
+        let h = r.histogram("submit_latency_nanos");
+        h.record(100);
+        h.record(200);
+        h.record(90_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_export_carries_quantiles_and_buckets() {
+        let json = sample().to_json();
+        assert!(json.contains("\"engine_submits\":7"));
+        assert!(json.contains("\"store_epoch\":2"));
+        assert!(json.contains("\"submit_latency_nanos\":{\"count\":3"));
+        assert!(json.contains("\"p99\":"));
+        assert!(json.contains("\"buckets\":[["));
+        // Only non-empty buckets are listed: three values, ≤ 3 pairs.
+        let buckets = json.split("\"buckets\":").nth(1).unwrap();
+        assert!(buckets.matches('[').count() <= 4);
+    }
+
+    #[test]
+    fn prometheus_export_is_cumulative_with_inf() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE engine_submits counter"));
+        assert!(text.contains("engine_submits 7"));
+        assert!(text.contains("# TYPE store_epoch gauge"));
+        assert!(text.contains("# TYPE submit_latency_nanos histogram"));
+        assert!(text.contains("submit_latency_nanos_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("submit_latency_nanos_count 3"));
+        // Cumulative counts end at the total.
+        let last_bucket = text
+            .lines()
+            .rfind(|l| l.contains("_bucket{le=") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_bucket.ends_with(" 3"));
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prom_name("a-b.c"), "a_b_c");
+        assert_eq!(prom_name("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let snap = ObsSnapshot::default();
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert_eq!(snap.to_prometheus(), "");
+    }
+}

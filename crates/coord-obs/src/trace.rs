@@ -1,0 +1,288 @@
+//! Structured event tracer: span-style begin/end events into a
+//! fixed-capacity ring buffer with sequence-numbered drops.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring capacity when a registry builds its tracer.
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// Where an event sits in its span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span opened.
+    Begin,
+    /// A span closed; `arg` carries the duration in nanoseconds.
+    End,
+    /// A point event with no span.
+    Instant,
+}
+
+impl TracePhase {
+    /// The lowercase name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "begin",
+            TracePhase::End => "end",
+            TracePhase::Instant => "instant",
+        }
+    }
+}
+
+/// One recorded event. Fixed-size: the kind is a `&'static str`, the
+/// free `arg` slot carries the span duration on [`TracePhase::End`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (gap-free unless events were dropped).
+    pub seq: u64,
+    /// Nanoseconds since the tracer was created.
+    pub at_nanos: u64,
+    /// Event kind (`submit`, `evaluate`, `wal_append`, …).
+    pub kind: &'static str,
+    /// Begin / end / instant.
+    pub phase: TracePhase,
+    /// Duration in nanoseconds on `end` events; free otherwise.
+    pub arg: u64,
+}
+
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+struct TracerInner {
+    ring: Mutex<Ring>,
+    epoch: Instant,
+}
+
+/// Handle to a shared trace ring. Clones share the ring; a disabled
+/// handle records nothing (one branch per call, no clock reads).
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => {
+                let ring = inner.ring.lock().unwrap();
+                write!(
+                    f,
+                    "Tracer(events: {}, dropped: {})",
+                    ring.buf.len(),
+                    ring.dropped
+                )
+            }
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A live tracer whose ring holds at most `capacity` events; when
+    /// full the oldest event is overwritten and counted as dropped.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                ring: Mutex::new(Ring {
+                    buf: VecDeque::with_capacity(capacity),
+                    capacity,
+                    next_seq: 0,
+                    dropped: 0,
+                }),
+                epoch: Instant::now(),
+            })),
+        }
+    }
+
+    /// A no-op handle.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    fn push(&self, kind: &'static str, phase: TracePhase, arg: u64) {
+        if let Some(inner) = &self.inner {
+            let at_nanos = inner.epoch.elapsed().as_nanos() as u64;
+            let mut ring = inner.ring.lock().unwrap();
+            let seq = ring.next_seq;
+            ring.next_seq += 1;
+            if ring.buf.len() == ring.capacity {
+                ring.buf.pop_front();
+                ring.dropped += 1;
+            }
+            ring.buf.push_back(TraceEvent {
+                seq,
+                at_nanos,
+                kind,
+                phase,
+                arg,
+            });
+        }
+    }
+
+    /// Record a point event.
+    #[inline]
+    pub fn instant(&self, kind: &'static str, arg: u64) {
+        self.push(kind, TracePhase::Instant, arg);
+    }
+
+    /// Open a span: records a begin event now, and an end event (with
+    /// the duration as `arg`) when the returned guard drops.
+    #[inline]
+    pub fn begin(&self, kind: &'static str) -> Span {
+        if self.inner.is_none() {
+            return Span {
+                tracer: Tracer::disabled(),
+                kind,
+                start: None,
+            };
+        }
+        self.push(kind, TracePhase::Begin, 0);
+        Span {
+            tracer: self.clone(),
+            kind,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Copies of the buffered events (oldest first) plus the total
+    /// number of events dropped by ring overwrites.
+    pub fn events(&self) -> (Vec<TraceEvent>, u64) {
+        match &self.inner {
+            None => (Vec::new(), 0),
+            Some(inner) => {
+                let ring = inner.ring.lock().unwrap();
+                (ring.buf.iter().copied().collect(), ring.dropped)
+            }
+        }
+    }
+
+    /// Dump the ring as JSON lines: one meta line (`events`, `dropped`)
+    /// then one object per event. Sequence-number gaps after a nonzero
+    /// `dropped` show exactly which events were overwritten.
+    pub fn dump_json_lines(&self) -> String {
+        let (events, dropped) = self.events();
+        let mut out = format!(
+            "{{\"type\":\"meta\",\"events\":{},\"dropped\":{}}}\n",
+            events.len(),
+            dropped
+        );
+        for e in &events {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\",\"phase\":\"{}\",\"arg\":{}}}\n",
+                e.seq,
+                e.at_nanos,
+                e.kind,
+                e.phase.as_str(),
+                e.arg
+            ));
+        }
+        out
+    }
+}
+
+/// Span guard from [`Tracer::begin`]: records the end event (duration
+/// in `arg`) when dropped or explicitly finished.
+pub struct Span {
+    tracer: Tracer,
+    kind: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Close the span now.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.tracer.push(
+                self.kind,
+                TracePhase::End,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_begin_and_end_pairs() {
+        let t = Tracer::with_capacity(16);
+        {
+            let span = t.begin("submit");
+            t.instant("cache_hit", 7);
+            span.finish();
+        }
+        let (events, dropped) = t.events();
+        assert_eq!(dropped, 0);
+        let kinds: Vec<_> = events.iter().map(|e| (e.kind, e.phase)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("submit", TracePhase::Begin),
+                ("cache_hit", TracePhase::Instant),
+                ("submit", TracePhase::End),
+            ]
+        );
+        assert_eq!(events[1].arg, 7);
+        // Sequence numbers are gap-free, timestamps monotone.
+        assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert!(events.windows(2).all(|w| w[1].at_nanos >= w[0].at_nanos));
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let t = Tracer::with_capacity(4);
+        for i in 0..10 {
+            t.instant("tick", i);
+        }
+        let (events, dropped) = t.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 6);
+        // The survivors are the newest, with their original seqs.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        t.instant("tick", 1);
+        let span = t.begin("submit");
+        drop(span);
+        let (events, dropped) = t.events();
+        assert!(events.is_empty() && dropped == 0);
+        assert_eq!(
+            t.dump_json_lines(),
+            "{\"type\":\"meta\",\"events\":0,\"dropped\":0}\n"
+        );
+    }
+
+    #[test]
+    fn dump_is_one_json_object_per_line() {
+        let t = Tracer::with_capacity(8);
+        t.instant("tick", 3);
+        let dump = t.dump_json_lines();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"dropped\":0"));
+        assert!(lines[1].contains("\"kind\":\"tick\""));
+        assert!(lines[1].contains("\"phase\":\"instant\""));
+    }
+}

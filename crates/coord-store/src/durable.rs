@@ -68,9 +68,10 @@ use crate::error::{DurableError, StoreError};
 use crate::store::{CommitRecord, CoordStore, RecoveryReport, StoreOptions};
 use crate::wal::SyncPolicy;
 use coord_engine::{
-    ComponentEvaluator, CoordinationQuery, IncrementalEngine, RebalanceConfig, RebalanceReport,
-    Rebalancer, ShardedEngine, SubmitOutcome,
+    ComponentEvaluator, CoordinationQuery, IncrementalEngine, Placement, RebalanceConfig,
+    RebalanceReport, Rebalancer, ShardedEngine, SubmitOutcome,
 };
+use coord_obs::Registry as ObsRegistry;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::Path;
@@ -245,8 +246,23 @@ where
         codec: C,
         options: DurabilityOptions,
     ) -> Result<Self, StoreError> {
-        let recovered = CoordStore::open(dir, options.store_options(1))?;
+        Self::open_with_obs(dir, evaluator, codec, options, ObsRegistry::new())
+    }
+
+    /// Like [`Self::open`], with one observability registry shared by
+    /// the store (WAL append/sync, rotation, replay instruments) and
+    /// the wrapped engine.
+    pub fn open_with_obs(
+        dir: impl AsRef<Path>,
+        evaluator: V,
+        codec: C,
+        options: DurabilityOptions,
+        obs: ObsRegistry,
+    ) -> Result<Self, StoreError> {
+        let recovered = CoordStore::open_with_obs(dir, options.store_options(1), obs.clone())?;
         let mut inner = IncrementalEngine::new(evaluator);
+        inner.metrics().register(&obs);
+        inner.set_tracer(obs.tracer());
         let mut registry = Registry::default();
         for (seq, bytes) in &recovered.live {
             inner.insert_pending(codec.decode(bytes)?);
@@ -367,6 +383,11 @@ where
         self.inner.metrics()
     }
 
+    /// The observability registry shared by the store and the engine.
+    pub fn obs(&self) -> &ObsRegistry {
+        self.store.obs()
+    }
+
     /// Check the wrapped engine's invariants plus the registry mirror.
     ///
     /// # Panics
@@ -411,8 +432,24 @@ where
         codec: C,
         options: DurabilityOptions,
     ) -> Result<Self, StoreError> {
-        let recovered = CoordStore::open(dir, options.store_options(shards))?;
-        let inner = ShardedEngine::new(evaluator, shards);
+        Self::open_with_obs(dir, evaluator, shards, codec, options, ObsRegistry::new())
+    }
+
+    /// Like [`Self::open`], with one observability registry shared by
+    /// the store (WAL append/sync, rotation, replay instruments) and
+    /// the wrapped sharded engine (submit/lock-wait/migration/rebalance
+    /// histograms and the trace ring) — so one
+    /// [`ObsRegistry::snapshot`] covers the whole durable stack.
+    pub fn open_with_obs(
+        dir: impl AsRef<Path>,
+        evaluator: V,
+        shards: usize,
+        codec: C,
+        options: DurabilityOptions,
+        obs: ObsRegistry,
+    ) -> Result<Self, StoreError> {
+        let recovered = CoordStore::open_with_obs(dir, options.store_options(shards), obs.clone())?;
+        let inner = ShardedEngine::with_obs(evaluator, shards, Placement::default(), obs);
         let mut registry = Registry::default();
         for (seq, bytes) in &recovered.live {
             // Replay never re-evaluates: pending survivors are routed
@@ -625,6 +662,13 @@ where
     /// Per-shard contention statistics.
     pub fn shard_stats(&self) -> Vec<coord_engine::ShardStatsSnapshot> {
         self.inner.shard_stats()
+    }
+
+    /// The observability registry shared by the store and the sharded
+    /// engine: one snapshot covers submit latency, WAL append/sync,
+    /// rotations, migrations and rebalance passes.
+    pub fn obs(&self) -> &ObsRegistry {
+        self.inner.obs()
     }
 }
 

@@ -45,12 +45,14 @@ use crate::bytes::{put_bytes, put_u32, put_u64, Reader};
 use crate::error::StoreError;
 use crate::frame::{scan_frames, write_frame};
 use crate::wal::{read_wal, SyncPolicy, WalWriter, WAL_HEADER_LEN};
+use coord_obs::{Counter, Gauge, Histogram, Registry as ObsRegistry, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Snapshot file magic: `CSNP` + format version 1.
 pub const SNAP_MAGIC: [u8; 8] = *b"CSNP\x00\x00\x00\x01";
@@ -159,6 +161,33 @@ struct EpochState {
     wals: Vec<Mutex<WalWriter>>,
 }
 
+/// The store's observability handles: one registry shared with the
+/// engine layer (the durable wrappers thread a single registry through
+/// both), plus the recording instruments drawn from it.
+struct StoreObs {
+    registry: ObsRegistry,
+    /// "wal_append_nanos": latency of one record append as the caller
+    /// sees it (framing + write + any policy-triggered sync).
+    append_hist: Histogram,
+    /// "snapshot_rotation_nanos": full rotation under the write lock.
+    rotation_hist: Histogram,
+    /// "store_epoch": the current epoch, updated on open and rotation.
+    epoch_gauge: Gauge,
+    tracer: Tracer,
+}
+
+impl StoreObs {
+    fn new(registry: ObsRegistry) -> Self {
+        StoreObs {
+            append_hist: registry.histogram("wal_append_nanos"),
+            rotation_hist: registry.histogram("snapshot_rotation_nanos"),
+            epoch_gauge: registry.gauge("store_epoch"),
+            tracer: registry.tracer(),
+            registry,
+        }
+    }
+}
+
 /// The durable store: WAL streams + snapshots in one directory.
 pub struct CoordStore {
     dir: PathBuf,
@@ -168,9 +197,10 @@ pub struct CoordStore {
     /// two threads race to the same new epoch).
     snap_lock: Mutex<()>,
     since_snapshot: AtomicU64,
-    records_appended: AtomicU64,
-    bytes_appended: AtomicU64,
-    snapshots_taken: AtomicU64,
+    records_appended: Counter,
+    bytes_appended: Counter,
+    snapshots_taken: Counter,
+    obs: StoreObs,
 }
 
 /// Result of opening a store directory: the store plus the recovered
@@ -216,7 +246,23 @@ impl CoordStore {
     /// from `snapshot + WAL tails`. Torn tails are truncated; files from
     /// superseded epochs and abandoned `.tmp` snapshots are removed.
     pub fn open(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<Recovered, StoreError> {
+        Self::open_with_obs(dir, opts, ObsRegistry::new())
+    }
+
+    /// Like [`Self::open`], recording into an explicit observability
+    /// registry (shared with the engine layer by the durable wrappers,
+    /// or [`ObsRegistry::disabled`] for near-zero instrument cost).
+    /// Recovery itself is measured: `store_replay_records` counts the
+    /// commit records replayed, `store_replay_nanos` gauges the full
+    /// open-to-ready recovery time.
+    pub fn open_with_obs(
+        dir: impl AsRef<Path>,
+        opts: StoreOptions,
+        registry: ObsRegistry,
+    ) -> Result<Recovered, StoreError> {
         assert!(opts.streams > 0, "at least one WAL stream required");
+        let obs = StoreObs::new(registry);
+        let replay_start = Instant::now();
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
@@ -342,13 +388,15 @@ impl CoordStore {
         }
 
         // Re-open every stream for append at its clean prefix.
+        let sync_hist = obs.registry.histogram("wal_sync_nanos");
         let mut writers = Vec::with_capacity(opts.streams);
         for s in 0..opts.streams {
-            let writer = match clean.get(&s) {
+            let mut writer = match clean.get(&s) {
                 Some((path, 0)) => WalWriter::create(path, epoch, opts.sync)?,
                 Some((path, len)) => WalWriter::reopen(path, *len, opts.sync)?,
                 None => WalWriter::create(&dir.join(wal_name(epoch, s)), epoch, opts.sync)?,
             };
+            writer.set_obs(sync_hist.clone(), obs.tracer.clone());
             writers.push(Mutex::new(writer));
         }
         // Streams beyond the configured count (a shard-count change)
@@ -361,6 +409,12 @@ impl CoordStore {
         let _ = fsync_dir(&dir);
 
         report.epoch = epoch;
+        let replay_records = obs.registry.counter("store_replay_records");
+        replay_records.add(records.len() as u64);
+        obs.registry
+            .gauge("store_replay_nanos")
+            .set(replay_start.elapsed().as_nanos() as u64);
+        obs.epoch_gauge.set(epoch);
         let store = CoordStore {
             dir,
             opts,
@@ -370,10 +424,23 @@ impl CoordStore {
             }),
             snap_lock: Mutex::new(()),
             since_snapshot: AtomicU64::new(0),
-            records_appended: AtomicU64::new(0),
-            bytes_appended: AtomicU64::new(0),
-            snapshots_taken: AtomicU64::new(0),
+            records_appended: Counter::new(),
+            bytes_appended: Counter::new(),
+            snapshots_taken: Counter::new(),
+            obs,
         };
+        store
+            .obs
+            .registry
+            .register_counter("store_records_appended", &store.records_appended);
+        store
+            .obs
+            .registry
+            .register_counter("store_bytes_appended", &store.bytes_appended);
+        store
+            .obs
+            .registry
+            .register_counter("store_snapshots_taken", &store.snapshots_taken);
         Ok(Recovered {
             store,
             next_seq,
@@ -393,10 +460,11 @@ impl CoordStore {
         let payload = record.encode();
         let state = self.state.read();
         let mut wal = state.wals[stream % state.wals.len()].lock();
+        let _span = self.obs.tracer.begin("wal_append");
+        let _timer = self.obs.append_hist.start();
         let end = wal.append(&payload)?;
-        self.records_appended.fetch_add(1, Ordering::Relaxed);
-        self.bytes_appended
-            .fetch_add(payload.len() as u64 + 8, Ordering::Relaxed);
+        self.records_appended.incr();
+        self.bytes_appended.add(payload.len() as u64 + 8);
         self.since_snapshot.fetch_add(1, Ordering::Relaxed);
         Ok(end)
     }
@@ -444,6 +512,8 @@ impl CoordStore {
     where
         F: FnOnce() -> (u64, Vec<(u64, Vec<u8>)>),
     {
+        let _span = self.obs.tracer.begin("snapshot_rotation");
+        let _timer = self.obs.rotation_hist.start();
         let mut state = self.state.write();
         let (next_seq, entries) = capture();
         let new_epoch = state.epoch + 1;
@@ -481,13 +551,16 @@ impl CoordStore {
         // next recovery — seeing no new snapshot — replays them and
         // sweeps the stray tmp/new-epoch files).
         let old_epoch = state.epoch;
+        let sync_hist = self.obs.registry.histogram("wal_sync_nanos");
         let mut new_wals = Vec::with_capacity(self.opts.streams);
         for s in 0..self.opts.streams {
-            new_wals.push(Mutex::new(WalWriter::create(
+            let mut w = WalWriter::create(
                 &self.dir.join(wal_name(new_epoch, s)),
                 new_epoch,
                 self.opts.sync,
-            )?));
+            )?;
+            w.set_obs(sync_hist.clone(), self.obs.tracer.clone());
+            new_wals.push(Mutex::new(w));
         }
         // Make the tmp snapshot's and the new WALs' directory entries
         // durable before the rename commit point: metadata must not
@@ -508,7 +581,8 @@ impl CoordStore {
         state.epoch = new_epoch;
         state.wals = new_wals;
         self.since_snapshot.store(0, Ordering::Relaxed);
-        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        self.snapshots_taken.incr();
+        self.obs.epoch_gauge.set(new_epoch);
         drop(state);
 
         let _ = std::fs::remove_file(self.dir.join(snap_name(old_epoch)));
@@ -557,11 +631,18 @@ impl CoordStore {
     /// Point-in-time counters.
     pub fn stats(&self) -> StoreStatsSnapshot {
         StoreStatsSnapshot {
-            records_appended: self.records_appended.load(Ordering::Relaxed),
-            bytes_appended: self.bytes_appended.load(Ordering::Relaxed),
-            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
+            records_appended: self.records_appended.get(),
+            bytes_appended: self.bytes_appended.get(),
+            snapshots_taken: self.snapshots_taken.get(),
             epoch: self.state.read().epoch,
         }
+    }
+
+    /// The observability registry this store records into: WAL append
+    /// and sync latency histograms, snapshot-rotation timings, replay
+    /// counters, and the epoch gauge.
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.obs.registry
     }
 }
 

@@ -13,9 +13,11 @@
 
 use crate::error::StoreError;
 use crate::frame::{scan_frames, write_frame};
+use coord_obs::{Histogram, Tracer};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::time::Instant;
 
 /// WAL file magic: `CWAL` + format version 1 (big-endian in spirit; the
 /// trailing byte is the version).
@@ -43,6 +45,10 @@ pub struct WalWriter {
     len: u64,
     sync: SyncPolicy,
     appended_since_sync: u64,
+    /// `fsync` latency sink (disabled unless the owning store attaches
+    /// its observability registry via [`WalWriter::set_obs`]).
+    sync_hist: Histogram,
+    tracer: Tracer,
 }
 
 impl WalWriter {
@@ -62,6 +68,8 @@ impl WalWriter {
             len: WAL_HEADER_LEN,
             sync,
             appended_since_sync: 0,
+            sync_hist: Histogram::disabled(),
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -77,7 +85,29 @@ impl WalWriter {
             len: clean_len,
             sync,
             appended_since_sync: 0,
+            sync_hist: Histogram::disabled(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attach observability sinks: every `fsync` this writer performs is
+    /// recorded in `sync_hist` and traced as a `wal_sync` instant.
+    pub fn set_obs(&mut self, sync_hist: Histogram, tracer: Tracer) {
+        self.sync_hist = sync_hist;
+        self.tracer = tracer;
+    }
+
+    /// Sync to stable storage, recording the latency.
+    fn timed_sync(&mut self) -> Result<(), StoreError> {
+        let start = self.sync_hist.is_enabled().then(Instant::now);
+        self.file.sync_data()?;
+        if let Some(start) = start {
+            let nanos = start.elapsed().as_nanos() as u64;
+            self.sync_hist.record(nanos);
+            self.tracer.instant("wal_sync", nanos);
+        }
+        self.appended_since_sync = 0;
+        Ok(())
     }
 
     /// Append one framed record; returns the file offset of the record's
@@ -94,8 +124,7 @@ impl WalWriter {
             SyncPolicy::EveryN(n) => self.appended_since_sync >= n.max(1),
         };
         if flush {
-            self.file.sync_data()?;
-            self.appended_since_sync = 0;
+            self.timed_sync()?;
         }
         Ok(self.len)
     }
@@ -112,9 +141,7 @@ impl WalWriter {
 
     /// Force records to stable storage regardless of policy.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.file.sync_data()?;
-        self.appended_since_sync = 0;
-        Ok(())
+        self.timed_sync()
     }
 }
 

@@ -22,6 +22,10 @@
 //! * [`store`] — durable persistence for the online engine: checksummed
 //!   write-ahead log, epoch snapshots, and crash recovery
 //!   (`core::persist` exposes the entangled-query wiring).
+//! * [`obs`] — zero-dependency observability: a metrics registry with
+//!   lock-free counters/gauges/latency histograms, a span-style event
+//!   tracer with a fixed-capacity ring, and JSON/Prometheus exporters.
+//!   One registry threads through engine, store, and closure cache.
 //! * [`sat`] — 3SAT, DPLL, and the paper's hardness reductions.
 //! * [`gen`] — social-network and workload generators for the experiments.
 //!
@@ -60,5 +64,6 @@ pub use coord_db as db;
 pub use coord_engine as engine;
 pub use coord_gen as gen;
 pub use coord_graph as graph;
+pub use coord_obs as obs;
 pub use coord_sat as sat;
 pub use coord_store as store;

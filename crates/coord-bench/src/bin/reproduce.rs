@@ -8,22 +8,24 @@
 //! emits every series as one machine-readable JSON array on stdout
 //! instead of the aligned text tables. `--only <section>` runs a single
 //! section (`fig4` … `fig8`, `hardness`, `shard_skew`, `differential`,
-//! `observability`) — CI uses `--only shard_skew --json`, `--only
-//! differential --json`, and `--only observability --json` to emit the
-//! `BENCH_shard_skew.json`, `BENCH_differential.json`, and
-//! `BENCH_observability.json` trajectory artifacts.
+//! `observability`, `storage`) — CI uses `--only shard_skew --json`,
+//! `--only differential --json`, `--only observability --json`, and
+//! `--only storage --json` to emit the `BENCH_shard_skew.json`,
+//! `BENCH_differential.json`, `BENCH_observability.json`, and
+//! `BENCH_storage.json` trajectory artifacts.
 
 use coord_bench::{drive_phase1, measure, series_to_json, Series};
 use coord_core::bruteforce;
 use coord_core::consistent::ConsistentCoordinator;
-use coord_core::engine::{Placement, RebalanceConfig, SharedEngine};
+use coord_core::engine::{CoordinationEngine, Placement, RebalanceConfig, SharedEngine};
 use coord_core::persist::DurableSharedEngine;
 use coord_core::scc::{preprocess, SccCoordinator};
 use coord_core::ClosureCache;
+use coord_db::BackendKind;
 use coord_gen::social::SLASHDOT_ROWS;
 use coord_gen::workloads::{
-    fig4_queries, fig5_queries, fig7_instance, fig8_instance, pool_db, unsat_cycle_with_spokes,
-    zipf_chain_workload,
+    activity_chain_queries, activity_db, fig4_queries, fig5_queries, fig7_instance, fig8_instance,
+    pool_db, unsat_cycle_with_spokes, zipf_chain_workload,
 };
 use coord_sat::{dpll_solve, random_3sat, reduction1};
 use coord_store::temp::TempDir;
@@ -78,6 +80,7 @@ fn main() {
         "shard_skew",
         "differential",
         "observability",
+        "storage",
     ];
     if let Some(section) = &only {
         // A typo must fail loudly, not upload an empty artifact.
@@ -124,6 +127,9 @@ fn main() {
     }
     if report.wants("observability") {
         observability(quick, &mut report);
+    }
+    if report.wants("storage") {
+        storage(quick, &mut report);
     }
 
     if json {
@@ -515,4 +521,66 @@ fn observability(quick: bool, report: &mut Report) {
         }
         println!();
     }
+}
+
+/// Extra experiment (storage backends): per-submit database probe work
+/// (rows scanned + ground membership probes) on the 60-query activity
+/// chain as the table grows 100× to 10⁶ rows, one series per backend.
+/// Counter-based (deterministic on a 1-CPU runner), asserted while
+/// measuring — the composite backend must stay flat (≤ 2×) where
+/// single-column indexing pays √N — and emitted as the CI
+/// `BENCH_storage.json` trajectory artifact.
+fn storage(quick: bool, report: &mut Report) {
+    const CHAIN: usize = 60;
+    let sizes: &[usize] = if quick {
+        &[10_000, 1_000_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let mut growths = Vec::new();
+    for kind in BackendKind::ALL {
+        let mut series = Series::new(format!(
+            "Storage — per-submit probe work, {} backend ({CHAIN}-query activity chain)",
+            kind.name()
+        ));
+        let mut per_size = Vec::new();
+        for &rows in sizes {
+            // One backend × size in memory at a time: the 10⁶-row table
+            // with its per-column hash indexes dominates the run's
+            // footprint.
+            let db = activity_db(rows, kind);
+            let queries = activity_chain_queries(CHAIN, rows);
+            // Advise composite patterns exactly as batch coordination
+            // does; the other backends ignore the hint.
+            preprocess(&db, &queries).unwrap();
+            db.stats().reset();
+            let mut engine = CoordinationEngine::new(&db);
+            for q in queries {
+                engine.submit(q).unwrap();
+            }
+            assert_eq!(engine.pending().len(), 0, "chain must fully coordinate");
+            let per_submit = db.stats().probe_work() as f64 / CHAIN as f64;
+            series.push(rows as u64, per_submit, 1);
+            per_size.push(per_submit);
+        }
+        let growth = per_size[per_size.len() - 1] / per_size[0].max(1.0);
+        if kind == BackendKind::Composite {
+            // The same flat-cost gate the `storage` bench asserts.
+            assert!(
+                growth <= 2.0,
+                "composite per-submit probe work grew {growth:.2}× across a 100× table"
+            );
+        }
+        growths.push((kind.name(), growth));
+        report.add(series);
+    }
+    report.note(format_args!(
+        "(probe-work growth across 100× rows: {}; composite indexes keep \
+         per-submit coordination cost flat)",
+        growths
+            .iter()
+            .map(|(name, g)| format!("{name} {g:.2}×"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
 }

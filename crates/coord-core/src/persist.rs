@@ -170,6 +170,7 @@ impl<'a> DurableCoordinationEngine<'a> {
         options: DurabilityOptions,
         obs: ObsRegistry,
     ) -> Result<Self, CoordError> {
+        db.attach_obs(&obs);
         let evaluator = SccEvaluator::new(db);
         if let Some(cache) = evaluator.closure_cache() {
             cache.attach(&obs);
@@ -300,9 +301,10 @@ impl<'a> DurableSharedEngine<'a> {
     /// Open with an explicit observability registry threaded through
     /// the whole durable stack — one [`ObsRegistry::snapshot`] then
     /// covers submit latency, WAL append/sync, snapshot rotations,
-    /// migrations, rebalance passes, and the closure cache's `memo_*`
-    /// counters. Pass [`ObsRegistry::disabled`] for near-zero-cost
-    /// instruments.
+    /// migrations, rebalance passes, the closure cache's `memo_*`
+    /// counters, and the database's `db_*` probe counters plus the
+    /// `db_probe_nanos` histogram. Pass [`ObsRegistry::disabled`] for
+    /// near-zero-cost instruments.
     pub fn open_with_obs(
         db: &'a Database,
         dir: impl AsRef<Path>,
@@ -310,6 +312,7 @@ impl<'a> DurableSharedEngine<'a> {
         options: DurabilityOptions,
         obs: ObsRegistry,
     ) -> Result<Self, CoordError> {
+        db.attach_obs(&obs);
         let evaluator = SccEvaluator::new(db);
         if let Some(cache) = evaluator.closure_cache() {
             cache.attach(&obs);

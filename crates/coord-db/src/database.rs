@@ -5,10 +5,12 @@ use crate::eval::{self, Assignment};
 use crate::query::ConjunctiveQuery;
 use crate::schema::RelationSchema;
 use crate::stats::QueryStats;
+use crate::storage::BackendKind;
 use crate::symbol::Symbol;
 use crate::table::Table;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use coord_obs::Registry as ObsRegistry;
 use std::collections::HashMap;
 
 /// An in-memory relational database instance.
@@ -19,18 +21,39 @@ use std::collections::HashMap;
 /// projections ([`Database::distinct_values`]) and grounded membership
 /// tests ([`Database::contains`]). Every interaction is counted in
 /// [`Database::stats`] so the paper's query-count bounds can be asserted.
+///
+/// Tables are physically stored by a pluggable [`crate::storage::Storage`]
+/// backend; [`Database::with_backend`] selects which one new tables use.
+/// Answers are byte-identical across backends (see [`crate::storage`]'s
+/// determinism contract) — only the probe work differs.
 #[derive(Debug, Default)]
 pub struct Database {
     tables: HashMap<Symbol, Table>,
     /// Relation names in creation order (stable iteration for tests/demos).
     order: Vec<Symbol>,
+    /// Backend for tables created without an explicit kind.
+    default_backend: BackendKind,
     stats: QueryStats,
 }
 
 impl Database {
-    /// Create an empty database.
+    /// Create an empty database (row-store backend).
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// Create an empty database whose tables use the given storage
+    /// backend.
+    pub fn with_backend(kind: BackendKind) -> Self {
+        Database {
+            default_backend: kind,
+            ..Database::default()
+        }
+    }
+
+    /// The backend newly created tables use.
+    pub fn default_backend(&self) -> BackendKind {
+        self.default_backend
     }
 
     /// Create a table with the given relation name and attribute names.
@@ -42,14 +65,32 @@ impl Database {
 
     /// Create a table from a pre-built schema.
     pub fn create_table_with_schema(&mut self, schema: RelationSchema) -> Result<(), DbError> {
-        let name = schema.name().clone();
+        let kind = self.default_backend;
+        self.add_table(Table::with_backend(schema, kind))
+    }
+
+    /// Create a table on an explicit storage backend (overriding the
+    /// database default).
+    pub fn create_table_with_backend(
+        &mut self,
+        name: impl Into<Symbol>,
+        attrs: &[&str],
+        kind: BackendKind,
+    ) -> Result<(), DbError> {
+        let name = name.into();
+        let schema = RelationSchema::new(name.clone(), attrs.iter().copied())?;
+        self.add_table(Table::with_backend(schema, kind))
+    }
+
+    fn add_table(&mut self, table: Table) -> Result<(), DbError> {
+        let name = table.schema().name().clone();
         if self.tables.contains_key(&name) {
             return Err(DbError::DuplicateRelation {
                 relation: name.to_string(),
             });
         }
         self.order.push(name.clone());
-        self.tables.insert(name, Table::new(schema));
+        self.tables.insert(name, table);
         Ok(())
     }
 
@@ -120,10 +161,32 @@ impl Database {
         &self.stats
     }
 
+    /// Mirror this database's query counters into a `coord-obs`
+    /// registry (`db_*` counters) and record `find_one`/`find_all`
+    /// latencies into its `db_probe_nanos` histogram — storage cost in
+    /// the same snapshot as submit latency. The first attach wins;
+    /// later calls are no-ops.
+    pub fn attach_obs(&self, registry: &ObsRegistry) {
+        self.stats.attach(registry);
+    }
+
+    /// Advise the named relation's backend that the given multi-column
+    /// equality pattern will be probed (columns ascending, length ≥ 2).
+    /// No-op for unknown relations and for backends without composite
+    /// indexes — callers advise opportunistically.
+    pub fn advise_pattern(&self, relation: &Symbol, cols: &[usize]) {
+        if let Some(table) = self.tables.get(relation) {
+            table.advise_index(cols);
+        }
+    }
+
     /// Choose-1 evaluation: find one satisfying assignment, if any.
     pub fn find_one(&self, query: &ConjunctiveQuery) -> Result<Option<Assignment>, DbError> {
         self.stats.record_find_one();
-        eval::find_one(self, query)
+        let timer = self.stats.probe_timer();
+        let out = eval::find_one(self, query);
+        self.stats.observe_probe(timer);
+        out
     }
 
     /// Whether the query has at least one satisfying assignment.
@@ -138,7 +201,10 @@ impl Database {
         limit: Option<usize>,
     ) -> Result<Vec<Assignment>, DbError> {
         self.stats.record_find_all();
-        eval::find_all(self, query, limit)
+        let timer = self.stats.probe_timer();
+        let out = eval::find_all(self, query, limit);
+        self.stats.observe_probe(timer);
+        out
     }
 
     /// Distinct projections of named attributes of `relation`, restricted by
@@ -179,9 +245,9 @@ impl Database {
     pub fn any_domain_value(&self) -> Option<Value> {
         self.order
             .iter()
-            .filter_map(|name| self.tables[name].rows().first())
-            .flat_map(|row| row.values().first().cloned())
-            .next()
+            .map(|name| &self.tables[name])
+            .find(|t| !t.is_empty() && t.schema().arity() > 0)
+            .map(|t| t.cell(0, 0).clone())
     }
 
     /// Total number of tuples across all relations.

@@ -1,11 +1,20 @@
 //! Backtracking evaluation of conjunctive queries.
 //!
 //! The evaluator performs a depth-first join over the query's atoms with
-//! *greedy dynamic atom ordering*: at each step it picks the not-yet-joined
-//! atom with the most bound argument positions, breaking ties by the
-//! estimated number of candidate rows. Bound positions are served from the
-//! per-column hash indexes of [`crate::Table`]; fully ground atoms become
-//! O(1) membership tests.
+//! *greedy dynamic atom ordering*: at each step it picks the
+//! not-yet-joined atom with the smallest candidate-row estimate under
+//! the current bindings. Fully ground atoms estimate 0 and are
+//! short-circuited through an O(1) membership test — no rows are walked.
+//! Everything else is served through [`crate::Table::scan`], which lets
+//! the selected [`crate::storage::Storage`] backend pick its best access
+//! path (single-column bucket, composite index, or sorted range).
+//!
+//! Atom selection resolves each atom's bound columns exactly once; the
+//! winning plan's bound set is reused to drive the scan, and the scan
+//! iterator is consumed without materializing row-id vectors. Estimates
+//! are backend-independent by the [`crate::storage`] determinism
+//! contract, so `find_one`/`find_all` answers are byte-identical across
+//! backends.
 //!
 //! This is a classic left-deep index-nested-loop strategy — entirely
 //! adequate for the paper's workloads, whose combined queries have few
@@ -13,7 +22,7 @@
 
 use crate::database::Database;
 use crate::error::DbError;
-use crate::query::{Atom, ConjunctiveQuery, Term, Var};
+use crate::query::{ConjunctiveQuery, Term, Var};
 use crate::value::Value;
 use std::collections::HashMap;
 
@@ -124,90 +133,117 @@ fn step(
     binding: &mut Assignment,
     on_answer: &mut dyn FnMut(&Assignment) -> bool,
 ) -> Result<bool, DbError> {
-    let Some(next) = pick_next_atom(db, query, used, binding)? else {
+    let Some(plan) = pick_next_atom(db, query, used, binding)? else {
         // All atoms joined: report the answer.
         return Ok(on_answer(binding));
     };
+    let next = plan.atom;
     used[next] = true;
-    let atom = &query.atoms[next];
-    let stop = enumerate_matches(db, query, atom, used, binding, on_answer)?;
+    let stop = enumerate_matches(db, query, &plan, used, binding, on_answer)?;
     used[next] = false;
     Ok(stop)
 }
 
-/// Greedy ordering: among unused atoms, prefer ground atoms, then atoms
-/// with the smallest candidate-row estimate given current bindings.
+/// The selected atom plus the bound columns its selection already
+/// resolved — reused as-is to drive the scan, so bucket sizes are never
+/// recomputed between selection and enumeration.
+struct AtomPlan {
+    /// Index into `query.atoms`.
+    atom: usize,
+    /// `(column, value)` for every term resolvable under the current
+    /// binding, in ascending column order.
+    bound: Vec<(usize, Value)>,
+    /// Whether every term resolved (the atom is fully ground).
+    ground: bool,
+}
+
+/// Greedy ordering: among unused atoms, prefer ground atoms (estimate
+/// 0 — they cost one membership probe), then atoms with the smallest
+/// candidate-row estimate given current bindings. Estimates come from
+/// [`crate::Table::estimate`], which is backend-independent.
 fn pick_next_atom(
     db: &Database,
     query: &ConjunctiveQuery,
     used: &[bool],
     binding: &Assignment,
-) -> Result<Option<usize>, DbError> {
-    let mut best: Option<(usize, usize)> = None; // (estimate, atom index)
+) -> Result<Option<AtomPlan>, DbError> {
+    let mut best: Option<(usize, AtomPlan)> = None; // (estimate, plan)
     for (i, atom) in query.atoms.iter().enumerate() {
         if used[i] {
             continue;
         }
-        let est = estimate(db, atom, binding)?;
-        if best.is_none_or(|(b, _)| est < b) {
-            best = Some((est, i));
+        let table = db.table(&atom.relation)?;
+        let mut bound: Vec<(usize, Value)> = Vec::with_capacity(atom.terms.len());
+        for (c, term) in atom.terms.iter().enumerate() {
+            if let Some(v) = binding.resolve(term) {
+                bound.push((c, v));
+            }
+        }
+        let ground = bound.len() == atom.terms.len();
+        let est = if ground {
+            0 // one O(1) membership probe
+        } else if bound.is_empty() {
+            // Unbound atoms are a last resort: full scan.
+            table.len().max(1) + 1_000_000
+        } else {
+            table.estimate(&bound)
+        };
+        if best.as_ref().is_none_or(|(b, _)| est < *b) {
+            best = Some((
+                est,
+                AtomPlan {
+                    atom: i,
+                    bound,
+                    ground,
+                },
+            ));
         }
     }
-    Ok(best.map(|(_, i)| i))
+    Ok(best.map(|(_, p)| p))
 }
 
-/// Estimated number of candidate rows for `atom` under `binding`:
-/// the smallest index-bucket size over bound columns, or the full table
-/// size if no column is bound. Ground atoms estimate 0 or 1.
-fn estimate(db: &Database, atom: &Atom, binding: &Assignment) -> Result<usize, DbError> {
-    let table = db.table(&atom.relation)?;
-    let mut best = table.len();
-    let mut any_bound = false;
-    for (c, term) in atom.terms.iter().enumerate() {
-        if let Some(v) = binding.resolve(term) {
-            any_bound = true;
-            best = best.min(table.lookup(c, &v).len());
-        }
-    }
-    if !any_bound && !atom.terms.is_empty() {
-        // Unbound atoms are a last resort: full scan.
-        return Ok(table.len().max(1) + 1_000_000);
-    }
-    Ok(best)
-}
-
-/// Enumerate the rows of `atom`'s relation that are compatible with the
-/// current binding, extending the binding and recursing for each.
+/// Enumerate the rows of the planned atom's relation that are compatible
+/// with the current binding, extending the binding and recursing for
+/// each. Fully ground atoms short-circuit through the storage membership
+/// test without touching any row.
 fn enumerate_matches(
     db: &Database,
     query: &ConjunctiveQuery,
-    atom: &Atom,
+    plan: &AtomPlan,
     used: &mut [bool],
     binding: &mut Assignment,
     on_answer: &mut dyn FnMut(&Assignment) -> bool,
 ) -> Result<bool, DbError> {
+    let atom = &query.atoms[plan.atom];
     let table = db.table(&atom.relation)?;
+    let stats = db.stats();
 
-    // Choose the most selective bound column to drive iteration.
-    let mut driver: Option<(usize, Value)> = None;
-    let mut driver_size = usize::MAX;
-    for (c, term) in atom.terms.iter().enumerate() {
-        if let Some(v) = binding.resolve(term) {
-            let size = table.lookup(c, &v).len();
-            if size < driver_size {
-                driver_size = size;
-                driver = Some((c, v));
-            }
+    if plan.ground {
+        // Every term resolved to a value: one O(1) membership probe.
+        // `plan.bound` is complete and in column order, so the values
+        // form the candidate tuple directly.
+        let values: Vec<Value> = plan.bound.iter().map(|(_, v)| v.clone()).collect();
+        stats.record_ground_probe();
+        if !table.contains(&values) {
+            return Ok(false);
         }
+        return step(db, query, used, binding, on_answer);
     }
 
-    let row_ids: Vec<usize> = match &driver {
-        Some((c, v)) => table.lookup(*c, v).to_vec(),
-        None => (0..table.len()).collect(),
-    };
+    // The plan's bound set drives the scan: the backend picks its best
+    // access path, and the iterator is consumed in place — no row-id
+    // clone, no lock held while iterating.
+    let scan = table.scan(&plan.bound);
+    if scan.path().is_indexed() {
+        stats.record_index_hit();
+    } else {
+        stats.record_index_miss();
+    }
 
-    for rid in row_ids {
-        let row = table.row(rid);
+    let mut scanned: u64 = 0;
+    let mut stopped = false;
+    for rid in scan {
+        scanned += 1;
         // Try to match the atom's terms against this row, recording which
         // variables we newly bind so we can undo on backtrack.
         let mut newly_bound: Vec<Var> = Vec::new();
@@ -215,20 +251,20 @@ fn enumerate_matches(
         for (c, term) in atom.terms.iter().enumerate() {
             match term {
                 Term::Const(v) => {
-                    if v != &row[c] {
+                    if v != table.cell(rid, c) {
                         ok = false;
                         break;
                     }
                 }
                 Term::Var(var) => match binding.get(*var) {
                     Some(bound) => {
-                        if bound != &row[c] {
+                        if bound != table.cell(rid, c) {
                             ok = false;
                             break;
                         }
                     }
                     None => {
-                        binding.bind(*var, row[c].clone());
+                        binding.bind(*var, table.cell(rid, c).clone());
                         newly_bound.push(*var);
                     }
                 },
@@ -240,7 +276,8 @@ fn enumerate_matches(
                 binding.unbind(*v);
             }
             if stop {
-                return Ok(true);
+                stopped = true;
+                break;
             }
         } else {
             for v in &newly_bound {
@@ -248,12 +285,14 @@ fn enumerate_matches(
             }
         }
     }
-    Ok(false)
+    stats.record_rows_scanned(scanned);
+    Ok(stopped)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Atom;
     use crate::value::Value;
 
     fn db() -> Database {
@@ -388,6 +427,92 @@ mod tests {
         assert!(find_one(&db, &bad_rel).is_err());
         let bad_arity = ConjunctiveQuery::new(vec![atom("F", vec![Term::var(0)])]);
         assert!(find_one(&db, &bad_arity).is_err());
+    }
+
+    /// Regression pin for the ground-atom short-circuit: a fully
+    /// resolved atom must cost exactly one membership probe and walk
+    /// zero rows, even when its values land in a hot (large) bucket.
+    #[test]
+    fn ground_atom_probe_counts_are_pinned() {
+        for kind in crate::storage::BackendKind::ALL {
+            let mut db = Database::with_backend(kind);
+            db.create_table("A", &["k", "v"]).unwrap();
+            // One hot key: the column-0 bucket for `1` holds 1000 rows.
+            for i in 0..1000 {
+                db.insert("A", vec![Value::int(1), Value::int(i)]).unwrap();
+            }
+            db.stats().reset();
+            let sat = ConjunctiveQuery::new(vec![atom(
+                "A",
+                vec![Term::constant(1i64), Term::constant(500i64)],
+            )]);
+            assert!(db.find_one(&sat).unwrap().is_some());
+            let unsat = ConjunctiveQuery::new(vec![atom(
+                "A",
+                vec![Term::constant(1i64), Term::constant(5000i64)],
+            )]);
+            assert!(db.find_one(&unsat).unwrap().is_none());
+            let stats = db.stats();
+            assert_eq!(stats.ground_probe_count(), 2, "{kind:?}");
+            assert_eq!(
+                stats.rows_scanned(),
+                0,
+                "{kind:?}: ground atoms walk no rows"
+            );
+        }
+    }
+
+    /// Regression pin for scan-driven enumeration: a single-constant
+    /// probe into a selective bucket walks exactly the bucket, through
+    /// an index.
+    #[test]
+    fn selective_scan_probe_counts_are_pinned() {
+        for kind in crate::storage::BackendKind::ALL {
+            let mut db = Database::with_backend(kind);
+            db.create_table("A", &["k", "v"]).unwrap();
+            for i in 0..100 {
+                db.insert("A", vec![Value::int(i), Value::int(i % 10)])
+                    .unwrap();
+            }
+            db.stats().reset();
+            // A(x, 7): the column-1 bucket holds exactly 10 rows.
+            let q =
+                ConjunctiveQuery::new(vec![atom("A", vec![Term::var(0), Term::constant(7i64)])]);
+            assert_eq!(db.find_all(&q, None).unwrap().len(), 10);
+            let stats = db.stats();
+            assert_eq!(stats.rows_scanned(), 10, "{kind:?}");
+            assert_eq!(stats.index_hit_count(), 1, "{kind:?}");
+            assert_eq!(stats.index_miss_count(), 0, "{kind:?}");
+        }
+    }
+
+    /// Answers are byte-identical across backends: same assignments in
+    /// the same order, per the storage determinism contract.
+    #[test]
+    fn backends_agree_on_answer_order() {
+        let build = |kind| {
+            let mut db = Database::with_backend(kind);
+            db.create_table("R", &["a", "b"]).unwrap();
+            for (a, b) in [(1, 2), (2, 3), (3, 1), (3, 4), (1, 4), (4, 2)] {
+                db.insert("R", vec![Value::int(a), Value::int(b)]).unwrap();
+            }
+            db
+        };
+        let q = ConjunctiveQuery::new(vec![
+            atom("R", vec![Term::var(0), Term::var(1)]),
+            atom("R", vec![Term::var(1), Term::var(2)]),
+        ]);
+        let reference = build(crate::storage::BackendKind::Row);
+        let expected = reference.find_all(&q, None).unwrap();
+        for kind in crate::storage::BackendKind::ALL {
+            let db = build(kind);
+            assert_eq!(db.find_all(&q, None).unwrap(), expected, "{kind:?}");
+            assert_eq!(
+                db.find_one(&q).unwrap(),
+                expected.first().cloned(),
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]

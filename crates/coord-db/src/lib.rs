@@ -10,7 +10,11 @@
 //! The engine provides:
 //!
 //! * a simple value model ([`Value`]: integers and interned strings),
-//! * named relations with per-column hash indexes ([`Table`]),
+//! * named relations ([`Table`]) over pluggable [`Storage`] backends:
+//!   the per-column-hash [`storage::RowStore`], the adaptive
+//!   composite-index [`storage::CompositeStore`], and the sorted
+//!   [`storage::ColumnarStore`] — byte-identical answers, different
+//!   probe work (see [`storage`]'s determinism contract),
 //! * conjunctive queries ([`ConjunctiveQuery`]) over variables and
 //!   constants, evaluated by a backtracking join with greedy atom ordering
 //!   ([`eval`]),
@@ -44,6 +48,7 @@ pub mod eval;
 pub mod query;
 pub mod schema;
 pub mod stats;
+pub mod storage;
 pub mod symbol;
 pub mod table;
 pub mod tuple;
@@ -55,6 +60,7 @@ pub use eval::Assignment;
 pub use query::{Atom, ConjunctiveQuery, Term, Var};
 pub use schema::RelationSchema;
 pub use stats::QueryStats;
+pub use storage::{AccessPath, Backend, BackendKind, Scan, Storage};
 pub use symbol::Symbol;
 pub use table::Table;
 pub use tuple::Tuple;

@@ -1,0 +1,884 @@
+//! Pluggable tuple storage: the [`Storage`] trait and its backends.
+//!
+//! [`crate::Table`] delegates all physical data access to a [`Storage`]
+//! implementation, so the evaluator and every engine above it are
+//! agnostic to the representation. Three backends ship in-tree:
+//!
+//! * [`RowStore`] — the original row store with one hash index per
+//!   column (insertion-ordered `Vec<Tuple>` + `indexes[c][v]` buckets).
+//! * [`CompositeStore`] — a [`RowStore`] plus adaptive *multi-column*
+//!   hash indexes: it observes which bound-column sets the workload
+//!   probes (or is told explicitly via [`Storage::ensure_index`], wired
+//!   from the engines' body-pattern analysis) and materializes an exact
+//!   bucket per value combination, collapsing a `min(bucket)` scan into
+//!   a point lookup.
+//! * [`ColumnarStore`] — column-major storage with lazily rebuilt
+//!   sorted permutations per column, serving equality scans by binary
+//!   search and true range scans ([`Storage::scan_range`]).
+//!
+//! ## The determinism contract
+//!
+//! The backtracking evaluator promises byte-identical answers across
+//! backends (see `tests/storage_props.rs`). Two invariants make that
+//! hold, and every backend must preserve them:
+//!
+//! 1. **Ascending candidates:** [`Storage::scan`] yields candidate row
+//!    ids in ascending insertion order. Access paths may over-approximate
+//!    (a superset of the matching rows) but never reorder, so the
+//!    sequence of *matching* rows — and therefore the DFS exploration
+//!    order — is backend-independent.
+//! 2. **Exact, path-independent estimates:** [`Storage::estimate`]
+//!    returns the exact number of rows matching the *most selective
+//!    single bound column*, regardless of which access path `scan`
+//!    would actually take. Atom ordering decisions are therefore
+//!    identical across backends even when one of them could serve the
+//!    probe from a strictly better index.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+/// Probe count after which [`CompositeStore`] materializes an index for
+/// an observed multi-column pattern.
+pub const COMPOSITE_BUILD_THRESHOLD: u32 = 4;
+
+/// How a [`Scan`] is being served — recorded by the evaluator as index
+/// hit/miss counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Every row id, no index consulted.
+    FullScan,
+    /// Single-column hash bucket for the given column.
+    ColumnIndex(usize),
+    /// Exact multi-column hash bucket.
+    CompositeIndex,
+    /// Binary-searched run of a sorted column permutation.
+    SortedRange(usize),
+}
+
+impl AccessPath {
+    /// Whether an index served the scan (anything but a full scan).
+    pub fn is_indexed(&self) -> bool {
+        !matches!(self, AccessPath::FullScan)
+    }
+}
+
+/// A stream of candidate row ids plus the access path that produced it.
+/// Candidates arrive in ascending insertion order (see the module docs'
+/// determinism contract); equality paths are exact or superset,
+/// depending on the backend.
+pub struct Scan<'a> {
+    rows: Box<dyn Iterator<Item = usize> + 'a>,
+    path: AccessPath,
+}
+
+impl<'a> Scan<'a> {
+    /// A scan over a borrowed iterator.
+    pub fn new(rows: impl Iterator<Item = usize> + 'a, path: AccessPath) -> Self {
+        Scan {
+            rows: Box::new(rows),
+            path,
+        }
+    }
+
+    /// A scan that owns a shared bucket (used by backends whose indexes
+    /// live behind interior mutability: the iterator keeps the bucket
+    /// alive via the `Arc`, no lock is held while iterating).
+    pub fn from_arc(bucket: Arc<Vec<usize>>, path: AccessPath) -> Scan<'static> {
+        let len = bucket.len();
+        Scan {
+            rows: Box::new((0..len).map(move |i| bucket[i])),
+            path,
+        }
+    }
+
+    /// The access path serving this scan.
+    pub fn path(&self) -> AccessPath {
+        self.path
+    }
+}
+
+impl fmt::Debug for Scan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scan({:?})", self.path)
+    }
+}
+
+impl Iterator for Scan<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        self.rows.next()
+    }
+}
+
+/// Physical storage for one relation. Object-safe so custom backends
+/// can plug in at runtime ([`Backend::Custom`]); see the module docs
+/// for the determinism contract every implementation must uphold.
+pub trait Storage: fmt::Debug + Send + Sync {
+    /// Number of (distinct) rows.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns (the caller has already arity-checked tuples).
+    fn arity(&self) -> usize;
+
+    /// Insert a tuple; returns whether it was new. Duplicates are
+    /// ignored.
+    fn insert(&mut self, tuple: Tuple) -> bool;
+
+    /// O(1)-ish membership test for a fully grounded tuple of the right
+    /// arity.
+    fn contains(&self, values: &[Value]) -> bool;
+
+    /// The value at (`row`, `col`). Rows are dense ids `0..len()` in
+    /// insertion order.
+    fn cell(&self, row: usize, col: usize) -> &Value;
+
+    /// Candidate rows for the given `(column, value)` equality
+    /// constraints (ascending row ids; possibly a superset — callers
+    /// re-verify). An empty `bound` is a full scan.
+    fn scan(&self, bound: &[(usize, Value)]) -> Scan<'_>;
+
+    /// Exact number of rows matching the most selective single bound
+    /// column (`len()` when `bound` is empty). Must be identical across
+    /// backends — see the determinism contract.
+    fn estimate(&self, bound: &[(usize, Value)]) -> usize;
+
+    /// Rows whose `col` value lies in `[lo, hi]` (inclusive). Candidate
+    /// order is unspecified for range scans. The default is a filtered
+    /// full scan; sorted backends serve it by binary search.
+    fn scan_range<'a>(&'a self, col: usize, lo: &Value, hi: &Value) -> Scan<'a> {
+        let (lo, hi) = (lo.clone(), hi.clone());
+        Scan::new(
+            (0..self.len()).filter(move |&r| {
+                let v = self.cell(r, col);
+                *v >= lo && *v <= hi
+            }),
+            AccessPath::FullScan,
+        )
+    }
+
+    /// Number of distinct values in `col`.
+    fn distinct_count(&self, col: usize) -> usize;
+
+    /// Advise the backend that the given multi-column equality pattern
+    /// will be probed (columns ascending, length ≥ 2). Backends without
+    /// composite indexes ignore it.
+    fn ensure_index(&self, _cols: &[usize]) {}
+
+    /// Column sets with a materialized multi-column index (empty for
+    /// backends without them).
+    fn composite_patterns(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    /// Clone into a boxed trait object (for [`Backend::Custom`]).
+    fn boxed_clone(&self) -> Box<dyn Storage>;
+}
+
+// ---------------------------------------------------------------------
+// RowStore: insertion-ordered rows + one hash index per column.
+// ---------------------------------------------------------------------
+
+/// The original backend: rows in insertion order, one hash index per
+/// column, and a set view for O(1) membership.
+#[derive(Clone, Debug)]
+pub struct RowStore {
+    arity: usize,
+    rows: Vec<Tuple>,
+    /// `indexes[c][v]` = ascending row ids whose column `c` equals `v`.
+    indexes: Vec<HashMap<Value, Vec<usize>>>,
+    row_set: HashSet<Tuple>,
+}
+
+impl RowStore {
+    /// An empty store with `arity` columns.
+    pub fn new(arity: usize) -> Self {
+        RowStore {
+            arity,
+            rows: Vec::new(),
+            indexes: vec![HashMap::new(); arity],
+            row_set: HashSet::new(),
+        }
+    }
+
+    /// Row ids whose column `col` equals `value` (ascending).
+    pub fn bucket(&self, col: usize, value: &Value) -> &[usize] {
+        self.indexes[col]
+            .get(value)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+impl Storage for RowStore {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn insert(&mut self, tuple: Tuple) -> bool {
+        if self.row_set.contains(&tuple) {
+            return false;
+        }
+        let row_id = self.rows.len();
+        for (c, v) in tuple.iter().enumerate() {
+            self.indexes[c].entry(v.clone()).or_default().push(row_id);
+        }
+        self.row_set.insert(tuple.clone());
+        self.rows.push(tuple);
+        true
+    }
+
+    fn contains(&self, values: &[Value]) -> bool {
+        // `Tuple: Borrow<[Value]>` makes this allocation-free.
+        self.row_set.contains(values)
+    }
+
+    fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.rows[row][col]
+    }
+
+    fn scan(&self, bound: &[(usize, Value)]) -> Scan<'_> {
+        let driver = bound
+            .iter()
+            .map(|(c, v)| (self.bucket(*c, v), *c))
+            .min_by_key(|(b, _)| b.len());
+        match driver {
+            Some((bucket, c)) => Scan::new(bucket.iter().copied(), AccessPath::ColumnIndex(c)),
+            None => Scan::new(0..self.rows.len(), AccessPath::FullScan),
+        }
+    }
+
+    fn estimate(&self, bound: &[(usize, Value)]) -> usize {
+        bound
+            .iter()
+            .map(|(c, v)| self.bucket(*c, v).len())
+            .min()
+            .unwrap_or(self.rows.len())
+    }
+
+    fn distinct_count(&self, col: usize) -> usize {
+        self.indexes[col].len()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Storage> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// CompositeStore: RowStore + adaptive multi-column hash indexes.
+// ---------------------------------------------------------------------
+
+/// Observed-or-built state for one multi-column pattern.
+#[derive(Debug)]
+enum PatternState {
+    /// Seen this many probes; builds at [`COMPOSITE_BUILD_THRESHOLD`].
+    Counting(u32),
+    /// Materialized: exact bucket per value combination. Buckets sit
+    /// behind `Arc` so scans own them without holding the lock; inserts
+    /// copy-on-write via [`Arc::make_mut`].
+    Built(HashMap<Vec<Value>, Arc<Vec<usize>>>),
+}
+
+/// A [`RowStore`] that additionally materializes exact multi-column
+/// hash indexes for the bound-column patterns the workload actually
+/// probes (adaptively after [`COMPOSITE_BUILD_THRESHOLD`] sightings, or
+/// immediately via [`Storage::ensure_index`]).
+#[derive(Debug)]
+pub struct CompositeStore {
+    base: RowStore,
+    /// Pattern (ascending column ids, length ≥ 2) → state.
+    patterns: RwLock<HashMap<Vec<usize>, PatternState>>,
+}
+
+impl CompositeStore {
+    /// An empty store with `arity` columns.
+    pub fn new(arity: usize) -> Self {
+        CompositeStore {
+            base: RowStore::new(arity),
+            patterns: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn build_index(&self, cols: &[usize]) -> HashMap<Vec<Value>, Arc<Vec<usize>>> {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for rid in 0..self.base.len() {
+            let key: Vec<Value> = cols
+                .iter()
+                .map(|&c| self.base.cell(rid, c).clone())
+                .collect();
+            map.entry(key).or_default().push(rid);
+        }
+        map.into_iter().map(|(k, v)| (k, Arc::new(v))).collect()
+    }
+
+    /// The exact bucket for `bound` if a composite index covers its
+    /// column set: `None` means "no index (yet)", `Some` with an empty
+    /// bucket means "indexed, no matching rows". Counts the pattern
+    /// sighting and builds the index at the threshold.
+    fn composite_bucket(
+        &self,
+        cols: &[usize],
+        bound: &[(usize, Value)],
+    ) -> Option<Arc<Vec<usize>>> {
+        let key = || -> Vec<Value> { bound.iter().map(|(_, v)| v.clone()).collect() };
+        // Fast path: pattern already built — read lock only.
+        {
+            let guard = self.patterns.read().unwrap();
+            match guard.get(cols) {
+                Some(PatternState::Built(map)) => {
+                    return Some(map.get(&key()).cloned().unwrap_or_default());
+                }
+                Some(PatternState::Counting(_)) | None => {}
+            }
+        }
+        // Slow path (only until the pattern is built): count, maybe build.
+        let mut guard = self.patterns.write().unwrap();
+        let state = guard
+            .entry(cols.to_vec())
+            .or_insert(PatternState::Counting(0));
+        if let PatternState::Counting(n) = state {
+            *n += 1;
+            if *n < COMPOSITE_BUILD_THRESHOLD {
+                return None;
+            }
+            *state = PatternState::Built(self.build_index(cols));
+        }
+        match state {
+            PatternState::Built(map) => Some(map.get(&key()).cloned().unwrap_or_default()),
+            PatternState::Counting(_) => unreachable!("pattern built above"),
+        }
+    }
+}
+
+impl Clone for CompositeStore {
+    fn clone(&self) -> Self {
+        let patterns = self
+            .patterns
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| {
+                let state = match v {
+                    PatternState::Counting(n) => PatternState::Counting(*n),
+                    PatternState::Built(map) => PatternState::Built(map.clone()),
+                };
+                (k.clone(), state)
+            })
+            .collect();
+        CompositeStore {
+            base: self.base.clone(),
+            patterns: RwLock::new(patterns),
+        }
+    }
+}
+
+impl Storage for CompositeStore {
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn arity(&self) -> usize {
+        self.base.arity()
+    }
+
+    fn insert(&mut self, tuple: Tuple) -> bool {
+        if !self.base.insert(tuple) {
+            return false;
+        }
+        let rid = self.base.len() - 1;
+        let mut guard = self.patterns.write().unwrap();
+        for (cols, state) in guard.iter_mut() {
+            if let PatternState::Built(map) = state {
+                let key: Vec<Value> = cols
+                    .iter()
+                    .map(|&c| self.base.cell(rid, c).clone())
+                    .collect();
+                Arc::make_mut(map.entry(key).or_default()).push(rid);
+            }
+        }
+        true
+    }
+
+    fn contains(&self, values: &[Value]) -> bool {
+        self.base.contains(values)
+    }
+
+    fn cell(&self, row: usize, col: usize) -> &Value {
+        self.base.cell(row, col)
+    }
+
+    fn scan(&self, bound: &[(usize, Value)]) -> Scan<'_> {
+        if bound.len() >= 2 {
+            let cols: Vec<usize> = bound.iter().map(|(c, _)| *c).collect();
+            if let Some(bucket) = self.composite_bucket(&cols, bound) {
+                return Scan::from_arc(bucket, AccessPath::CompositeIndex);
+            }
+        }
+        self.base.scan(bound)
+    }
+
+    fn estimate(&self, bound: &[(usize, Value)]) -> usize {
+        // Deliberately the single-column estimate (not the composite
+        // bucket size): estimates must be backend-independent so atom
+        // ordering — and therefore answers — never diverge.
+        self.base.estimate(bound)
+    }
+
+    fn distinct_count(&self, col: usize) -> usize {
+        self.base.distinct_count(col)
+    }
+
+    fn ensure_index(&self, cols: &[usize]) {
+        if cols.len() < 2 || cols.iter().any(|&c| c >= self.arity()) {
+            return;
+        }
+        let mut guard = self.patterns.write().unwrap();
+        let state = guard
+            .entry(cols.to_vec())
+            .or_insert(PatternState::Counting(0));
+        if let PatternState::Counting(_) = state {
+            *state = PatternState::Built(self.build_index(cols));
+        }
+    }
+
+    fn composite_patterns(&self) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = self
+            .patterns
+            .read()
+            .unwrap()
+            .iter()
+            .filter(|(_, s)| matches!(s, PatternState::Built(_)))
+            .map(|(k, _)| k.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Storage> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// ColumnarStore: column-major values + lazy sorted permutations.
+// ---------------------------------------------------------------------
+
+/// Column-major storage with one lazily (re)built sorted permutation
+/// per column. Equality probes binary-search the permutation; range
+/// probes ([`Storage::scan_range`]) come for free. Permutations are
+/// sorted by `(value, row id)`, so equality runs yield ascending row
+/// ids as the determinism contract requires.
+#[derive(Debug)]
+pub struct ColumnarStore {
+    arity: usize,
+    len: usize,
+    cols: Vec<Vec<Value>>,
+    row_set: HashSet<Tuple>,
+    /// `perms[c]` sorts rows by `(cols[c][r], r)`. Stale (shorter than
+    /// `len`) after inserts; rebuilt on the next probe of that column.
+    perms: RwLock<Vec<Arc<Vec<u32>>>>,
+}
+
+impl ColumnarStore {
+    /// An empty store with `arity` columns.
+    pub fn new(arity: usize) -> Self {
+        ColumnarStore {
+            arity,
+            len: 0,
+            cols: vec![Vec::new(); arity],
+            row_set: HashSet::new(),
+            perms: RwLock::new((0..arity).map(|_| Arc::new(Vec::new())).collect()),
+        }
+    }
+
+    /// The current sorted permutation for `col`, rebuilding if stale.
+    fn perm(&self, col: usize) -> Arc<Vec<u32>> {
+        {
+            let guard = self.perms.read().unwrap();
+            if guard[col].len() == self.len {
+                return guard[col].clone();
+            }
+        }
+        let mut guard = self.perms.write().unwrap();
+        if guard[col].len() != self.len {
+            let column = &self.cols[col];
+            let mut perm: Vec<u32> = (0..self.len as u32).collect();
+            perm.sort_unstable_by(|&a, &b| {
+                column[a as usize].cmp(&column[b as usize]).then(a.cmp(&b))
+            });
+            guard[col] = Arc::new(perm);
+        }
+        guard[col].clone()
+    }
+
+    /// `perm` positions of the run equal to `value` in `col`.
+    fn equal_run(&self, col: usize, value: &Value) -> (Arc<Vec<u32>>, std::ops::Range<usize>) {
+        let perm = self.perm(col);
+        let column = &self.cols[col];
+        let lo = perm.partition_point(|&r| column[r as usize] < *value);
+        let hi = perm.partition_point(|&r| column[r as usize] <= *value);
+        (perm, lo..hi)
+    }
+}
+
+impl Clone for ColumnarStore {
+    fn clone(&self) -> Self {
+        ColumnarStore {
+            arity: self.arity,
+            len: self.len,
+            cols: self.cols.clone(),
+            row_set: self.row_set.clone(),
+            perms: RwLock::new(self.perms.read().unwrap().clone()),
+        }
+    }
+}
+
+impl Storage for ColumnarStore {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn insert(&mut self, tuple: Tuple) -> bool {
+        if self.row_set.contains(&tuple) {
+            return false;
+        }
+        for (c, v) in tuple.iter().enumerate() {
+            self.cols[c].push(v.clone());
+        }
+        self.row_set.insert(tuple);
+        self.len += 1;
+        true
+    }
+
+    fn contains(&self, values: &[Value]) -> bool {
+        self.row_set.contains(values)
+    }
+
+    fn cell(&self, row: usize, col: usize) -> &Value {
+        &self.cols[col][row]
+    }
+
+    fn scan(&self, bound: &[(usize, Value)]) -> Scan<'_> {
+        let mut best: Option<(Arc<Vec<u32>>, std::ops::Range<usize>, usize)> = None;
+        for (c, v) in bound {
+            let (perm, run) = self.equal_run(*c, v);
+            if best.as_ref().is_none_or(|(_, r, _)| run.len() < r.len()) {
+                best = Some((perm, run, *c));
+            }
+        }
+        match best {
+            Some((perm, run, c)) => Scan::new(
+                run.map(move |i| perm[i] as usize),
+                AccessPath::SortedRange(c),
+            ),
+            None => Scan::new(0..self.len, AccessPath::FullScan),
+        }
+    }
+
+    fn estimate(&self, bound: &[(usize, Value)]) -> usize {
+        bound
+            .iter()
+            .map(|(c, v)| self.equal_run(*c, v).1.len())
+            .min()
+            .unwrap_or(self.len)
+    }
+
+    fn scan_range<'a>(&'a self, col: usize, lo: &Value, hi: &Value) -> Scan<'a> {
+        let perm = self.perm(col);
+        let column = &self.cols[col];
+        let start = perm.partition_point(|&r| column[r as usize] < *lo);
+        let end = perm.partition_point(|&r| column[r as usize] <= *hi);
+        Scan::new(
+            (start..end).map(move |i| perm[i] as usize),
+            AccessPath::SortedRange(col),
+        )
+    }
+
+    fn distinct_count(&self, col: usize) -> usize {
+        let perm = self.perm(col);
+        let column = &self.cols[col];
+        let mut distinct = 0;
+        let mut prev: Option<&Value> = None;
+        for &r in perm.iter() {
+            let v = &column[r as usize];
+            if prev != Some(v) {
+                distinct += 1;
+                prev = Some(v);
+            }
+        }
+        distinct
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Storage> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend: the runtime-selectable storage for a table.
+// ---------------------------------------------------------------------
+
+/// Which in-tree backend a [`crate::Database`] builds its tables with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// [`RowStore`] (the default).
+    #[default]
+    Row,
+    /// [`CompositeStore`].
+    Composite,
+    /// [`ColumnarStore`].
+    Columnar,
+}
+
+impl BackendKind {
+    /// All in-tree backends (handy for equivalence sweeps).
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Row,
+        BackendKind::Composite,
+        BackendKind::Columnar,
+    ];
+
+    /// Stable lowercase name (bench/series labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Row => "row",
+            BackendKind::Composite => "composite",
+            BackendKind::Columnar => "columnar",
+        }
+    }
+}
+
+/// A table's physical storage: one of the in-tree backends, or any
+/// boxed [`Storage`] implementation.
+#[derive(Debug)]
+pub enum Backend {
+    /// Per-column-hash row store.
+    Row(RowStore),
+    /// Row store + adaptive composite indexes.
+    Composite(CompositeStore),
+    /// Sorted columnar store.
+    Columnar(ColumnarStore),
+    /// A custom storage implementation.
+    Custom(Box<dyn Storage>),
+}
+
+impl Backend {
+    /// Build the given in-tree backend for `arity` columns.
+    pub fn of_kind(kind: BackendKind, arity: usize) -> Self {
+        match kind {
+            BackendKind::Row => Backend::Row(RowStore::new(arity)),
+            BackendKind::Composite => Backend::Composite(CompositeStore::new(arity)),
+            BackendKind::Columnar => Backend::Columnar(ColumnarStore::new(arity)),
+        }
+    }
+
+    /// The underlying storage as a trait object.
+    pub fn store(&self) -> &dyn Storage {
+        match self {
+            Backend::Row(s) => s,
+            Backend::Composite(s) => s,
+            Backend::Columnar(s) => s,
+            Backend::Custom(s) => s.as_ref(),
+        }
+    }
+
+    /// The underlying storage, mutably.
+    pub fn store_mut(&mut self) -> &mut dyn Storage {
+        match self {
+            Backend::Row(s) => s,
+            Backend::Composite(s) => s,
+            Backend::Columnar(s) => s,
+            Backend::Custom(s) => s.as_mut(),
+        }
+    }
+}
+
+impl Clone for Backend {
+    fn clone(&self) -> Self {
+        match self {
+            Backend::Row(s) => Backend::Row(s.clone()),
+            Backend::Composite(s) => Backend::Composite(s.clone()),
+            Backend::Columnar(s) => Backend::Columnar(s.clone()),
+            Backend::Custom(s) => Backend::Custom(s.boxed_clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![Value::int(1), Value::str("a"), Value::int(10)]),
+            Tuple::new(vec![Value::int(2), Value::str("b"), Value::int(10)]),
+            Tuple::new(vec![Value::int(3), Value::str("a"), Value::int(20)]),
+            Tuple::new(vec![Value::int(4), Value::str("a"), Value::int(10)]),
+        ]
+    }
+
+    fn filled(kind: BackendKind) -> Backend {
+        let mut b = Backend::of_kind(kind, 3);
+        for t in tuples() {
+            assert!(b.store_mut().insert(t));
+        }
+        b
+    }
+
+    #[test]
+    fn all_backends_agree_on_scans_and_estimates() {
+        let row = filled(BackendKind::Row);
+        for kind in [BackendKind::Composite, BackendKind::Columnar] {
+            let other = filled(kind);
+            for bound in [
+                vec![],
+                vec![(1, Value::str("a"))],
+                vec![(1, Value::str("a")), (2, Value::int(10))],
+                vec![(0, Value::int(3)), (2, Value::int(20))],
+                vec![(1, Value::str("zzz"))],
+            ] {
+                // Repeat so the composite store crosses its build
+                // threshold and switches access paths mid-test: matching
+                // rows must not change.
+                for _ in 0..COMPOSITE_BUILD_THRESHOLD + 1 {
+                    let verify = |s: &dyn Storage| -> Vec<usize> {
+                        s.scan(&bound)
+                            .filter(|&r| bound.iter().all(|(c, v)| s.cell(r, *c) == v))
+                            .collect()
+                    };
+                    assert_eq!(
+                        verify(row.store()),
+                        verify(other.store()),
+                        "{kind:?} diverged on {bound:?}"
+                    );
+                    assert_eq!(
+                        row.store().estimate(&bound),
+                        other.store().estimate(&bound),
+                        "{kind:?} estimate diverged on {bound:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composite_index_builds_after_threshold() {
+        let b = filled(BackendKind::Composite);
+        let bound = vec![(1, Value::str("a")), (2, Value::int(10))];
+        for i in 0..COMPOSITE_BUILD_THRESHOLD {
+            let path = b.store().scan(&bound).path();
+            if i + 1 < COMPOSITE_BUILD_THRESHOLD {
+                assert_eq!(path, AccessPath::ColumnIndex(1));
+            } else {
+                assert_eq!(path, AccessPath::CompositeIndex);
+            }
+        }
+        assert_eq!(b.store().composite_patterns(), vec![vec![1, 2]]);
+        let hits: Vec<usize> = b.store().scan(&bound).collect();
+        assert_eq!(hits, vec![0, 3]);
+    }
+
+    #[test]
+    fn composite_index_tracks_inserts() {
+        let mut b = filled(BackendKind::Composite);
+        b.store().ensure_index(&[1, 2]);
+        let bound = vec![(1, Value::str("a")), (2, Value::int(10))];
+        assert_eq!(b.store().scan(&bound).collect::<Vec<_>>(), vec![0, 3]);
+        b.store_mut().insert(Tuple::new(vec![
+            Value::int(5),
+            Value::str("a"),
+            Value::int(10),
+        ]));
+        assert_eq!(b.store().scan(&bound).collect::<Vec<_>>(), vec![0, 3, 4]);
+        assert_eq!(b.store().scan(&bound).path(), AccessPath::CompositeIndex);
+    }
+
+    #[test]
+    fn ensure_index_ignores_bad_patterns() {
+        let b = filled(BackendKind::Composite);
+        b.store().ensure_index(&[0]); // too short
+        b.store().ensure_index(&[0, 9]); // out of range
+        assert!(b.store().composite_patterns().is_empty());
+    }
+
+    #[test]
+    fn columnar_equality_runs_yield_ascending_rows() {
+        let b = filled(BackendKind::Columnar);
+        let ids: Vec<usize> = b.store().scan(&[(1, Value::str("a"))]).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        assert_eq!(
+            b.store().scan(&[(1, Value::str("a"))]).path(),
+            AccessPath::SortedRange(1)
+        );
+    }
+
+    #[test]
+    fn columnar_range_scan_is_binary_searched() {
+        let b = filled(BackendKind::Columnar);
+        let scan = b.store().scan_range(0, &Value::int(2), &Value::int(3));
+        assert_eq!(scan.path(), AccessPath::SortedRange(0));
+        let mut ids: Vec<usize> = scan.collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        // Default (filtered full scan) path agrees.
+        let row = filled(BackendKind::Row);
+        let mut base: Vec<usize> = row
+            .store()
+            .scan_range(0, &Value::int(2), &Value::int(3))
+            .collect();
+        base.sort_unstable();
+        assert_eq!(base, ids);
+    }
+
+    #[test]
+    fn columnar_perm_rebuilds_after_insert() {
+        let mut b = filled(BackendKind::Columnar);
+        assert_eq!(b.store().estimate(&[(2, Value::int(10))]), 3);
+        b.store_mut().insert(Tuple::new(vec![
+            Value::int(0),
+            Value::str("c"),
+            Value::int(10),
+        ]));
+        assert_eq!(b.store().estimate(&[(2, Value::int(10))]), 4);
+        assert_eq!(b.store().distinct_count(1), 3);
+    }
+
+    #[test]
+    fn zero_arity_stores_behave() {
+        for kind in BackendKind::ALL {
+            let mut b = Backend::of_kind(kind, 0);
+            assert!(!b.store().contains(&[]));
+            assert!(b.store_mut().insert(Tuple::new(Vec::new())));
+            assert!(!b.store_mut().insert(Tuple::new(Vec::new())));
+            assert_eq!(b.store().len(), 1);
+            assert!(b.store().contains(&[]));
+            assert_eq!(b.store().scan(&[]).collect::<Vec<_>>(), vec![0]);
+        }
+    }
+
+    #[test]
+    fn duplicates_ignored_everywhere() {
+        for kind in BackendKind::ALL {
+            let mut b = filled(kind);
+            assert!(!b.store_mut().insert(tuples().swap_remove(0)));
+            assert_eq!(b.store().len(), 4, "{kind:?}");
+        }
+    }
+}

@@ -1,38 +1,61 @@
-//! Tables: tuple storage with per-column hash indexes.
+//! Tables: a relation schema bound to a pluggable [`Storage`] backend.
 
 use crate::error::DbError;
 use crate::schema::RelationSchema;
+use crate::storage::{Backend, BackendKind, Scan, Storage};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-/// A stored relation: schema, rows, and one hash index per column.
+/// A stored relation: schema plus physical storage.
 ///
-/// Indexes are maintained eagerly on insert. For the workloads in the paper
-/// (tables of up to ~82k rows with 2–4 columns) this costs a few hash
-/// insertions per tuple and makes every bound-column lookup O(1), which is
-/// what the backtracking join in [`crate::eval`] relies on.
+/// All data access goes through the [`Storage`] trait, so the evaluator
+/// and the engines above it are agnostic to the representation: the
+/// default per-column-hash [`crate::storage::RowStore`], the
+/// composite-index [`crate::storage::CompositeStore`], the sorted
+/// [`crate::storage::ColumnarStore`], or any custom backend via
+/// [`Table::with_storage`]. For the paper's workloads (tables of up to
+/// 10⁶ rows with 2–4 columns) every bound-column lookup is O(bucket),
+/// which is what the backtracking join in [`crate::eval`] relies on.
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: RelationSchema,
-    rows: Vec<Tuple>,
-    /// `indexes[c][v]` = row ids whose column `c` equals `v`.
-    indexes: Vec<HashMap<Value, Vec<usize>>>,
-    /// Set view of `rows` for O(1) membership tests (used both for insert
-    /// deduplication and by the coordinating-set verifier).
-    row_set: HashSet<Tuple>,
+    backend: Backend,
 }
 
 impl Table {
-    /// Create an empty table with the given schema.
+    /// Create an empty table with the given schema on the default
+    /// (row-store) backend.
     pub fn new(schema: RelationSchema) -> Self {
+        Self::with_backend(schema, BackendKind::Row)
+    }
+
+    /// Create an empty table on the given in-tree backend.
+    pub fn with_backend(schema: RelationSchema, kind: BackendKind) -> Self {
         let arity = schema.arity();
         Table {
             schema,
-            rows: Vec::new(),
-            indexes: vec![HashMap::new(); arity],
-            row_set: HashSet::new(),
+            backend: Backend::of_kind(kind, arity),
         }
+    }
+
+    /// Create a table on a custom (boxed) storage backend. The backend
+    /// must be empty and agree with the schema's arity.
+    pub fn with_storage(
+        schema: RelationSchema,
+        storage: Box<dyn Storage>,
+    ) -> Result<Self, DbError> {
+        if storage.arity() != schema.arity() {
+            return Err(DbError::ArityMismatch {
+                relation: schema.name().to_string(),
+                expected: schema.arity(),
+                actual: storage.arity(),
+            });
+        }
+        Ok(Table {
+            schema,
+            backend: Backend::Custom(storage),
+        })
     }
 
     /// The table's schema.
@@ -40,14 +63,19 @@ impl Table {
         &self.schema
     }
 
+    /// The table's storage backend.
+    pub fn storage(&self) -> &dyn Storage {
+        self.backend.store()
+    }
+
     /// Number of (distinct) rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.backend.store().len()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.backend.store().is_empty()
     }
 
     /// Insert a tuple. Duplicate tuples are ignored; returns whether the
@@ -61,53 +89,73 @@ impl Table {
                 actual: tuple.len(),
             });
         }
-        if self.row_set.contains(&tuple) {
-            return Ok(false);
-        }
-        let row_id = self.rows.len();
-        for (c, v) in tuple.iter().enumerate() {
-            self.indexes[c].entry(v.clone()).or_default().push(row_id);
-        }
-        self.row_set.insert(tuple.clone());
-        self.rows.push(tuple);
-        Ok(true)
+        Ok(self.backend.store_mut().insert(tuple))
     }
 
-    /// All rows in insertion order.
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
-    }
-
-    /// The row with the given id.
-    pub fn row(&self, id: usize) -> &Tuple {
-        &self.rows[id]
-    }
-
-    /// O(1) membership test for a fully grounded tuple.
+    /// O(1) membership test for a fully grounded tuple (allocation-free:
+    /// backends test the borrowed slice directly).
     pub fn contains(&self, values: &[Value]) -> bool {
         // Cheap arity guard: a wrong-arity tuple is never a member.
         if values.len() != self.schema.arity() {
             return false;
         }
-        // Avoid allocating when the set is empty.
-        if self.row_set.is_empty() {
-            return false;
-        }
-        let t = Tuple::new(values.to_vec());
-        self.row_set.contains(&t)
+        self.backend.store().contains(values)
     }
 
-    /// Row ids whose column `col` equals `value` (possibly empty).
-    pub fn lookup(&self, col: usize, value: &Value) -> &[usize] {
-        self.indexes[col]
-            .get(value)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// The value at (`row`, `col`); rows are dense ids in insertion
+    /// order.
+    pub fn cell(&self, row: usize, col: usize) -> &Value {
+        self.backend.store().cell(row, col)
+    }
+
+    /// Materialized rows in insertion order (test/diagnostic helper —
+    /// hot paths use [`Table::scan`] + [`Table::cell`]).
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        let store = self.backend.store();
+        (0..store.len()).map(move |r| {
+            (0..store.arity())
+                .map(|c| store.cell(r, c).clone())
+                .collect()
+        })
+    }
+
+    /// Candidate rows for the given equality constraints, with the
+    /// access path that serves them (possibly a superset — callers
+    /// re-verify).
+    pub fn scan(&self, bound: &[(usize, Value)]) -> Scan<'_> {
+        self.backend.store().scan(bound)
+    }
+
+    /// Rows whose `col` value lies in `[lo, hi]` (inclusive).
+    pub fn scan_range<'a>(&'a self, col: usize, lo: &Value, hi: &Value) -> Scan<'a> {
+        self.backend.store().scan_range(col, lo, hi)
+    }
+
+    /// Exact number of rows matching the most selective single bound
+    /// column (backend-independent; see [`crate::storage`]'s
+    /// determinism contract).
+    pub fn estimate(&self, bound: &[(usize, Value)]) -> usize {
+        self.backend.store().estimate(bound)
+    }
+
+    /// Row ids whose column `col` equals `value` (ascending, possibly
+    /// empty).
+    pub fn lookup(&self, col: usize, value: &Value) -> Vec<usize> {
+        let bound = [(col, value.clone())];
+        self.scan(&bound)
+            .filter(|&r| self.cell(r, col) == value)
+            .collect()
     }
 
     /// Number of distinct values in column `col`.
     pub fn distinct_count(&self, col: usize) -> usize {
-        self.indexes[col].len()
+        self.backend.store().distinct_count(col)
+    }
+
+    /// Advise the backend that the given multi-column equality pattern
+    /// will be probed (no-op on backends without composite indexes).
+    pub fn advise_index(&self, cols: &[usize]) {
+        self.backend.store().ensure_index(cols);
     }
 
     /// Distinct projections of the given columns over rows matching the
@@ -118,16 +166,9 @@ impl Table {
     pub fn distinct_project(&self, project: &[usize], bound: &[(usize, Value)]) -> Vec<Vec<Value>> {
         let mut seen = HashSet::new();
         let mut out = Vec::new();
-        // Pick the most selective bound column to drive the scan.
-        let candidates: Vec<usize> =
-            match bound.iter().min_by_key(|(c, v)| self.lookup(*c, v).len()) {
-                Some((c, v)) => self.lookup(*c, v).to_vec(),
-                None => (0..self.rows.len()).collect(),
-            };
-        for rid in candidates {
-            let row = &self.rows[rid];
-            if bound.iter().all(|(c, v)| &row[*c] == v) {
-                let key: Vec<Value> = project.iter().map(|&c| row[c].clone()).collect();
+        for rid in self.scan(bound) {
+            if bound.iter().all(|(c, v)| self.cell(rid, *c) == v) {
+                let key: Vec<Value> = project.iter().map(|&c| self.cell(rid, c).clone()).collect();
                 if seen.insert(key.clone()) {
                     out.push(key);
                 }
@@ -141,13 +182,17 @@ impl Table {
 mod tests {
     use super::*;
 
-    fn flights() -> Table {
+    fn flights_on(kind: BackendKind) -> Table {
         let schema = RelationSchema::new("Flights", ["id", "dest"]).unwrap();
-        let mut t = Table::new(schema);
+        let mut t = Table::with_backend(schema, kind);
         t.insert(vec![Value::int(1), Value::str("Zurich")]).unwrap();
         t.insert(vec![Value::int(2), Value::str("Paris")]).unwrap();
         t.insert(vec![Value::int(3), Value::str("Zurich")]).unwrap();
         t
+    }
+
+    fn flights() -> Table {
+        flights_on(BackendKind::Row)
     }
 
     #[test]
@@ -174,25 +219,31 @@ mod tests {
 
     #[test]
     fn contains_grounded() {
-        let t = flights();
-        assert!(t.contains(&[Value::int(2), Value::str("Paris")]));
-        assert!(!t.contains(&[Value::int(2), Value::str("Zurich")]));
-        assert!(!t.contains(&[Value::int(2)]));
+        for kind in BackendKind::ALL {
+            let t = flights_on(kind);
+            assert!(t.contains(&[Value::int(2), Value::str("Paris")]));
+            assert!(!t.contains(&[Value::int(2), Value::str("Zurich")]));
+            assert!(!t.contains(&[Value::int(2)]));
+        }
     }
 
     #[test]
     fn lookup_uses_index() {
-        let t = flights();
-        let zurich_rows = t.lookup(1, &Value::str("Zurich"));
-        assert_eq!(zurich_rows.len(), 2);
-        assert_eq!(t.lookup(1, &Value::str("Oslo")).len(), 0);
+        for kind in BackendKind::ALL {
+            let t = flights_on(kind);
+            let zurich_rows = t.lookup(1, &Value::str("Zurich"));
+            assert_eq!(zurich_rows, vec![0, 2]);
+            assert_eq!(t.lookup(1, &Value::str("Oslo")).len(), 0);
+        }
     }
 
     #[test]
     fn distinct_count_per_column() {
-        let t = flights();
-        assert_eq!(t.distinct_count(0), 3);
-        assert_eq!(t.distinct_count(1), 2);
+        for kind in BackendKind::ALL {
+            let t = flights_on(kind);
+            assert_eq!(t.distinct_count(0), 3);
+            assert_eq!(t.distinct_count(1), 2);
+        }
     }
 
     #[test]
@@ -206,10 +257,31 @@ mod tests {
 
     #[test]
     fn distinct_project_bound() {
-        let t = flights();
-        let ids = t.distinct_project(&[0], &[(1, Value::str("Zurich"))]);
-        assert_eq!(ids.len(), 2);
-        let none = t.distinct_project(&[0], &[(1, Value::str("Oslo"))]);
-        assert!(none.is_empty());
+        for kind in BackendKind::ALL {
+            let t = flights_on(kind);
+            let ids = t.distinct_project(&[0], &[(1, Value::str("Zurich"))]);
+            assert_eq!(ids.len(), 2);
+            let none = t.distinct_project(&[0], &[(1, Value::str("Oslo"))]);
+            assert!(none.is_empty());
+        }
+    }
+
+    #[test]
+    fn iter_rows_in_insertion_order() {
+        for kind in BackendKind::ALL {
+            let t = flights_on(kind);
+            let rows: Vec<Vec<Value>> = t.iter_rows().collect();
+            assert_eq!(rows.len(), 3);
+            assert_eq!(rows[1], vec![Value::int(2), Value::str("Paris")]);
+        }
+    }
+
+    #[test]
+    fn custom_storage_arity_is_checked() {
+        use crate::storage::RowStore;
+        let schema = RelationSchema::new("R", ["a", "b"]).unwrap();
+        assert!(Table::with_storage(schema.clone(), Box::new(RowStore::new(3))).is_err());
+        let t = Table::with_storage(schema, Box::new(RowStore::new(2))).unwrap();
+        assert_eq!(t.len(), 0);
     }
 }

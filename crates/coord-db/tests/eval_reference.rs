@@ -12,8 +12,8 @@ fn naive_answers(db: &Database, q: &ConjunctiveQuery) -> HashSet<Vec<(Var, Value
     // Active domain.
     let mut domain: Vec<Value> = Vec::new();
     for rel in db.relations() {
-        for row in db.table(rel).unwrap().rows() {
-            for v in row.values() {
+        for row in db.table(rel).unwrap().iter_rows() {
+            for v in &row {
                 if !domain.contains(v) {
                     domain.push(v.clone());
                 }

@@ -51,6 +51,39 @@ pub fn flights_coordination(
     Ok(())
 }
 
+/// Create a Slashdot-scale activity table `name(id, topic, day)` and
+/// return the topic-pool size `k = ⌈√rows⌉`.
+///
+/// Row `i` is `(i, "g{i % k}", i / k)`: both the topic pool and the day
+/// range have ≈√rows values, so any *single-column* equality bucket
+/// holds ≈√rows rows while the *(topic, day)* pair pins exactly one row.
+/// That makes the table the storage-backend stress case: per-probe work
+/// grows with √N for single-column indexes but stays flat once a
+/// composite (topic, day) index is active. Topic strings are interned
+/// once per pool entry, so a 10⁶-row build clones `Value`s instead of
+/// formatting a million strings.
+pub fn activity_pool(db: &mut Database, name: &str, rows: usize) -> Result<usize, DbError> {
+    db.create_table(name, &["id", "topic", "day"])?;
+    let k = activity_topic_count(rows);
+    let topics: Vec<Value> = (0..k).map(|t| Value::str(format!("g{t}"))).collect();
+    for i in 0..rows {
+        db.insert(
+            name,
+            vec![
+                Value::int(i as i64),
+                topics[i % k].clone(),
+                Value::int((i / k) as i64),
+            ],
+        )?;
+    }
+    Ok(k)
+}
+
+/// Topic-pool size used by [`activity_pool`]: `⌈√rows⌉` (minimum 1).
+pub fn activity_topic_count(rows: usize) -> usize {
+    ((rows as f64).sqrt().ceil() as usize).max(1)
+}
+
 /// Create `Hotels(hotelId, location)`.
 pub fn hotels(db: &mut Database, rows: &[(i64, &str)]) -> Result<(), DbError> {
     db.create_table("Hotels", &["hotelId", "location"])?;
@@ -140,6 +173,25 @@ mod tests {
         assert_eq!(t.len(), 5);
         let hugo_rows = t.distinct_project(&[1], &[(2, Value::str("Hugo"))]);
         assert_eq!(hugo_rows.len(), 3);
+    }
+
+    #[test]
+    fn activity_pool_buckets_are_square_root_sized() {
+        let mut db = Database::new();
+        let rows = 400;
+        let k = activity_pool(&mut db, "A", rows).unwrap();
+        assert_eq!(k, 20);
+        let t = db.table_named("A").unwrap();
+        assert_eq!(t.len(), rows);
+        // √N topics, √N days, and each (topic, day) pair is unique.
+        assert_eq!(t.distinct_count(1), k);
+        assert_eq!(t.distinct_count(2), rows / k);
+        assert_eq!(t.lookup(1, &Value::str("g3")).len(), rows / k);
+        assert_eq!(
+            t.distinct_project(&[0], &[(1, Value::str("g3")), (2, Value::int(0))])
+                .len(),
+            1
+        );
     }
 
     #[test]

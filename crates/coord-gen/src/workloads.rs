@@ -2,10 +2,10 @@
 
 use crate::networks::barabasi_albert;
 use crate::social::{complete_friendship_table, tag_for, tuple_pool, user_name};
-use crate::tables::flights_coordination;
+use crate::tables::{activity_pool, activity_topic_count, flights_coordination};
 use coord_core::consistent::{ConsistentConfig, ConsistentQuery};
 use coord_core::{EntangledQuery, QueryBuilder};
-use coord_db::Database;
+use coord_db::{BackendKind, Database};
 use coord_graph::{DiGraph, NodeId};
 use rand::prelude::*;
 
@@ -86,6 +86,65 @@ pub fn pool_db(rows: usize) -> Database {
     let mut db = Database::new();
     tuple_pool(&mut db, POOL_TABLE, rows).expect("pool table");
     db
+}
+
+/// Name of the Slashdot-scale activity table used by the storage
+/// workloads.
+pub const ACTIVITY_TABLE: &str = "A";
+
+/// A database holding only the [`activity_pool`] table `A(id, topic,
+/// day)` with `rows` rows, every table created with the given storage
+/// backend.
+pub fn activity_db(rows: usize, kind: BackendKind) -> Database {
+    let mut db = Database::with_backend(kind);
+    activity_pool(&mut db, ACTIVITY_TABLE, rows).expect("activity table");
+    db
+}
+
+/// A [`partner_query`] variant over the activity table: user `i`'s body
+/// pins both the topic *and* the day of activity row `r = rows − 1 − i`,
+///
+/// ```text
+/// q_i = {R(u_p, y_p) : p ∈ partners}  R(u_i, x)  :-  A(x, g_{r%k}, r/k)
+/// ```
+///
+/// where `k = ⌈√rows⌉` matches the pool built by [`activity_db`]. The
+/// two body constants select exactly one row, but any *single*-column
+/// index bucket for either constant holds ≈√rows rows — and because `r`
+/// is the *largest* row id in its topic bucket (for `i < k`), a
+/// single-column scan walks the whole bucket before matching instead of
+/// stopping at its first candidate. Per-submit probe work therefore
+/// grows with √N on the plain row store and stays flat once a composite
+/// (topic, day) index is active.
+pub fn activity_partner_query(i: usize, partners: &[usize], rows: usize) -> EntangledQuery {
+    assert!(i < rows, "user id {i} needs an activity row to target");
+    let r = rows - 1 - i;
+    let k = activity_topic_count(rows);
+    let mut b = QueryBuilder::new(format!("q{i}"));
+    for &p in partners {
+        let y = format!("y{p}");
+        b = b.postcondition("R", |a| a.constant(user_name(p)).var(&y));
+    }
+    b.head("R", |a| a.constant(user_name(i)).var("x"))
+        .body(ACTIVITY_TABLE, |a| {
+            a.var("x")
+                .constant(format!("g{}", r % k))
+                .constant((r / k) as i64)
+        })
+        .build()
+        .expect("workload query is well-formed")
+}
+
+/// The Figure 4 list structure over the activity table: each query
+/// coordinates with the next, the last requires nobody. Pair with
+/// [`activity_db`]`(rows, kind)` for the storage-backend experiments.
+pub fn activity_chain_queries(n: usize, rows: usize) -> Vec<EntangledQuery> {
+    (0..n)
+        .map(|i| {
+            let partners: Vec<usize> = if i + 1 < n { vec![i + 1] } else { vec![] };
+            activity_partner_query(i, &partners, rows)
+        })
+        .collect()
 }
 
 /// The Figure 4 list-structure queries: each query coordinates with the
@@ -311,6 +370,21 @@ mod tests {
         let out = coord.run(&queries).unwrap();
         assert_eq!(out.stats.values_considered, 100);
         assert_eq!(out.best.as_ref().unwrap().members.len(), 12);
+    }
+
+    #[test]
+    fn activity_chain_coordinates_on_every_backend() {
+        let rows = 10_000; // k = 100: single-column buckets of 100 rows
+        let n = 12;
+        let queries = activity_chain_queries(n, rows);
+        let mut per_backend = Vec::new();
+        for kind in BackendKind::ALL {
+            let db = activity_db(rows, kind);
+            let out = SccCoordinator::new(&db).run(&queries).unwrap();
+            assert_eq!(out.found.len(), n, "backend {}", kind.name());
+            per_backend.push(out.best().unwrap().len());
+        }
+        assert!(per_backend.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -204,13 +204,19 @@ fn bench_online_throughput(c: &mut Criterion) {
 
         // Assert-while-measuring, observability overhead gate: the same
         // single-threaded workload through the sharded engine with an
-        // enabled registry (histograms + trace ring recording on every
-        // submit) vs a disabled one (one branch per instrument, no clock
-        // reads). Best-of-5 wall clock on each side to shed scheduler
-        // noise on the 1-CPU runner; the enabled run must stay within 5%
-        // (plus a 2ms absolute floor so a sub-millisecond quick workload
-        // cannot fail on timer granularity alone).
+        // enabled registry (histograms, plus the full request-scoped
+        // tracing path — a trace-id ticket per submit, ctx-stamped ring
+        // events, and an armed slow-query flight recorder whose
+        // threshold check runs on every root span) vs a disabled one
+        // (one branch per instrument, no clock reads). Best-of-5 wall
+        // clock on each side to shed scheduler noise on the 1-CPU
+        // runner; the enabled run must stay within 5% (plus a 2ms
+        // absolute floor so a sub-millisecond quick workload cannot
+        // fail on timer granularity alone).
         let run_once = |obs: coord_obs::Registry| -> std::time::Duration {
+            // 1s threshold: the per-root check is paid, captures stay
+            // rare — the cost under gate is the bookkeeping, not copies.
+            obs.set_slow_query_log(1_000_000_000, 32);
             let engine = SharedEngine::with_obs(
                 &db,
                 4,
@@ -252,6 +258,20 @@ fn bench_online_throughput(c: &mut Criterion) {
             "online_throughput/analysis/{n}: observability overhead {on:?} enabled \
              vs {off:?} disabled ({:+.1}%)",
             100.0 * (on.as_secs_f64() / off.as_secs_f64() - 1.0),
+        );
+
+        // The gated run is the *traced* configuration: verify (untimed)
+        // that an enabled registry really does put a nonzero trace id
+        // on every submit span — the gate must not pass by silently
+        // measuring id-less tracing.
+        let check = coord_obs::Registry::new();
+        run_once(check.clone());
+        let (events, _) = check.tracer().events();
+        let submits: Vec<_> = events.iter().filter(|e| e.kind == "submit").collect();
+        assert!(!submits.is_empty(), "traced run recorded no submit spans");
+        assert!(
+            submits.iter().all(|e| e.trace_id != 0),
+            "a submit span carried trace id 0 in the enabled run"
         );
     }
     group.finish();

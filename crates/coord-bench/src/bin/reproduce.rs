@@ -8,10 +8,11 @@
 //! emits every series as one machine-readable JSON array on stdout
 //! instead of the aligned text tables. `--only <section>` runs a single
 //! section (`fig4` … `fig8`, `hardness`, `shard_skew`, `differential`,
-//! `observability`, `storage`) — CI uses `--only shard_skew --json`,
-//! `--only differential --json`, `--only observability --json`, and
-//! `--only storage --json` to emit the `BENCH_shard_skew.json`,
-//! `BENCH_differential.json`, `BENCH_observability.json`, and
+//! `observability`, `trace`, `storage`) — CI uses `--only shard_skew
+//! --json`, `--only differential --json`, `--only observability
+//! --json`, `--only trace --json`, and `--only storage --json` to emit
+//! the `BENCH_shard_skew.json`, `BENCH_differential.json`,
+//! `BENCH_observability.json`, `BENCH_trace.json`, and
 //! `BENCH_storage.json` trajectory artifacts.
 
 use coord_bench::{drive_phase1, measure, series_to_json, Series};
@@ -80,6 +81,7 @@ fn main() {
         "shard_skew",
         "differential",
         "observability",
+        "trace",
         "storage",
     ];
     if let Some(section) = &only {
@@ -127,6 +129,9 @@ fn main() {
     }
     if report.wants("observability") {
         observability(quick, &mut report);
+    }
+    if report.wants("trace") {
+        trace(quick, &mut report);
     }
     if report.wants("storage") {
         storage(quick, &mut report);
@@ -521,6 +526,142 @@ fn observability(quick: bool, report: &mut Report) {
         }
         println!();
     }
+}
+
+/// Extra experiment (request-scoped tracing): contending submitter
+/// threads drive the unsat-cycle-with-spokes workload into one durable
+/// engine while every layer stamps its trace-ring events with the
+/// submitting request's trace id; `TraceAnalyzer` then attributes each
+/// request's wall time across lock-wait / evaluate / db-probe / memo /
+/// wal-append / wal-sync / other. Emitted as the CI `BENCH_trace.json`
+/// artifact, asserting while measuring that the books balance — every
+/// complete trace's phase sum equals its root span's wall nanos, and
+/// never exceeds it — and that a deliberately ring-overflowing sub-run
+/// still retains every over-threshold trace in the slow-query log.
+fn trace(quick: bool, report: &mut Report) {
+    use coord_obs::{Registry as ObsRegistry, TraceAnalyzer, PHASES};
+
+    let rows = if quick { 2_000 } else { 5_000 };
+    let cycle_len = if quick { 6 } else { 8 };
+    let spoke_count = if quick { 24 } else { 60 };
+    const THREADS: usize = 4;
+
+    let db = pool_db(rows);
+    let dir = TempDir::new("reproduce-trace");
+    let options = DurabilityOptions {
+        sync: SyncPolicy::EveryRecord,
+        snapshot_every: Some(64),
+    };
+    let obs = ObsRegistry::new();
+    let engine =
+        DurableSharedEngine::open_with_obs(&db, dir.path(), 4, options, obs.clone()).unwrap();
+
+    // The unsatisfiable cycle establishes one hot pending component…
+    let (cycle, spokes) = unsat_cycle_with_spokes(cycle_len, spoke_count);
+    let total = (cycle.len() + spokes.len()) as u64;
+    for q in cycle {
+        engine.submit(q).unwrap();
+    }
+    // …then the spokes race in from contending submitters, every one
+    // re-confronting that component's shard: lock-wait, evaluation,
+    // probes, memo hits, and WAL appends all interleave in the ring,
+    // each event stamped with its submitter's trace id.
+    std::thread::scope(|s| {
+        for chunk in spokes.chunks(spoke_count.div_ceil(THREADS)) {
+            let engine = &engine;
+            s.spawn(move || {
+                for q in chunk.iter().cloned() {
+                    engine.submit(q).unwrap();
+                }
+            });
+        }
+    });
+
+    let analyzer = TraceAnalyzer::from_tracer(&obs.tracer());
+    let mut complete = 0u32;
+    for t in analyzer.traces() {
+        if t.complete {
+            complete += 1;
+            assert_eq!(
+                t.breakdown.phase_sum(),
+                t.breakdown.critical_path_nanos,
+                "complete trace {}: phases must sum to the root span's wall nanos",
+                t.trace_id
+            );
+        } else if t.breakdown.critical_path_nanos > 0 {
+            assert!(
+                t.breakdown.phase_sum() <= t.breakdown.critical_path_nanos,
+                "trace {}: phase sum exceeds measured submit wall time",
+                t.trace_id
+            );
+        }
+    }
+    assert!(
+        complete > 0,
+        "the default ring must capture complete traces"
+    );
+
+    // Per-phase p50/p99 across complete traces; the series name spells
+    // out the x-axis (phase index) so the JSON artifact is
+    // self-describing.
+    let pct = analyzer.phase_percentiles();
+    let axis = format!("[{}, critical_path]", PHASES.join(", "));
+    let mut p50 = Series::new(format!("Tracing — per-phase p50 ns, x = phase {axis}"));
+    let mut p99 = Series::new(format!("Tracing — per-phase p99 ns, x = phase {axis}"));
+    for (i, (_, lo, hi)) in pct.iter().enumerate() {
+        p50.push(i as u64, *lo as f64, complete);
+        p99.push(i as u64, *hi as f64, complete);
+    }
+    report.add(p50);
+    report.add(p99);
+    for (name, lo, hi) in &pct {
+        report.note(format_args!("  {name:>14}: p50 {lo:>9} ns  p99 {hi:>9} ns"));
+    }
+    report.note(format_args!(
+        "({} traces reconstructed, {complete} complete, {} unattributed events, \
+         {} orphaned ends, {} dropped)",
+        analyzer.traces().len(),
+        analyzer.unattributed_events,
+        analyzer.orphaned_ends,
+        analyzer.dropped,
+    ));
+
+    // Flight-recorder sub-run: a 64-event ring overflows many times
+    // over, yet with a 1ns threshold (every root qualifies) the
+    // slow-query log must still retain every submitted trace.
+    let obs = ObsRegistry::with_trace_capacity(64);
+    obs.set_slow_query_log(1, total as usize + 8);
+    let dir = TempDir::new("reproduce-trace-slow");
+    let engine = DurableSharedEngine::open_with_obs(
+        &db,
+        dir.path(),
+        4,
+        DurabilityOptions {
+            sync: SyncPolicy::EveryRecord,
+            snapshot_every: Some(64),
+        },
+        obs.clone(),
+    )
+    .unwrap();
+    let (cycle, spokes) = unsat_cycle_with_spokes(cycle_len, spoke_count);
+    for q in cycle.into_iter().chain(spokes) {
+        engine.submit(q).unwrap();
+    }
+    let (_, ring_dropped) = obs.tracer().events();
+    assert!(
+        ring_dropped > 0,
+        "the 64-event ring must overflow during {total} submits"
+    );
+    let (recorded, discarded) = obs.tracer().slow_trace_counts();
+    assert_eq!(
+        (recorded, discarded),
+        (total, 0),
+        "slow-query log must retain every over-threshold trace despite ring overflow"
+    );
+    report.note(format_args!(
+        "(flight recorder: {recorded} slow traces retained across a ring that \
+         dropped {ring_dropped} events)"
+    ));
 }
 
 /// Extra experiment (storage backends): per-submit database probe work

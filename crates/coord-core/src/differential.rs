@@ -60,7 +60,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use coord_obs::{Counter, Tracer};
+use coord_obs::{Counter, TraceCtx, Tracer};
 use parking_lot::Mutex;
 
 use crate::combined::unify_members_counted;
@@ -436,7 +436,10 @@ impl ClosureCache {
 
     /// Export this cache's counters through `obs` (as `memo_hits`,
     /// `memo_misses`, `memo_evictions`, `memo_ground_work`) and route
-    /// per-lookup `cache_hit`/`cache_miss` instants into its tracer.
+    /// per-lookup `cache_hit`/`cache_miss` instants into its tracer —
+    /// stamped with the submitting request's [`TraceCtx`] and carrying
+    /// the lookup's nanos as `arg`, so the trace analyzer can attribute
+    /// memo time per trace.
     pub fn attach(&self, obs: &coord_obs::Registry) {
         obs.register_counter("memo_hits", &self.hits);
         obs.register_counter("memo_misses", &self.misses);
@@ -448,20 +451,32 @@ impl ClosureCache {
     /// Look up a closure verdict by key.
     pub fn lookup(&self, key: u128) -> Option<CachedVerdict> {
         let mut inner = self.inner.lock();
+        // Timed only when a tracer is attached (no clock reads on the
+        // unattached path); the instant's arg is the lookup's nanos.
+        let started = inner.tracer.is_enabled().then(std::time::Instant::now);
         inner.generation += 1;
         let generation = inner.generation;
         match inner.map.get_mut(&key) {
             Some(e) => {
                 e.last_used = generation;
                 let v = e.verdict.clone();
-                let members = e.members.len() as u64;
                 self.hits.incr();
-                inner.tracer.instant("cache_hit", members);
+                if let Some(t) = started {
+                    let nanos = t.elapsed().as_nanos() as u64;
+                    inner
+                        .tracer
+                        .instant_in(TraceCtx::current(), "cache_hit", nanos);
+                }
                 Some(v)
             }
             None => {
                 self.misses.incr();
-                inner.tracer.instant("cache_miss", 0);
+                if let Some(t) = started {
+                    let nanos = t.elapsed().as_nanos() as u64;
+                    inner
+                        .tracer
+                        .instant_in(TraceCtx::current(), "cache_miss", nanos);
+                }
                 None
             }
         }

@@ -301,10 +301,16 @@ impl<'a> DurableSharedEngine<'a> {
     /// Open with an explicit observability registry threaded through
     /// the whole durable stack — one [`ObsRegistry::snapshot`] then
     /// covers submit latency, WAL append/sync, snapshot rotations,
-    /// migrations, rebalance passes, the closure cache's `memo_*`
-    /// counters, and the database's `db_*` probe counters plus the
-    /// `db_probe_nanos` histogram. Pass [`ObsRegistry::disabled`] for
-    /// near-zero-cost instruments.
+    /// migrations, rebalance passes, per-shard `shard_pending` /
+    /// `engine_inflight` gauges, the closure cache's `memo_*` counters,
+    /// and the database's `db_*` probe counters plus the
+    /// `db_probe_nanos` histogram. Every submit also opens a
+    /// request-scoped trace ticket ([`coord_obs::TraceCtx`]) at the
+    /// durable entry point, so lock-wait, evaluation, storage probes,
+    /// memo lookups and WAL append/sync events in the trace ring all
+    /// carry that submit's trace id — [`coord_obs::TraceAnalyzer`]
+    /// turns the ring into per-request latency breakdowns. Pass
+    /// [`ObsRegistry::disabled`] for near-zero-cost instruments.
     pub fn open_with_obs(
         db: &'a Database,
         dir: impl AsRef<Path>,

@@ -22,7 +22,7 @@
 //! growing across [`QueryStats::reset`] (which only zeroes the local
 //! counters the tests read).
 
-use coord_obs::{Counter, Histogram, Registry};
+use coord_obs::{Counter, Histogram, Registry, TraceCtx, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -39,6 +39,7 @@ struct ObsMirror {
     index_hits: Counter,
     index_misses: Counter,
     probe_nanos: Histogram,
+    tracer: Tracer,
 }
 
 /// Thread-safe counters of query activity against a [`crate::Database`].
@@ -66,8 +67,9 @@ impl QueryStats {
     }
 
     /// Mirror all counters into `registry` under `db_*` names and start
-    /// recording probe latencies into the `db_probe_nanos` histogram.
-    /// The first attach wins; later calls are no-ops.
+    /// recording probe latencies into the `db_probe_nanos` histogram and
+    /// as request-attributed `db_probe` trace instants. The first attach
+    /// wins; later calls are no-ops.
     pub(crate) fn attach(&self, registry: &Registry) {
         let _ = self.obs.set(ObsMirror {
             find_one: registry.counter("db_find_one"),
@@ -79,6 +81,7 @@ impl QueryStats {
             index_hits: registry.counter("db_index_hits"),
             index_misses: registry.counter("db_index_misses"),
             probe_nanos: registry.histogram("db_probe_nanos"),
+            tracer: registry.tracer(),
         });
     }
 
@@ -93,10 +96,14 @@ impl QueryStats {
     }
 
     /// Record the elapsed time of a probe started with
-    /// [`QueryStats::probe_timer`].
+    /// [`QueryStats::probe_timer`], both into the `db_probe_nanos`
+    /// histogram and as a `db_probe` trace instant stamped with the
+    /// submitting request's [`TraceCtx`].
     pub(crate) fn observe_probe(&self, started: Option<Instant>) {
         if let (Some(t), Some(m)) = (started, self.obs.get()) {
-            m.probe_nanos.record_duration(t.elapsed());
+            let nanos = t.elapsed().as_nanos() as u64;
+            m.probe_nanos.record(nanos);
+            m.tracer.instant_in(TraceCtx::current(), "db_probe", nanos);
         }
     }
 

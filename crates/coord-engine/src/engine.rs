@@ -290,7 +290,13 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> IncrementalEngine<Q, V> {
         EngineMetrics::add(&self.metrics.evaluations, 1);
 
         let verdict = {
-            let _span = self.tracer.begin("evaluate");
+            // The evaluate span carries the submit's request id (the
+            // sharded layer installed it as the thread's current
+            // context); a bare engine with no enclosing ticket records
+            // id 0 as before.
+            let _span = self
+                .tracer
+                .begin_in(coord_obs::TraceCtx::current(), "evaluate");
             self.evaluator.evaluate(&batch)?
         };
 

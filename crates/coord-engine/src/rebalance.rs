@@ -100,8 +100,12 @@ impl Rebalancer {
         Q: CoordinationQuery,
         V: ComponentEvaluator<Q>,
     {
+        // A rebalance pass is its own request: the ticket allocates a
+        // fresh trace id (no submit ctx is current on this thread), so
+        // the migrations it triggers are attributed to the pass rather
+        // than blending into unattributed background noise.
         let obs = engine.obs_handles();
-        let _span = obs.tracer.begin("rebalance");
+        let _span = obs.tracer.ticket("rebalance");
         let _timer = obs.rebalance_hist.start();
         let stats = engine.shard_stats();
         let cumulative: Vec<u64> = stats.iter().map(|s| s.load()).collect();

@@ -83,7 +83,7 @@ use crate::engine::{
 };
 use crate::index::{keys_related, KeyPattern};
 use crate::metrics::{EngineMetrics, ShardStats, ShardStatsSnapshot};
-use coord_obs::{Histogram, Registry, Tracer};
+use coord_obs::{Gauge, Histogram, Registry, TraceCtx, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -309,6 +309,9 @@ struct Shard<Q: CoordinationQuery, V> {
     /// Shared with the shard's engine (which records its evaluation
     /// work here) and read lock-free by placement and the rebalancer.
     stats: Arc<ShardStats>,
+    /// Queue-depth gauge (`shard_pending_<i>`): the shard's pending-set
+    /// size, refreshed after every mutation under the shard lock.
+    pending_gauge: Gauge,
 }
 
 /// Key groups moved by migrations performed for one submission:
@@ -368,6 +371,10 @@ pub(crate) struct EngineObs {
     pub(crate) migration_hist: Histogram,
     /// Duration of one rebalancer detection + move pass.
     pub(crate) rebalance_hist: Histogram,
+    /// Submits currently inside the engine (`engine_inflight` gauge) —
+    /// the admission-control signal the ROADMAP's async front-end
+    /// consumes alongside the per-shard queue depths.
+    pub(crate) inflight: Gauge,
     pub(crate) tracer: Tracer,
 }
 
@@ -378,9 +385,27 @@ impl EngineObs {
             lock_wait_hist: registry.histogram("engine_lock_wait_nanos"),
             migration_hist: registry.histogram("engine_migration_nanos"),
             rebalance_hist: registry.histogram("engine_rebalance_nanos"),
+            inflight: registry.gauge("engine_inflight"),
             tracer: registry.tracer(),
             registry,
         }
+    }
+}
+
+/// Guard holding the `engine_inflight` gauge up by one for the duration
+/// of one submit.
+struct InflightGuard<'a>(&'a Gauge);
+
+impl<'a> InflightGuard<'a> {
+    fn enter(gauge: &'a Gauge) -> Self {
+        gauge.incr();
+        InflightGuard(gauge)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.decr();
     }
 }
 
@@ -429,7 +454,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V>
         let metrics = Arc::new(EngineMetrics::new());
         metrics.register(&obs.registry);
         let shards = (0..shards)
-            .map(|_| {
+            .map(|i| {
                 let stats = Arc::new(ShardStats::default());
                 let mut engine =
                     IncrementalEngine::with_metrics(evaluator.clone(), Arc::clone(&metrics));
@@ -438,6 +463,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q> + Clone> ShardedEngine<Q, V>
                 Shard {
                     engine: Mutex::new(engine),
                     stats,
+                    pending_gauge: obs.registry.gauge(&format!("shard_pending_{i}")),
                 }
             })
             .collect();
@@ -536,7 +562,9 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 let waited = start.elapsed().as_nanos() as u64;
                 EngineMetrics::add(&shard.stats.lock_wait_nanos, waited);
                 self.obs.lock_wait_hist.record(waited);
-                self.obs.tracer.instant("lock_wait", waited);
+                self.obs
+                    .tracer
+                    .instant_in(TraceCtx::current(), "lock_wait", waited);
                 guard
             }
         }
@@ -585,7 +613,11 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// commit record to that shard's WAL stream, so the per-shard
     /// stream mapping stays correct as components move between shards.
     pub fn submit_with_shard(&self, query: Q) -> ShardedSubmit<Q, V> {
-        let _span = self.obs.tracer.begin("submit");
+        // One TraceCtx per submit: allocated here unless an enclosing
+        // layer (the durable engine) already installed the request's
+        // context on this thread, in which case the ticket nests.
+        let _ticket = self.obs.tracer.ticket("submit");
+        let _inflight = InflightGuard::enter(&self.obs.inflight);
         let _timer = self.obs.submit_hist.start();
         let qkeys = route_keys(&query);
         let mut migrated: MigrationRecord<Q> = Vec::new();
@@ -678,10 +710,15 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                     continue;
                 }
                 EngineMetrics::add(&shard.stats.submits, 1);
-                let _span = self.obs.tracer.begin("submit");
+                // The batch fast path still gets one TraceCtx per query
+                // — ids must not collapse just because the routing was
+                // amortized.
+                let _ticket = self.obs.tracer.ticket("submit");
+                let _inflight = InflightGuard::enter(&self.obs.inflight);
                 let _timer = self.obs.submit_hist.start();
                 results[i] = Some(engine.submit(slots[i].take().expect("query unconsumed")));
             }
+            shard.pending_gauge.set(engine.pending_count() as u64);
         }
 
         // Slow path: unclaimed queries run the full one-query protocol;
@@ -694,7 +731,8 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             match targets[i] {
                 None => results[i] = Some(self.submit(query)),
                 Some(t0) => {
-                    let _span = self.obs.tracer.begin("submit");
+                    let _ticket = self.obs.tracer.ticket("submit");
+                    let _inflight = InflightGuard::enter(&self.obs.inflight);
                     let _timer = self.obs.submit_hist.start();
                     let mut migrated: MigrationRecord<Q> = Vec::new();
                     let (_, outcome) =
@@ -872,7 +910,10 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         sources: &[usize],
         target: usize,
     ) -> (MigrationRecord<Q>, usize) {
-        let _span = self.obs.tracer.begin("migrate");
+        // A migration performed on behalf of a bridging submit carries
+        // that submit's trace id; rebalancer-driven moves run with no
+        // current context and stay unattributed (id 0).
+        let _span = self.obs.tracer.begin_in(TraceCtx::current(), "migrate");
         let _timer = self.obs.migration_hist.start();
         // Freeze: grow the marked set to the transitive key closure of
         // the components being moved. Marked keys block related routing,
@@ -910,7 +951,14 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         let mut migrated: MigrationRecord<Q> = Vec::new();
         let mut queries_moved = 0usize;
         for &src in sources {
-            let moved = self.shards[src].engine.lock().extract_related(&seed);
+            let moved = {
+                let mut engine = self.shards[src].engine.lock();
+                let moved = engine.extract_related(&seed);
+                self.shards[src]
+                    .pending_gauge
+                    .set(engine.pending_count() as u64);
+                moved
+            };
             if moved.is_empty() {
                 continue;
             }
@@ -928,6 +976,9 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                     }
                     tgt.insert_pending(q);
                 }
+                self.shards[target]
+                    .pending_gauge
+                    .set(tgt.pending_count() as u64);
             }
             migrated.push((src, moved_keys));
         }
@@ -1048,7 +1099,9 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             if record_submit {
                 EngineMetrics::add(&shard.stats.submits, 1);
             }
-            break (target, (op.take().expect("op runs once"))(&mut engine));
+            let result = (op.take().expect("op runs once"))(&mut engine);
+            shard.pending_gauge.set(engine.pending_count() as u64);
+            break (target, result);
         }
     }
 

@@ -33,21 +33,47 @@
 //!
 //! # Reading a trace dump
 //!
-//! [`Tracer::dump_json_lines`] emits one meta line (`events`, `dropped`)
-//! followed by one JSON object per event: `seq` (gap-free unless events
-//! were dropped), `at_ns` (nanoseconds since the tracer was created),
-//! `kind` (`submit`, `evaluate`, `migrate`, `rebalance`, `wal_append`,
-//! `wal_sync`, `snapshot_rotation`, `cache_hit`, `cache_miss`, …),
-//! `phase` (`begin` / `end` / `instant`) and `arg` (the span duration in
-//! nanoseconds on `end` events, a free slot otherwise). One submit's
-//! journey reads as the `begin`/`end` pairs nested between its `submit`
-//! span: evaluation, WAL append, sync, and any cache events in between.
+//! [`Tracer::dump_json_lines`] emits one meta line (`events`, `dropped`,
+//! `orphaned_ends`) followed by one JSON object per event: `seq`
+//! (gap-free unless events were dropped), `at_ns` (nanoseconds since
+//! the tracer was created), `kind` (`submit`, `evaluate`, `migrate`,
+//! `rebalance`, `wal_append`, `wal_sync`, `snapshot_rotation`,
+//! `cache_hit`, `cache_miss`, `lock_wait`, `db_probe`, …), `phase`
+//! (`begin` / `end` / `instant`), `arg` (the span duration in
+//! nanoseconds on `end` events, a free slot otherwise), `trace` (the
+//! request id; 0 = unattributed) and `thread` (a dense per-process
+//! thread ordinal). One submit's journey reads as the `begin`/`end`
+//! pairs nested between its `submit` span: evaluation, WAL append,
+//! sync, and any cache events in between.
+//!
+//! # Request-scoped tracing
+//!
+//! Concurrent submitters interleave in the ring; the `trace` id is what
+//! untangles them. Each submit allocates one [`TraceCtx`] (a
+//! [`Tracer::ticket`] at the stack's entry point), installs it as the
+//! thread-local current context, and every layer below — shard
+//! lock-wait, closure evaluation, storage probes, memo lookups, WAL
+//! append/sync — stamps its events with it. [`TraceAnalyzer`] rebuilds
+//! per-trace span trees from the ring and attributes each root span's
+//! wall time into a [`LatencyBreakdown`] (lock-wait / evaluate /
+//! db-probe / memo / wal-append / wal-sync / other, summing to exactly
+//! the critical-path nanos for a complete trace), with a top-K
+//! slow-trace JSON report next to the snapshot exporters. The
+//! [`Tracer::set_slow_query_log`] flight recorder copies any trace
+//! whose root span exceeds a threshold into a bounded side buffer, so
+//! slow traces survive ring overwrite. An `end` event whose `begin`
+//! was overwritten is an *orphaned end*, counted in the dump meta line
+//! and the analyzer output instead of reading as a silent seq gap.
 
+pub mod analyze;
 pub mod export;
 pub mod hist;
 pub mod registry;
 pub mod trace;
 
+pub use analyze::{LatencyBreakdown, SpanNode, TraceAnalyzer, TraceSummary, PHASES};
 pub use hist::{HistTimer, Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, ObsSnapshot, Registry};
-pub use trace::{Span, TraceEvent, TracePhase, Tracer};
+pub use trace::{
+    SlowTrace, Span, TraceCtx, TraceEvent, TracePhase, TraceScope, TraceTicket, Tracer,
+};

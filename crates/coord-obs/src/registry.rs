@@ -5,7 +5,7 @@
 //! submit's full journey.
 
 use crate::hist::{Histogram, HistogramSnapshot};
-use crate::trace::{Tracer, DEFAULT_CAPACITY};
+use crate::trace::{TraceCtx, Tracer, DEFAULT_CAPACITY};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -59,6 +59,19 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: u64) {
         self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add one (relaxed) — for up/down gauges like in-flight counts.
+    #[inline]
+    pub fn incr(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract one (relaxed). Saturation is the caller's problem: an
+    /// unmatched `decr` wraps, exactly like an unmatched lock release.
+    #[inline]
+    pub fn decr(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Current value (relaxed).
@@ -192,6 +205,24 @@ impl Registry {
         match &self.inner {
             None => Tracer::disabled(),
             Some(inner) => inner.tracer.clone(),
+        }
+    }
+
+    /// Allocate one request-scoped [`TraceCtx`] from the registry's
+    /// tracer — the per-submit id every attributed event carries.
+    /// Disabled registries hand out [`TraceCtx::NONE`].
+    pub fn trace_ctx(&self) -> TraceCtx {
+        match &self.inner {
+            None => TraceCtx::NONE,
+            Some(inner) => inner.tracer.alloc_ctx(),
+        }
+    }
+
+    /// Arm the tracer's slow-query flight recorder (see
+    /// [`Tracer::set_slow_query_log`]). No-op when disabled.
+    pub fn set_slow_query_log(&self, threshold_nanos: u64, capacity: usize) {
+        if let Some(inner) = &self.inner {
+            inner.tracer.set_slow_query_log(threshold_nanos, capacity);
         }
     }
 

@@ -483,6 +483,12 @@ where
         &self,
         query: Q,
     ) -> Result<SubmitOutcome<Q, V::Delivery>, DurableError<V::Error>> {
+        // Open the request's root trace ticket here, at the durable
+        // stack's entry point, so the root "submit" span covers the
+        // engine apply *and* the WAL append/sync that follow it; the
+        // sharded engine's own submit ticket nests under this context
+        // and reuses the same trace id.
+        let _ticket = self.inner.obs().tracer().ticket("submit");
         let mut qbytes = Vec::new();
         self.codec.encode(&query, &mut qbytes);
         // Reserve the seq *before* the engine apply so a concurrent

@@ -45,7 +45,7 @@ use crate::bytes::{put_bytes, put_u32, put_u64, Reader};
 use crate::error::StoreError;
 use crate::frame::{scan_frames, write_frame};
 use crate::wal::{read_wal, SyncPolicy, WalWriter, WAL_HEADER_LEN};
-use coord_obs::{Counter, Gauge, Histogram, Registry as ObsRegistry, Tracer};
+use coord_obs::{Counter, Gauge, Histogram, Registry as ObsRegistry, TraceCtx, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -460,7 +460,7 @@ impl CoordStore {
         let payload = record.encode();
         let state = self.state.read();
         let mut wal = state.wals[stream % state.wals.len()].lock();
-        let _span = self.obs.tracer.begin("wal_append");
+        let _span = self.obs.tracer.begin_in(TraceCtx::current(), "wal_append");
         let _timer = self.obs.append_hist.start();
         let end = wal.append(&payload)?;
         self.records_appended.incr();
@@ -512,7 +512,10 @@ impl CoordStore {
     where
         F: FnOnce() -> (u64, Vec<(u64, Vec<u8>)>),
     {
-        let _span = self.obs.tracer.begin("snapshot_rotation");
+        let _span = self
+            .obs
+            .tracer
+            .begin_in(TraceCtx::current(), "snapshot_rotation");
         let _timer = self.obs.rotation_hist.start();
         let mut state = self.state.write();
         let (next_seq, entries) = capture();

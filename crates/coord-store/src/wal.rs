@@ -13,7 +13,7 @@
 
 use crate::error::StoreError;
 use crate::frame::{scan_frames, write_frame};
-use coord_obs::{Histogram, Tracer};
+use coord_obs::{Histogram, TraceCtx, Tracer};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -104,7 +104,10 @@ impl WalWriter {
         if let Some(start) = start {
             let nanos = start.elapsed().as_nanos() as u64;
             self.sync_hist.record(nanos);
-            self.tracer.instant("wal_sync", nanos);
+            // The sync runs inside the submitting request's wal_append
+            // span, so the thread-local ctx attributes it to that trace.
+            self.tracer
+                .instant_in(TraceCtx::current(), "wal_sync", nanos);
         }
         self.appended_since_sync = 0;
         Ok(())

@@ -241,6 +241,58 @@ fn trace_ring_overflow_counts_drops_and_keeps_the_tail() {
         .contains(&format!("\"dropped\":{}", EMITTED - CAPACITY as u64)));
 }
 
+/// Satellite: the per-shard `shard_pending_<i>` gauges and the
+/// `engine_inflight` gauge are registered by construction, track live
+/// state, and show up in both exporters.
+#[test]
+fn shard_pending_and_inflight_gauges_track_live_state() {
+    let db = pool_db(2_000);
+    let shards = 4;
+    let engine = SharedEngine::with_obs(
+        &db,
+        shards,
+        Placement::default(),
+        RebalanceConfig::default(),
+        Registry::new(),
+    );
+    // A full chain coordinates, retires, and leaves nothing behind…
+    for q in fig4_queries(10) {
+        engine.submit(q).unwrap();
+    }
+    // …while an unsatisfiable cycle plus spokes stays pending forever.
+    let (cycle, spokes) = unsat_cycle_with_spokes(8, 6);
+    for q in cycle.into_iter().chain(spokes) {
+        engine.submit(q).unwrap();
+    }
+
+    let snap = engine.obs().snapshot();
+    let pending_total: u64 = (0..shards)
+        .map(|i| {
+            snap.gauge(&format!("shard_pending_{i}"))
+                .expect("per-shard gauge registered at construction")
+        })
+        .sum();
+    assert_eq!(
+        pending_total as usize,
+        engine.pending_count(),
+        "shard_pending gauges must sum to the live pending count"
+    );
+    assert!(pending_total > 0, "the unsat cycle stays pending");
+    assert_eq!(
+        snap.gauge("engine_inflight").unwrap(),
+        0,
+        "no submit is in flight after all submits returned"
+    );
+
+    // Both exporters carry the gauges.
+    let json = snap.to_json();
+    let prom = snap.to_prometheus();
+    for name in ["shard_pending_0", "engine_inflight"] {
+        assert!(json.contains(name), "JSON exporter missing {name}");
+        assert!(prom.contains(name), "Prometheus exporter missing {name}");
+    }
+}
+
 /// A disabled registry records nothing and exports nothing, and the
 /// engine runs fine on top of it.
 #[test]

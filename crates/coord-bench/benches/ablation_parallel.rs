@@ -28,7 +28,7 @@ fn bench_parallel_sweep(c: &mut Criterion) {
                 .unwrap()
                 .best
                 .map(|s| s.members.len())
-        })
+        });
     });
     for threads in [2, 4, 8] {
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
@@ -38,7 +38,7 @@ fn bench_parallel_sweep(c: &mut Criterion) {
                     .unwrap()
                     .best
                     .map(|s| s.members.len())
-            })
+            });
         });
     }
     group.finish();
@@ -81,7 +81,7 @@ fn bench_scc_parallel_sweep(c: &mut Criterion) {
             let out = coordinator.run(&queries).unwrap();
             assert_eq!(out.stats.db_queries, queries.len());
             out.found.len()
-        })
+        });
     });
     for threads in [2, 4, 8] {
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
@@ -92,7 +92,7 @@ fn bench_scc_parallel_sweep(c: &mut Criterion) {
                 assert_eq!(out.found, sequential.found);
                 assert_eq!(out.stats, sequential.stats);
                 out.found.len()
-            })
+            });
         });
     }
     group.finish();

@@ -44,14 +44,14 @@ fn bench_cycle_vs_list(c: &mut Criterion) {
                 let out = SccCoordinator::new(&db).run(qs).unwrap();
                 assert_eq!(out.stats.db_queries, n);
                 out.stats.db_queries
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("cycle", n), &cycle, |b, qs| {
             b.iter(|| {
                 let out = SccCoordinator::new(&db).run(qs).unwrap();
                 assert_eq!(out.stats.db_queries, 1);
                 out.stats.db_queries
-            })
+            });
         });
     }
     group.finish();
@@ -171,7 +171,7 @@ fn bench_preprocessing_cut(c: &mut Criterion) {
                 let out = SccCoordinator::new(&db).run(qs).unwrap();
                 assert_eq!(out.stats.removed, 1);
                 out.stats.db_queries
-            })
+            });
         });
     }
     group.finish();
@@ -189,8 +189,8 @@ fn bench_scc_vs_bruteforce(c: &mut Criterion) {
                     .run(qs)
                     .unwrap()
                     .best()
-                    .map(|f| f.len())
-            })
+                    .map(coord_core::FoundSet::len)
+            });
         });
         group.bench_with_input(BenchmarkId::new("bruteforce", n), &queries, |b, qs| {
             b.iter(|| {
@@ -198,7 +198,7 @@ fn bench_scc_vs_bruteforce(c: &mut Criterion) {
                     .unwrap()
                     .best
                     .map(|f| f.len())
-            })
+            });
         });
     }
     group.finish();

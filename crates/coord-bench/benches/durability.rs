@@ -86,7 +86,7 @@ fn bench_durability(c: &mut Criterion) {
                 }
                 assert_eq!(engine.pending().len(), n);
                 engine.store_stats().records_appended
-            })
+            });
         });
 
         // Live submission with periodic snapshots (epoch rotation).
@@ -106,7 +106,7 @@ fn bench_durability(c: &mut Criterion) {
                     let stats = engine.store_stats();
                     assert!(stats.snapshots_taken >= 7, "too few rotations: {stats:?}");
                     stats.snapshots_taken
-                })
+                });
             },
         );
 
@@ -127,7 +127,7 @@ fn bench_durability(c: &mut Criterion) {
                 assert_eq!(engine.recovery_report().records_replayed, n);
                 assert_eq!(engine.pending().len(), n);
                 engine.pending().len()
-            })
+            });
         });
 
         // Sharded durable service: 4 submitter threads over disjoint
@@ -152,7 +152,7 @@ fn bench_durability(c: &mut Criterion) {
                     });
                     assert_eq!(engine.pending_count(), n);
                     engine.store_stats().records_appended
-                })
+                });
             },
         );
 

@@ -20,7 +20,7 @@ fn bench_fig4(c: &mut Criterion) {
                 let out = SccCoordinator::new(&db).run(queries).unwrap();
                 assert_eq!(out.best().unwrap().len(), n);
                 out.stats.db_queries
-            })
+            });
         });
     }
     group.finish();

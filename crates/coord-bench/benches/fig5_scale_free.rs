@@ -23,10 +23,10 @@ fn bench_fig5(c: &mut Criterion) {
                 let mut total = 0usize;
                 for queries in ws {
                     let out = SccCoordinator::new(&db).run(queries).unwrap();
-                    total += out.best().map(|f| f.len()).unwrap_or(0);
+                    total += out.best().map_or(0, coord_core::FoundSet::len);
                 }
                 total
-            })
+            });
         });
     }
     group.finish();

@@ -27,7 +27,7 @@ fn bench_fig6(c: &mut Criterion) {
                     comps += pre.cond.len();
                 }
                 comps
-            })
+            });
         });
     }
     group.finish();

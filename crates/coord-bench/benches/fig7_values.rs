@@ -20,7 +20,7 @@ fn bench_fig7(c: &mut Criterion) {
                 let out = coordinator.run(queries).unwrap();
                 assert_eq!(out.stats.values_considered, rows);
                 out.best.map(|s| s.members.len())
-            })
+            });
         });
     }
     group.finish();

@@ -19,7 +19,7 @@ fn bench_fig8(c: &mut Criterion) {
                 let out = coordinator.run(queries).unwrap();
                 assert_eq!(out.best.as_ref().map(|s| s.members.len()), Some(n));
                 out.stats.db_queries
-            })
+            });
         });
     }
     group.finish();

@@ -38,7 +38,7 @@ fn bench_hardness(c: &mut Criterion) {
                                 .is_some()
                         })
                         .count()
-                })
+                });
             },
         );
     }

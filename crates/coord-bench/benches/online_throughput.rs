@@ -41,7 +41,10 @@ fn group_queries(group: usize, rng: &mut impl Rng) -> Vec<EntangledQuery> {
     let offset = group * GROUP;
     (0..GROUP)
         .map(|i| {
-            let mut partners: Vec<usize> = graph.successors(NodeId(i)).map(|s| s.index()).collect();
+            let mut partners: Vec<usize> = graph
+                .successors(NodeId(i))
+                .map(coord_graph::NodeId::index)
+                .collect();
             if partners.is_empty() && i != keystone {
                 // Seed nodes point at the keystone so the whole group
                 // waits for it.
@@ -110,7 +113,7 @@ fn bench_online_throughput(c: &mut Criterion) {
                     "rebuild examined {examined} ≤ n²/8"
                 );
                 examined
-            })
+            });
         });
 
         group.bench_with_input(
@@ -142,7 +145,7 @@ fn bench_online_throughput(c: &mut Criterion) {
                         snap.pairings_checked
                     );
                     snap.queries_evaluated
-                })
+                });
             },
         );
 
@@ -175,7 +178,7 @@ fn bench_online_throughput(c: &mut Criterion) {
                     });
                     assert!(engine.metrics().batches >= (GROUP - 1) as u64);
                     engine.delivered()
-                })
+                });
             },
         );
 

@@ -73,7 +73,7 @@ fn bench_shard_skew(c: &mut Criterion) {
                 let run = drive_phase1(&engine, &w.phase1, None);
                 assert_eq!(engine.pending_count(), n);
                 run.hottest_share
-            })
+            });
         });
 
         group.bench_with_input(BenchmarkId::new("rebalanced", n), &w, |b, w| {
@@ -87,7 +87,7 @@ fn bench_shard_skew(c: &mut Criterion) {
                 let run = drive_phase1(&engine, &w.phase1, Some(REBALANCE_EVERY));
                 assert_eq!(engine.pending_count(), n);
                 run.hottest_share
-            })
+            });
         });
 
         // ── Assert-while-measuring: the skew analysis ────────────────

@@ -135,7 +135,7 @@ fn bench_storage(c: &mut Criterion) {
                 "row-store per-submit probe work grew only {growth:.2}×; \
                  the workload no longer stresses single-column buckets"
             ),
-            _ => {}
+            BackendKind::Columnar => {}
         }
     }
 }

@@ -4,6 +4,8 @@
 //! `reproduce` binary that regenerates every figure of the paper's
 //! Section 6 evaluation.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod skew;
 

@@ -305,7 +305,7 @@ mod tests {
         let queries: Vec<_> = (0..21)
             .map(|i| {
                 QueryBuilder::new(format!("q{i}"))
-                    .head("R", |a| a.constant(i as i64).var("x"))
+                    .head("R", |a| a.constant(i64::from(i)).var("x"))
                     .body("Flights", |a| a.var("x").constant("Zurich"))
                     .build()
                     .unwrap()

@@ -182,9 +182,8 @@ pub fn coordinate_members(
 ) -> Result<Option<Grounding>, CoordError> {
     let index = HeadIndex::build(qs);
     let subst = Substitution::identity(qs.total_vars());
-    let mut subst = match unify_members(qs, members, subst, &index) {
-        Ok(s) => s,
-        Err(_) => return Ok(None),
+    let Ok(mut subst) = unify_members(qs, members, subst, &index) else {
+        return Ok(None);
     };
     ground_members(db, qs, members, &mut subst)
 }

@@ -287,8 +287,14 @@ impl ConsistentConfig {
         ConsistentConfig {
             table: table.into(),
             key: key.into(),
-            coord_attrs: coord_attrs.iter().map(|s| s.to_string()).collect(),
-            personal_attrs: personal_attrs.iter().map(|s| s.to_string()).collect(),
+            coord_attrs: coord_attrs
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+            personal_attrs: personal_attrs
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             friends: friends.into(),
         }
     }
@@ -944,7 +950,7 @@ mod tests {
         let coord = ConsistentCoordinator::new(&db, movies_config()).unwrap();
         let out = coord.run(&movies_queries()).unwrap();
         let n = movies_queries().len();
-        let best_len = out.best.as_ref().map(|b| b.members.len()).unwrap_or(0);
+        let best_len = out.best.as_ref().map_or(0, |b| b.members.len());
         assert_eq!(out.stats.db_queries, n + 3 + best_len);
         assert!(out.stats.db_queries <= 2 * n + best_len);
     }

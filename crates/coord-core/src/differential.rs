@@ -327,7 +327,7 @@ const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
 fn fnv128(h: u128, bytes: &[u8]) -> u128 {
     let mut h = h;
     for &b in bytes {
-        h ^= b as u128;
+        h ^= u128::from(b);
         h = h.wrapping_mul(FNV_PRIME);
     }
     h

@@ -29,6 +29,7 @@ use crate::query::{EntangledQuery, QueryId};
 use crate::scc::SccCoordinator;
 use crate::semantics::Grounding;
 use coord_db::{Atom, Database, Symbol, Term, Value};
+use coord_engine::lockrank::{self, LockRank};
 use coord_engine::{ComponentEvaluator, CoordinationQuery, IncrementalEngine, ShardedEngine};
 use coord_graph::reach::weakly_connected_components;
 use coord_obs::Registry as ObsRegistry;
@@ -305,8 +306,7 @@ impl<'a> SharedEngine<'a> {
     /// An engine with one shard per available CPU (capped at 16).
     pub fn new(db: &'a Database) -> Self {
         let shards = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+            .map_or(4, std::num::NonZero::get)
             .clamp(1, 16);
         Self::with_shards(db, shards)
     }
@@ -381,8 +381,9 @@ impl<'a> SharedEngine<'a> {
     /// shards via the marker-based migration protocol. Safe to call
     /// from any thread at any time — rebalancing never changes a
     /// coordination result (see `tests/equivalence_props.rs`).
+    // lint: acquires(migration_lock, router, shard.engine)
     pub fn rebalance(&self) -> RebalanceReport {
-        self.rebalancer.lock().run(&self.inner)
+        lockrank::ranked(LockRank::Rebalancer, self.rebalancer.lock()).run(&self.inner)
     }
 
     /// Submit a query under its component shard's lock.
@@ -536,7 +537,7 @@ impl<'a> RebuildEngine<'a> {
             .find(|c| c.iter().any(|n| n.index() == new_idx))
             .expect("new query must be in some component")
             .into_iter()
-            .map(|n| n.index())
+            .map(coord_graph::NodeId::index)
             .collect();
 
         let comp_queries: Vec<EntangledQuery> =

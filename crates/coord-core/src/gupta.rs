@@ -47,9 +47,8 @@ pub fn gupta_coordinate(
     let members: Vec<_> = qs.ids().collect();
     let index = crate::graphs::HeadIndex::build(&qs);
     let subst = Substitution::identity(qs.total_vars());
-    let mut subst = match unify_members(&qs, &members, subst, &index) {
-        Ok(s) => s,
-        Err(_) => return Ok(None),
+    let Ok(mut subst) = unify_members(&qs, &members, subst, &index) else {
+        return Ok(None);
     };
     Ok(
         ground_members(db, &qs, &members, &mut subst)?.map(|grounding| FoundSet {

@@ -70,6 +70,8 @@
 //! assert_eq!(set.queries.len(), 2); // both fly on flight 101
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod bruteforce;
 pub mod classify;
 pub mod combined;

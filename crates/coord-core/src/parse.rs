@@ -193,8 +193,7 @@ impl Parser {
     fn offset(&self) -> usize {
         self.tokens
             .get(self.pos)
-            .map(|(o, _)| *o)
-            .unwrap_or(self.input_len)
+            .map_or(self.input_len, |(o, _)| *o)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -471,12 +470,12 @@ mod tests {
 
     #[test]
     fn parse_program_skips_comments_and_blanks() {
-        let program = r#"
+        let program = r"
             // the famous pair
             q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, Zurich)
 
             q2: {} R(Chris, y) :- Flights(y, Zurich)
-        "#;
+        ";
         let queries = parse_program(program).unwrap();
         assert_eq!(queries.len(), 2);
         assert_eq!(queries[0].name(), "q1");

@@ -280,8 +280,7 @@ impl<'a> DurableSharedEngine<'a> {
     /// available CPU (capped at 16) and default durability options.
     pub fn open(db: &'a Database, dir: impl AsRef<Path>) -> Result<Self, CoordError> {
         let shards = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+            .map_or(4, std::num::NonZero::get)
             .clamp(1, 16);
         Self::open_with(db, dir, shards, DurabilityOptions::default())
     }

@@ -403,7 +403,10 @@ mod tests {
     #[test]
     fn answer_relations_listed() {
         let q = gwyneth();
-        let rels: Vec<String> = q.answer_relations().map(|s| s.to_string()).collect();
+        let rels: Vec<String> = q
+            .answer_relations()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(rels, vec!["R", "R"]);
     }
 }

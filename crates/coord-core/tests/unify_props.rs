@@ -45,7 +45,7 @@ fn apply_ops(ops: &[Op]) -> (Substitution, Vec<usize>, Vec<Option<i64>>) {
                 assert_eq!(r.is_err(), expect_conflict, "union({a},{b})");
                 if r.is_ok() && ca != cb {
                     let merged = value[ca].or(value[cb]);
-                    for c in class.iter_mut() {
+                    for c in &mut class {
                         if *c == cb {
                             *c = ca;
                         }

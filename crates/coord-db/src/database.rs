@@ -338,7 +338,10 @@ mod tests {
     fn relations_in_creation_order() {
         let mut db = sample_db();
         db.create_table("Hotels", &["id", "loc"]).unwrap();
-        let names: Vec<String> = db.relations().map(|s| s.to_string()).collect();
+        let names: Vec<String> = db
+            .relations()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(names, vec!["Flights", "Hotels"]);
     }
 }

@@ -42,6 +42,8 @@
 //! assert_eq!(answer.get(Var(0)), Some(&Value::int(101)));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod database;
 pub mod error;
 pub mod eval;

@@ -211,10 +211,7 @@ impl RowStore {
 
     /// Row ids whose column `col` equals `value` (ascending).
     pub fn bucket(&self, col: usize, value: &Value) -> &[usize] {
-        self.indexes[col]
-            .get(value)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.indexes[col].get(value).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -757,7 +754,7 @@ mod tests {
                 // Repeat so the composite store crosses its build
                 // threshold and switches access paths mid-test: matching
                 // rows must not change.
-                for _ in 0..COMPOSITE_BUILD_THRESHOLD + 1 {
+                for _ in 0..=COMPOSITE_BUILD_THRESHOLD {
                     let verify = |s: &dyn Storage| -> Vec<usize> {
                         s.scan(&bound)
                             .filter(|&r| bound.iter().all(|(c, v)| s.cell(r, *c) == v))

@@ -32,8 +32,11 @@
 //! the SCC Coordination Algorithm in as the evaluator and re-exports the
 //! familiar `CoordinationEngine` / `SharedEngine` API on top.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod index;
+pub mod lockrank;
 pub mod metrics;
 pub mod rebalance;
 pub mod sharded;

@@ -1,0 +1,232 @@
+//! Runtime lock-rank validator — the dynamic half of the workspace's
+//! concurrency discipline.
+//!
+//! The static analyzer (`coord-lint`) proves the *source* acquires
+//! locks in descending rank order along every lexical path it can see;
+//! this module cross-checks the same DAG *dynamically*: every ranked
+//! guard acquisition pushes its rank onto a thread-local stack and
+//! asserts it does not out-rank any guard the thread already holds.
+//! The whole test suite then doubles as a lock-order oracle — including
+//! paths the static pass skips (test code, closures, trait dispatch).
+//!
+//! The rank table is **re-exported from `coord-lint`** (see
+//! [`coord_lint::ranks`]), so the two oracles can never disagree about
+//! which nesting is legal.
+//!
+//! ## Semantics
+//!
+//! * Acquiring rank `r` is legal iff `r <= min(held ranks)` — equal
+//!   rank is allowed (e.g. source and target shard engines during a
+//!   migration, serialized by the higher-ranked migration lock).
+//! * Guards may be **dropped in any order**; the stack pops by token
+//!   identity, not position.
+//! * Non-blocking `try_*` acquisitions are not tracked: a thread that
+//!   backs off on failure cannot participate in a deadlock cycle
+//!   (their fallback discipline is rule L4's, checked statically).
+//!
+//! ## Cost
+//!
+//! With `debug-assertions` off this compiles to nothing: [`HeldRank`]
+//! is a zero-sized type and [`ranked`] returns the guard unchanged
+//! (modulo the transparent wrapper). CI runs the suite once in release
+//! with `RUSTFLAGS="-C debug-assertions"` so the validator also
+//! exercises the optimized build.
+
+pub use coord_lint::ranks::{rank_of_alias, rank_of_receiver, LockRank, RankEntry, RANK_TABLE};
+
+use std::ops::{Deref, DerefMut};
+
+#[cfg(debug_assertions)]
+mod held {
+    use super::LockRank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// (rank, token id) per live ranked guard on this thread.
+        static HELD: RefCell<Vec<(LockRank, u64)>> = const { RefCell::new(Vec::new()) };
+        static NEXT_ID: RefCell<u64> = const { RefCell::new(0) };
+    }
+
+    pub(super) fn push(rank: LockRank) -> u64 {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(min) = h.iter().map(|&(r, _)| r).min() {
+                assert!(
+                    rank <= min,
+                    "lock-rank violation: acquiring `{}` (rank {}) while a guard of \
+                     rank {} is held — locks must be acquired in descending rank \
+                     order (see coord_lint::ranks)",
+                    rank.name(),
+                    rank.level(),
+                    min.level(),
+                );
+            }
+            let id = NEXT_ID.with(|n| {
+                let mut n = n.borrow_mut();
+                *n += 1;
+                *n
+            });
+            h.push((rank, id));
+            id
+        })
+    }
+
+    pub(super) fn pop(id: u64) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(pos) = h.iter().rposition(|&(_, i)| i == id) {
+                h.remove(pos);
+            }
+        });
+    }
+
+    /// Number of ranked guards the current thread holds (test hook).
+    pub(super) fn depth() -> usize {
+        HELD.with(|h| h.borrow().len())
+    }
+}
+
+/// Witness that the current thread holds a guard of a given rank.
+/// Dropping it (in any order relative to other witnesses) removes the
+/// rank from the thread's held set. Zero-sized no-op without
+/// debug-assertions.
+#[derive(Debug)]
+pub struct HeldRank {
+    #[cfg(debug_assertions)]
+    id: u64,
+}
+
+impl HeldRank {
+    /// Record an acquisition of `rank`, asserting the descending-order
+    /// invariant against everything this thread already holds.
+    #[must_use]
+    pub fn acquire(rank: LockRank) -> HeldRank {
+        #[cfg(debug_assertions)]
+        {
+            HeldRank {
+                id: held::push(rank),
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = rank;
+            HeldRank {}
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for HeldRank {
+    fn drop(&mut self) {
+        held::pop(self.id);
+    }
+}
+
+/// A lock guard paired with its rank witness, so both release together
+/// — `drop(guard)` at a call site pops the rank at exactly the moment
+/// the lock is released. Transparent via `Deref`/`DerefMut`.
+#[derive(Debug)]
+pub struct Ranked<G> {
+    guard: G,
+    /// Declared after `guard` — struct fields drop in declaration
+    /// order, so the rank stays "held" until the lock is released.
+    _token: HeldRank,
+}
+
+impl<G> Deref for Ranked<G> {
+    type Target = G;
+    fn deref(&self) -> &G {
+        &self.guard
+    }
+}
+
+impl<G> DerefMut for Ranked<G> {
+    fn deref_mut(&mut self) -> &mut G {
+        &mut self.guard
+    }
+}
+
+/// Wrap a freshly acquired guard with its rank, asserting the
+/// descending-order invariant. The assertion runs immediately after
+/// the acquisition — an out-of-order *blocking* acquisition is caught
+/// whether or not it happened to deadlock on this run.
+pub fn ranked<G>(rank: LockRank, guard: G) -> Ranked<G> {
+    Ranked {
+        guard,
+        _token: HeldRank::acquire(rank),
+    }
+}
+
+/// Ranked guards currently held by this thread. 0 when built without
+/// debug-assertions (the validator is compiled out).
+#[must_use]
+pub fn held_count() -> usize {
+    #[cfg(debug_assertions)]
+    {
+        held::depth()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_and_equal_acquisitions_pass() {
+        let a = HeldRank::acquire(LockRank::Migration);
+        let b = HeldRank::acquire(LockRank::Router);
+        let c = HeldRank::acquire(LockRank::ShardEngine);
+        // Equal rank: the migration-serialized src/tgt shard engines.
+        let d = HeldRank::acquire(LockRank::ShardEngine);
+        if cfg!(debug_assertions) {
+            assert_eq!(held_count(), 4);
+        }
+        drop(c);
+        drop(d);
+        drop(b);
+        drop(a);
+        assert_eq!(held_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_drop_then_reacquire_passes() {
+        // The with_owned_shard retry pattern: guards released out of
+        // acquisition order, then a higher rank taken fresh.
+        let router = HeldRank::acquire(LockRank::Router);
+        let engine = HeldRank::acquire(LockRank::ShardEngine);
+        drop(router);
+        drop(engine);
+        let _mig = HeldRank::acquire(LockRank::Migration);
+        assert!(held_count() <= 1);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "validator compiled out")]
+    fn ascending_acquisition_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let _engine = HeldRank::acquire(LockRank::ShardEngine);
+            let _mig = HeldRank::acquire(LockRank::Migration);
+        });
+        assert!(result.is_err(), "rank 60 after rank 40 must assert");
+        // The unwound guards must not leak into the thread's held set.
+        assert_eq!(held_count(), 0);
+    }
+
+    #[test]
+    fn ranked_wrapper_is_transparent_and_releases_on_drop() {
+        let m = std::sync::Mutex::new(7u32);
+        let mut g = ranked(LockRank::Registry, m.lock().unwrap());
+        **g += 1;
+        assert_eq!(**g, 8);
+        if cfg!(debug_assertions) {
+            assert_eq!(held_count(), 1);
+        }
+        drop(g);
+        assert_eq!(held_count(), 0);
+        assert!(!m.is_poisoned());
+    }
+}

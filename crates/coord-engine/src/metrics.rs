@@ -208,6 +208,8 @@ mod tests {
     }
 
     #[test]
+    // Exact zero: the zero-submit guard returns literal 0.0.
+    #[allow(clippy::float_cmp)]
     fn evaluated_per_submit_handles_zero() {
         assert_eq!(MetricsSnapshot::default().evaluated_per_submit(), 0.0);
     }

@@ -95,6 +95,7 @@ impl Rebalancer {
 
     /// One detection + (if triggered) move pass. Cheap when balanced:
     /// a lock-free stats scan and nothing else.
+    // lint: acquires(migration_lock, router, shard.engine)
     pub fn run<Q, V>(&mut self, engine: &ShardedEngine<Q, V>) -> RebalanceReport
     where
         Q: CoordinationQuery,
@@ -108,7 +109,10 @@ impl Rebalancer {
         let _span = obs.tracer.ticket("rebalance");
         let _timer = obs.rebalance_hist.start();
         let stats = engine.shard_stats();
-        let cumulative: Vec<u64> = stats.iter().map(|s| s.load()).collect();
+        let cumulative: Vec<u64> = stats
+            .iter()
+            .map(super::metrics::ShardStatsSnapshot::load)
+            .collect();
         if self.watermarks.len() != cumulative.len() {
             self.watermarks = vec![0; cumulative.len()];
         }

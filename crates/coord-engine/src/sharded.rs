@@ -72,6 +72,30 @@
 //! set owned by exactly one migration. Unrelated submitters never touch
 //! that lock.
 //!
+//! ## Lock ordering
+//!
+//! The prose above is *checked*, not just documented. Every lock in the
+//! workspace carries a numeric rank in the shared table
+//! [`coord_lint::ranks`] (re-exported as [`crate::lockrank`]), and a
+//! thread may only block on a lock whose rank is **≤ the minimum rank
+//! it already holds** (equal rank is allowed — source and target shard
+//! engines during a migration, serialized by the higher-ranked
+//! migration lock). For this module:
+//!
+//! ```text
+//! rebalancer (70) > migration_lock (60) > router (50) > shard.engine (40)
+//! ```
+//!
+//! Non-blocking `try_*` acquisitions are exempt: a thread that backs
+//! off on failure cannot close a deadlock cycle, which is exactly why
+//! shard-lock holders poll the router with `try_read` only. Two oracles
+//! enforce the DAG from the same table: the `coord-lint` static
+//! analyzer (rules L1–L4, run in CI with `--deny`) proves the ordering
+//! lexically, and the [`crate::lockrank`] runtime validator (compiled
+//! in under `debug-assertions`) asserts it on every ranked acquisition
+//! while the test suite runs — guard sites here are wrapped in
+//! [`crate::lockrank::ranked`].
+//!
 //! Submitters whose keys *are* mid-migration park on a condvar-backed
 //! mark gate that the migration notifies when it lifts its marks —
 //! so a wait bounded by a long component evaluation costs wake-up
@@ -82,6 +106,7 @@ use crate::engine::{
     ComponentEvaluator, ComponentGroup, CoordinationQuery, IncrementalEngine, SubmitOutcome,
 };
 use crate::index::{keys_related, KeyPattern};
+use crate::lockrank::{self, LockRank};
 use crate::metrics::{EngineMetrics, ShardStats, ShardStatsSnapshot};
 use coord_obs::{Gauge, Histogram, Registry, TraceCtx, Tracer};
 use parking_lot::{Mutex, RwLock};
@@ -123,7 +148,7 @@ impl MarkGate {
         *self
             .generation
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Marks were lifted: wake every parked submitter.
@@ -131,7 +156,7 @@ impl MarkGate {
         *self
             .generation
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner()) += 1;
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
         self.lifted.notify_all();
     }
 
@@ -142,7 +167,7 @@ impl MarkGate {
         let guard = self
             .generation
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if *guard != seen {
             return;
         }
@@ -517,8 +542,9 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// Component groups (keys, size, observed cost) currently resident
     /// on `shard`, scanned under that shard's lock only — the
     /// rebalancer's victim-selection input.
+    // lint: acquires(shard.engine)
     pub fn shard_component_groups(&self, shard: usize) -> Vec<ComponentGroup<Q::Rel, Q::Cst>> {
-        self.shards[shard].engine.lock().component_groups()
+        lockrank::ranked(LockRank::ShardEngine, self.shards[shard].engine.lock()).component_groups()
     }
 
     /// Pick the shard a fresh component lands on.
@@ -549,16 +575,19 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
 
     /// Take a shard's engine lock, recording contention and lock-wait
     /// time when it is already held.
+    // lint: acquires(shard.engine) returns-guard
     fn lock_shard<'a>(
         &'a self,
         shard: &'a Shard<Q, V>,
-    ) -> parking_lot::MutexGuard<'a, IncrementalEngine<Q, V>> {
+    ) -> lockrank::Ranked<parking_lot::MutexGuard<'a, IncrementalEngine<Q, V>>> {
+        // lint: backoff — uncontended fast path only; a miss falls
+        // through to the blocking lock below after recording contention
         match shard.engine.try_lock() {
-            Some(guard) => guard,
+            Some(guard) => lockrank::ranked(LockRank::ShardEngine, guard),
             None => {
                 EngineMetrics::add(&shard.stats.contended, 1);
                 let start = Instant::now();
-                let guard = shard.engine.lock();
+                let guard = lockrank::ranked(LockRank::ShardEngine, shard.engine.lock());
                 let waited = start.elapsed().as_nanos() as u64;
                 EngineMetrics::add(&shard.stats.lock_wait_nanos, waited);
                 self.obs.lock_wait_hist.record(waited);
@@ -574,7 +603,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     pub fn pending_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.engine.lock().pending_count())
+            .map(|s| lockrank::ranked(LockRank::ShardEngine, s.engine.lock()).pending_count())
             .sum()
     }
 
@@ -582,7 +611,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     pub fn component_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.engine.lock().component_count())
+            .map(|s| lockrank::ranked(LockRank::ShardEngine, s.engine.lock()).component_count())
             .sum()
     }
 
@@ -596,7 +625,11 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     pub fn pending(&self) -> Vec<Q> {
         let mut out = Vec::new();
         for s in &self.shards {
-            out.extend(s.engine.lock().pending().cloned());
+            out.extend(
+                lockrank::ranked(LockRank::ShardEngine, s.engine.lock())
+                    .pending()
+                    .cloned(),
+            );
         }
         out
     }
@@ -635,7 +668,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         let mut migrated: MigrationRecord<Q> = Vec::new();
         let target = self.claim(&qkeys, &mut migrated, true);
         self.with_owned_shard(&qkeys, target, &mut migrated, false, |e| {
-            e.insert_pending(query)
+            e.insert_pending(query);
         });
     }
 
@@ -661,7 +694,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         // queries stay unclaimed and take the slow path below.
         let mut targets: Vec<Option<usize>> = vec![None; n];
         {
-            let mut router = self.router.write();
+            let mut router = lockrank::ranked(LockRank::Router, self.router.write());
             for i in 0..n {
                 let qkeys = &keysets[i];
                 if router.blocked(qkeys) {
@@ -699,6 +732,9 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 // invalidated claim falls through to the slow path with
                 // its keys still registered.
                 let valid = qkeys.is_empty()
+                    // lint: backoff — never blocks on the router while
+                    // holding the shard lock; a miss (writer active)
+                    // routes the query to the one-query slow path below
                     || match self.router.try_read() {
                         Some(router) => {
                             qkeys.iter().all(|k| router.keys[k].shard == t)
@@ -748,7 +784,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         // Phase 3 (one exclusive acquisition): release everything the
         // fast-path queries retired or failed to submit.
         {
-            let mut router = self.router.write();
+            let mut router = lockrank::ranked(LockRank::Router, self.router.write());
             for i in 0..n {
                 if targets[i].is_none() {
                     continue;
@@ -778,6 +814,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// Route `qkeys` to one shard and (optionally) claim them there,
     /// performing marker-based migrations first when the keys bridge
     /// shards. Never holds the router lock while migrating.
+    // lint: acquires(migration_lock, router, shard.engine)
     fn claim(
         &self,
         qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
@@ -795,7 +832,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             // immediately (no lost wake-up).
             let mark_generation = self.mark_gate.generation();
             let plan = {
-                let mut router = self.router.write();
+                let mut router = lockrank::ranked(LockRank::Router, self.router.write());
                 if router.blocked(qkeys) {
                     None
                 } else {
@@ -865,15 +902,16 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// transitive key closure is frozen and moved, and the new routes
     /// published. Shard locks are taken one at a time; the router write
     /// lock is only held for brief table work.
+    // lint: acquires(migration_lock, router, shard.engine)
     fn perform_migration(
         &self,
         qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
         migrated: &mut MigrationRecord<Q>,
     ) {
-        let _one_at_a_time = self.migration_lock.lock();
+        let _one_at_a_time = lockrank::ranked(LockRank::Migration, self.migration_lock.lock());
         // Re-plan under the lock with fresh routing state.
         let plan = {
-            let mut router = self.router.write();
+            let mut router = lockrank::ranked(LockRank::Router, self.router.write());
             let owners = router.owners_related(qkeys);
             if owners.len() <= 1 {
                 return;
@@ -904,6 +942,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// or scanning a slab. Returns `(source, moved keys)` per drained
     /// shard — enough to undo the move — plus the number of queries
     /// moved.
+    // lint: acquires(router, shard.engine)
     fn execute_migration(
         &self,
         mut seed: Vec<KeyPattern<Q::Rel, Q::Cst>>,
@@ -931,7 +970,8 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 // Plain lock(): a migration waiting out a long
                 // evaluation is expected, and must not pollute the
                 // submitter-facing contended / lock-wait signals.
-                let found = self.shards[src].engine.lock().related_keys(&frontier);
+                let found = lockrank::ranked(LockRank::ShardEngine, self.shards[src].engine.lock())
+                    .related_keys(&frontier);
                 for k in found {
                     if seen.insert(k.clone()) {
                         extra.push(k);
@@ -941,7 +981,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             if extra.is_empty() {
                 break;
             }
-            self.router.write().mark(&extra);
+            lockrank::ranked(LockRank::Router, self.router.write()).mark(&extra);
             seed.extend(extra.iter().cloned());
             frontier = extra;
         }
@@ -952,7 +992,8 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         let mut queries_moved = 0usize;
         for &src in sources {
             let moved = {
-                let mut engine = self.shards[src].engine.lock();
+                let mut engine =
+                    lockrank::ranked(LockRank::ShardEngine, self.shards[src].engine.lock());
                 let moved = engine.extract_related(&seed);
                 self.shards[src]
                     .pending_gauge
@@ -967,7 +1008,8 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             EngineMetrics::add(&self.shards[target].stats.migrated_in, moved.len() as u64);
             let mut moved_keys: Vec<KeyPattern<Q::Rel, Q::Cst>> = Vec::new();
             {
-                let mut tgt = self.shards[target].engine.lock();
+                let mut tgt =
+                    lockrank::ranked(LockRank::ShardEngine, self.shards[target].engine.lock());
                 for q in moved {
                     for k in route_keys(&q) {
                         if !moved_keys.contains(&k) {
@@ -989,7 +1031,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         // move (or the marks) and follows — then lift the marks and
         // wake everyone parked on them.
         {
-            let mut router = self.router.write();
+            let mut router = lockrank::ranked(LockRank::Router, self.router.write());
             for k in &seed {
                 router.reassign(k, target);
             }
@@ -1006,15 +1048,16 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// the routing table, so a group that retired, merged, or already
     /// moved since the caller scanned it is skipped. Returns the number
     /// of queries moved.
+    // lint: acquires(migration_lock, router, shard.engine)
     pub fn rebalance_group(
         &self,
         seed_keys: &[KeyPattern<Q::Rel, Q::Cst>],
         target: usize,
     ) -> usize {
         assert!(target < self.shards.len(), "target shard out of range");
-        let _one_at_a_time = self.migration_lock.lock();
+        let _one_at_a_time = lockrank::ranked(LockRank::Migration, self.migration_lock.lock());
         let plan = {
-            let mut router = self.router.write();
+            let mut router = lockrank::ranked(LockRank::Router, self.router.write());
             let Some((seed, source)) = Self::seed_on_one_shard(&router, seed_keys) else {
                 return 0;
             };
@@ -1060,6 +1103,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// target and none may be frozen by a migration (see the module docs
     /// for why this cannot deadlock or lose the query). Returns the
     /// shard `op` finally ran on alongside its result.
+    // lint: acquires(migration_lock, router, shard.engine)
     fn with_owned_shard<T>(
         &self,
         qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
@@ -1073,6 +1117,9 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             let shard = &self.shards[target];
             let mut engine = self.lock_shard(shard);
             if !qkeys.is_empty() {
+                // lint: backoff — a thread holding a shard lock never
+                // blocks on the router (deadlock-freedom argument in
+                // the module docs); on a miss both locks are released
                 match self.router.try_read() {
                     Some(router) => {
                         let consistent = qkeys.iter().all(|k| router.keys[k].shard == target)
@@ -1091,7 +1138,9 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                         // to publish a move of our keys. Back off and
                         // retry without holding the shard lock.
                         drop(engine);
-                        target = self.router.read().keys[&qkeys[0]].shard;
+                        target = lockrank::ranked(LockRank::Router, self.router.read()).keys
+                            [&qkeys[0]]
+                            .shard;
                         continue;
                     }
                 }
@@ -1108,6 +1157,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
     /// Release the routing claims of whatever left the pending set — the
     /// rejected query, or the retired set — and undo a rejected bridge's
     /// migrations.
+    // lint: acquires(migration_lock, router, shard.engine)
     fn finish(
         &self,
         qkeys: &[KeyPattern<Q::Rel, Q::Cst>],
@@ -1117,7 +1167,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
         match outcome {
             Err(e) => {
                 {
-                    let mut router = self.router.write();
+                    let mut router = lockrank::ranked(LockRank::Router, self.router.write());
                     for k in qkeys {
                         router.unregister(k);
                     }
@@ -1134,9 +1184,10 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
                 // unrelated submitters keep routing while a rollback
                 // waits on a busy shard.
                 for (src, keys) in &migrated {
-                    let _one_at_a_time = self.migration_lock.lock();
+                    let _one_at_a_time =
+                        lockrank::ranked(LockRank::Migration, self.migration_lock.lock());
                     let plan = {
-                        let mut router = self.router.write();
+                        let mut router = lockrank::ranked(LockRank::Router, self.router.write());
                         // The group may have (partially) retired
                         // meanwhile — follow the surviving keys to
                         // wherever they live now, dropping any key
@@ -1158,7 +1209,7 @@ impl<Q: CoordinationQuery, V: ComponentEvaluator<Q>> ShardedEngine<Q, V> {
             }
             Ok(out) => {
                 if !out.retired.is_empty() {
-                    let mut router = self.router.write();
+                    let mut router = lockrank::ranked(LockRank::Router, self.router.write());
                     for q in &out.retired {
                         for k in route_keys(q) {
                             router.unregister(&k);
@@ -1493,8 +1544,12 @@ mod tests {
         for i in 0..6 {
             engine.submit(chain_query(i, Some(i + 1))).unwrap();
         }
-        let loads: Vec<u64> = engine.shard_stats().iter().map(|s| s.load()).collect();
-        let hot = if loads[0] > loads[1] { 0 } else { 1 };
+        let loads: Vec<u64> = engine
+            .shard_stats()
+            .iter()
+            .map(super::super::metrics::ShardStatsSnapshot::load)
+            .collect();
+        let hot = usize::from(loads[0] <= loads[1]);
         // Fresh unrelated components must land on the colder shard.
         for g in 0..3 {
             engine
@@ -1536,7 +1591,11 @@ mod tests {
             min_window_load: 8,
             max_moves: 4,
         });
-        let loads: Vec<u64> = engine.shard_stats().iter().map(|s| s.load()).collect();
+        let loads: Vec<u64> = engine
+            .shard_stats()
+            .iter()
+            .map(super::super::metrics::ShardStatsSnapshot::load)
+            .collect();
         assert!(loads[0] > loads[1], "setup did not skew shard 0: {loads:?}");
 
         let report = rebalancer.run(&engine);

@@ -15,6 +15,8 @@
 //!   and the Consistent-algorithm experiments,
 //! * [`workloads`] — per-figure instance builders (`fig4_instance`, ...).
 
+#![forbid(unsafe_code)]
+
 pub mod networks;
 pub mod social;
 pub mod tables;

@@ -142,7 +142,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let g = barabasi_albert(200, 4, &mut rng);
         for v in 0..200 {
-            let mut succ: Vec<usize> = g.successors(NodeId(v)).map(|n| n.index()).collect();
+            let mut succ: Vec<usize> = g
+                .successors(NodeId(v))
+                .map(coord_graph::NodeId::index)
+                .collect();
             let before = succ.len();
             succ.sort_unstable();
             succ.dedup();

@@ -186,7 +186,10 @@ pub fn fig5_instance(
 pub fn queries_from_graph(graph: &DiGraph<usize>) -> Vec<EntangledQuery> {
     (0..graph.node_count())
         .map(|i| {
-            let mut partners: Vec<usize> = graph.successors(NodeId(i)).map(|s| s.index()).collect();
+            let mut partners: Vec<usize> = graph
+                .successors(NodeId(i))
+                .map(coord_graph::NodeId::index)
+                .collect();
             partners.sort_unstable();
             partners.dedup();
             partner_query(i, &partners)

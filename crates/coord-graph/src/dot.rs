@@ -51,7 +51,9 @@ mod tests {
         let a = g.add_node("qC");
         let b = g.add_node("qG");
         g.add_edge(a, b, "R");
-        let dot = to_dot(&g, "G", |n| n.to_string(), |e| Some(e.to_string()));
+        let dot = to_dot(&g, "G", std::string::ToString::to_string, |e| {
+            Some(e.to_string())
+        });
         assert!(dot.contains("digraph G {"));
         assert!(dot.contains("n0 [label=\"qC\"]"));
         assert!(dot.contains("n0 -> n1 [label=\"R\"]"));
@@ -62,7 +64,7 @@ mod tests {
         let mut g: DiGraph<u32> = DiGraph::new();
         let a = g.add_node(1);
         g.add_edge(a, a, ());
-        let dot = to_dot(&g, "G", |n| n.to_string(), |_| None);
+        let dot = to_dot(&g, "G", std::string::ToString::to_string, |()| None);
         assert!(dot.contains("n0 -> n0;"));
         let _ = NodeId(0);
     }
@@ -71,7 +73,7 @@ mod tests {
     fn escapes_quotes() {
         let mut g: DiGraph<&str> = DiGraph::new();
         g.add_node("say \"hi\"");
-        let dot = to_dot(&g, "G", |n| n.to_string(), |_| None);
+        let dot = to_dot(&g, "G", std::string::ToString::to_string, |()| None);
         assert!(dot.contains("say \\\"hi\\\""));
     }
 }

@@ -24,6 +24,8 @@
 //! * [`dot`]: Graphviz export used by the examples to render the paper's
 //!   Figures 2, 3, and 9.
 
+#![forbid(unsafe_code)]
+
 pub mod condense;
 pub mod digraph;
 pub mod dot;

@@ -20,7 +20,11 @@ pub fn tarjan_scc<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
     // frame once per child, and recomputing successors there would make
     // high-degree nodes quadratic.
     let succ: Vec<Vec<usize>> = (0..n)
-        .map(|v| g.successors(NodeId(v)).map(|w| w.index()).collect())
+        .map(|v| {
+            g.successors(NodeId(v))
+                .map(super::digraph::NodeId::index)
+                .collect()
+        })
         .collect();
 
     let mut index = vec![UNVISITED; n];

@@ -1,0 +1,322 @@
+//! A hand-rolled Rust lexer: just enough to drive the analyzer's
+//! brace/scope tracker. Strings, char literals, and comments are
+//! consumed (so braces inside them cannot desync the scope stack);
+//! `// lint:` annotations are surfaced with their line numbers.
+
+/// One token of interest to the analyzer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Any single punctuation character (`.`, `;`, `,`, `=`, `|`, …).
+    Punct(char),
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `(`
+    OpenParen,
+    /// `)`
+    CloseParen,
+    /// `[`
+    OpenBracket,
+    /// `]`
+    CloseBracket,
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// A `// lint: …` annotation comment.
+#[derive(Clone, Debug)]
+pub struct RawAnnotation {
+    /// Text after `lint:`, trimmed.
+    pub body: String,
+    pub line: usize,
+}
+
+/// Lexer output: the token stream and every `// lint:` comment.
+pub struct Lexed {
+    pub tokens: Vec<Spanned>,
+    pub annotations: Vec<RawAnnotation>,
+}
+
+/// Tokenize `src`, stripping comments/strings/lifetimes and collecting
+/// `// lint:` annotations.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut tokens = Vec::new();
+    let mut annotations = Vec::new();
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                // Line comment: scan to end of line, keep `lint:` bodies.
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let trimmed = text.trim_start_matches(['/', '!']).trim();
+                if let Some(body) = trimmed.strip_prefix("lint:") {
+                    annotations.push(RawAnnotation {
+                        body: body.trim().to_string(),
+                        line,
+                    });
+                }
+                i = j;
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                // Block comment (nestable).
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && bytes.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && bytes.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => i = skip_string(&bytes, i, &mut line),
+            'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                i = skip_raw_string(&bytes, i, &mut line);
+            }
+            '\'' => {
+                // Char literal or lifetime. `'a'` / `'\n'` are chars;
+                // `'a` followed by a non-quote is a lifetime label.
+                if bytes.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal.
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else if bytes.get(i + 2) == Some(&'\'') && bytes.get(i + 1) != Some(&'\'') {
+                    // Any one-char literal: 'a', '{', ' ', '.' — the
+                    // closing quote two ahead disambiguates from a
+                    // lifetime label.
+                    i += 3; // 'x'
+                } else {
+                    // Lifetime: consume the quote; the label lexes as an
+                    // ident (harmless).
+                    i += 1;
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Spanned {
+                    tok: Tok::Ident(bytes[start..i].iter().collect()),
+                    line,
+                });
+            }
+            '{' => {
+                tokens.push(Spanned {
+                    tok: Tok::OpenBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Spanned {
+                    tok: Tok::CloseBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned {
+                    tok: Tok::OpenParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned {
+                    tok: Tok::CloseParen,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Spanned {
+                    tok: Tok::OpenBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Spanned {
+                    tok: Tok::CloseBracket,
+                    line,
+                });
+                i += 1;
+            }
+            c => {
+                tokens.push(Spanned {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed {
+        tokens,
+        annotations,
+    }
+}
+
+/// Whether position `i` starts a raw (or raw-byte) string literal.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Skip a plain string literal starting at the opening quote.
+fn skip_string(bytes: &[char], start: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string literal (`r"…"`, `r#"…"#`, `br##"…"##`, …).
+fn skip_raw_string(bytes: &[char], start: usize, line: &mut usize) -> usize {
+    let mut i = start;
+    if bytes.get(i) == Some(&'b') {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == '"' {
+            let mut j = i + 1;
+            let mut h = 0;
+            while h < hashes && bytes.get(j) == Some(&'#') {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn braces_in_strings_and_comments_are_ignored() {
+        let lexed = lex("fn f() { let s = \"{\"; /* } */ let c = '{'; } // {\n");
+        let opens = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::OpenBrace)
+            .count();
+        let closes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::CloseBrace)
+            .count();
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Ident("str".into())));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.tok == Tok::OpenBrace)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lint_annotations_are_collected_with_lines() {
+        let lexed = lex("fn a() {}\n// lint: acquires(router)\nfn b() {}\n");
+        assert_eq!(lexed.annotations.len(), 1);
+        assert_eq!(lexed.annotations[0].body, "acquires(router)");
+        assert_eq!(lexed.annotations[0].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let lexed = lex("let x = r#\"{ \" }\"#; let y = 1;");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.tok, Tok::OpenBrace))
+                .count(),
+            0
+        );
+        assert!(lexed.tokens.iter().any(|t| t.tok == Tok::Ident("y".into())));
+    }
+}

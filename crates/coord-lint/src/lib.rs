@@ -1,0 +1,121 @@
+//! # coord-lint — lock-order & concurrency-invariant analyzer
+//!
+//! A self-contained static analyzer (zero dependencies, hand-rolled
+//! lexer) that walks every `src/` file in the workspace and enforces
+//! the concurrency discipline this codebase learned the hard way (the
+//! router-write-across-slab-scan bug, the WAL ack window — see
+//! CHANGES.md):
+//!
+//! | rule | slug | invariant |
+//! |------|------|-----------|
+//! | L1 | `lock-order` | locks are acquired in descending rank order (see [`ranks`]) |
+//! | L2 | `scan-under-router-write` | no `router.write()` guard live across a `// lint: scans-slabs` call |
+//! | L3 | `wait-with-foreign-guard` | no guard live across `wait*`/`recv*` on a different sync object |
+//! | L4 | `try-lock-rationale` | every `try_*` site carries a `// lint: backoff — …` rationale |
+//! | —  | `bad-annotation` | malformed `// lint:` lines are themselves errors |
+//!
+//! Suppression is only via `// lint: allow(<slug>) — <justification>`
+//! with a non-empty justification; suppressed findings still appear in
+//! `lint_report.json` for audit.
+//!
+//! The rank table in [`ranks`] is the single source of truth: the
+//! runtime validator (`coord_engine::lockrank`) re-exports it, so the
+//! static pass and the dynamic oracle can never disagree.
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod lex;
+pub mod ranks;
+pub mod report;
+
+use analyze::{analyze, collect_facts, FnFacts};
+use report::Finding;
+use std::path::{Path, PathBuf};
+
+/// Result of linting a file set.
+pub struct LintRun {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl LintRun {
+    /// Unsuppressed findings — the ones that fail `--deny`.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.findings.iter().filter(|f| f.is_error()).count()
+    }
+}
+
+/// Lint an explicit list of `(display name, source)` pairs. Two passes:
+/// first collect `// lint:` fn annotations across *all* files (the
+/// one-level call graph is cross-file), then analyze each file against
+/// the combined facts.
+#[must_use]
+pub fn lint_sources(sources: &[(String, String)]) -> LintRun {
+    let mut facts = FnFacts::default();
+    let mut findings = Vec::new();
+    for (name, src) in sources {
+        collect_facts(src, name, &mut facts, &mut findings);
+    }
+    for (name, src) in sources {
+        findings.extend(analyze(src, name, &facts));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    LintRun {
+        findings,
+        files_scanned: sources.len(),
+    }
+}
+
+/// Discover the workspace's lintable sources under `root`: every `.rs`
+/// file below `crates/*/src` and the facade's `src/`. `shims/` is
+/// excluded deliberately — it vendors the lock *primitives* themselves
+/// (a `parking_lot` API shim), which are below the rank table's level
+/// of abstraction. Test code (`tests/`, `benches/`, `#[cfg(test)]`
+/// modules) is covered by the runtime validator instead.
+#[must_use]
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs(&dir.join("src"), &mut out);
+        }
+    }
+    collect_rs(&root.join("src"), &mut out);
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`).
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintRun> {
+    let mut sources = Vec::new();
+    for path in workspace_sources(root) {
+        let src = std::fs::read_to_string(&path)?;
+        let display = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .into_owned();
+        sources.push((display, src));
+    }
+    Ok(lint_sources(&sources))
+}

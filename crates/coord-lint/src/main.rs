@@ -1,0 +1,102 @@
+//! CLI: `cargo run -p coord-lint -- --workspace [--deny] [--json PATH]`.
+//!
+//! Exit status is 0 when no unsuppressed finding exists (or when run
+//! without `--deny`), 1 on unsuppressed findings under `--deny`, 2 on
+//! usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut workspace = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny" => deny = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("coord-lint: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("coord-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("coord-lint: unknown argument `{other}`");
+                eprintln!("usage: coord-lint --workspace [--deny] [--json PATH] [--root DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("coord-lint: only `--workspace` mode is supported");
+        return ExitCode::from(2);
+    }
+    // When invoked via `cargo run -p coord-lint`, the cwd is already the
+    // workspace root; `--root` overrides for out-of-tree invocation.
+    if std::env::var_os("CARGO_MANIFEST_DIR").is_some() && root == Path::new(".") {
+        // crates/coord-lint → workspace root is two levels up, but cargo
+        // runs binaries from the *workspace* cwd, so "." is correct;
+        // keep the default.
+    }
+
+    let run = match coord_lint::lint_workspace(&root) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("coord-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &run.findings {
+        match &f.suppressed {
+            Some(j) => println!(
+                "allow [{}] {}:{} — {} (justification: {})",
+                f.rule.name(),
+                f.file,
+                f.line,
+                f.message,
+                j
+            ),
+            None => println!(
+                "error [{}] {}:{} — {}",
+                f.rule.name(),
+                f.file,
+                f.line,
+                f.message
+            ),
+        }
+    }
+    let errors = run.errors();
+    println!(
+        "coord-lint: {} files, {} error(s), {} suppressed",
+        run.files_scanned,
+        errors,
+        run.findings.len() - errors
+    );
+
+    if let Some(path) = json_path {
+        let json = coord_lint::report::to_json(&run.findings, run.files_scanned);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("coord-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if deny && errors > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

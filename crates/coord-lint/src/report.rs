@@ -1,0 +1,154 @@
+//! Finding types and the `lint_report.json` serializer (hand-rolled —
+//! the crate takes zero dependencies so it can be the workspace's
+//! root-of-trust).
+
+/// The rule catalog. `BadAnnotation` covers malformed `// lint:` lines
+/// themselves: annotations are load-bearing (they suppress findings and
+/// feed the call graph), so a typo must be an error, not a silent
+/// no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// L1: lock-rank ordering.
+    LockOrder,
+    /// L2: slab/engine-state scan under the router write guard.
+    ScanUnderRouterWrite,
+    /// L3: parking on a condvar/channel while holding a foreign guard.
+    WaitWithForeignGuard,
+    /// L4: `try_*` fallback path without a backoff rationale.
+    TryLockRationale,
+    /// Malformed or unrecognized `// lint:` annotation.
+    BadAnnotation,
+}
+
+impl Rule {
+    /// Stable slug used in `// lint: allow(<slug>)` and the report.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::LockOrder => "lock-order",
+            Rule::ScanUnderRouterWrite => "scan-under-router-write",
+            Rule::WaitWithForeignGuard => "wait-with-foreign-guard",
+            Rule::TryLockRationale => "try-lock-rationale",
+            Rule::BadAnnotation => "bad-annotation",
+        }
+    }
+
+    /// Parse an `allow(<slug>)` rule name. `bad-annotation` is not
+    /// suppressible: a broken annotation cannot vouch for itself.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "lock-order" => Some(Rule::LockOrder),
+            "scan-under-router-write" => Some(Rule::ScanUnderRouterWrite),
+            "wait-with-foreign-guard" => Some(Rule::WaitWithForeignGuard),
+            "try-lock-rationale" => Some(Rule::TryLockRationale),
+            _ => None,
+        }
+    }
+}
+
+/// One analyzer finding. `suppressed` carries the justification text of
+/// the covering `// lint: allow` when one applies; suppressed findings
+/// are reported (they appear in `lint_report.json` for auditability)
+/// but do not fail the run.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// Whether this finding fails a `--deny` run.
+    #[must_use]
+    pub fn is_error(&self) -> bool {
+        self.suppressed.is_none()
+    }
+}
+
+/// Serialize findings as the `lint_report.json` document.
+#[must_use]
+pub fn to_json(findings: &[Finding], files_scanned: usize) -> String {
+    let errors = findings.iter().filter(|f| f.is_error()).count();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"suppressed\": {},\n", findings.len() - errors));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": \"{}\", ", f.rule.name()));
+        out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+        if let Some(j) = &f.suppressed {
+            out.push_str(&format!(", \"suppressed\": {}", json_str(j)));
+        }
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_counts_errors_and_suppressions() {
+        let findings = vec![
+            Finding {
+                rule: Rule::LockOrder,
+                file: "a.rs".into(),
+                line: 3,
+                message: "bad \"order\"".into(),
+                suppressed: None,
+            },
+            Finding {
+                rule: Rule::TryLockRationale,
+                file: "b.rs".into(),
+                line: 9,
+                message: "missing rationale".into(),
+                suppressed: Some("spin then sleep".into()),
+            },
+        ];
+        let json = to_json(&findings, 42);
+        assert!(json.contains("\"files_scanned\": 42"));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"suppressed\": 1"));
+        assert!(json.contains("bad \\\"order\\\""));
+        assert!(json.contains("\"rule\": \"lock-order\""));
+    }
+
+    #[test]
+    fn bad_annotation_is_not_suppressible() {
+        assert!(Rule::from_name("bad-annotation").is_none());
+        assert_eq!(Rule::from_name("lock-order"), Some(Rule::LockOrder));
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: malformed `// lint:` annotations are themselves findings —
+// a typo'd allow or acquires must fail loudly, never silently no-op.
+
+struct S;
+
+impl S {
+    fn empty_justification(&self) {
+        let engine = self.shard.engine.lock();
+        // lint: allow(lock-order) —
+        let _mig = self.migration_lock.lock();
+        engine.submit();
+    }
+
+    // lint: acquires(no_such_lock)
+    fn unknown_lock(&self) {}
+
+    // lint: allw(lock-order) — typo in the keyword
+    fn typo(&self) {}
+}

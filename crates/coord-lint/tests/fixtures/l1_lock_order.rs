@@ -1,0 +1,51 @@
+// Fixture: rule L1 (lock-order).
+//
+// `bad_direct` seeds an out-of-order acquisition: taking the
+// migration lock (rank 60) while a shard engine guard (rank 40) is
+// live. `bad_via_call` seeds the same violation through one level of
+// call-graph propagation. `good` acquires in descending order.
+// `suppressed` carries a justified allow.
+
+struct S;
+
+impl S {
+    fn bad_direct(&self) {
+        let engine = self.shard.engine.lock();
+        let _mig = self.migration_lock.lock(); // VIOLATION: 60 after 40
+        engine.submit();
+    }
+
+    // lint: acquires(migration_lock)
+    fn takes_migration(&self) {
+        let _g = self.migration_lock.lock();
+    }
+
+    fn bad_via_call(&self) {
+        let engine = self.shard.engine.lock();
+        self.takes_migration(); // VIOLATION: callee acquires rank 60
+        engine.submit();
+    }
+
+    fn good(&self) {
+        let _mig = self.migration_lock.lock();
+        let mut router = self.router.write();
+        let engine = self.shard.engine.lock();
+        engine.submit();
+        router.publish();
+    }
+
+    fn good_after_drop(&self) {
+        let engine = self.shard.engine.lock();
+        engine.submit();
+        drop(engine);
+        let _mig = self.migration_lock.lock(); // fine: guard released
+    }
+
+    fn suppressed(&self) {
+        let engine = self.shard.engine.lock();
+        // lint: allow(lock-order) — single-threaded bootstrap path, no
+        // concurrent migration can exist before the router is published
+        let _mig = self.migration_lock.lock();
+        engine.submit();
+    }
+}

@@ -1,0 +1,41 @@
+// Fixture: rule L2 (scan-under-router-write).
+//
+// `related_keys` is annotated as a slab scan; calling it while the
+// router *write* guard is live is the PR 4 bug class. Holding only a
+// read guard, or dropping the write guard first, is fine.
+
+struct S;
+
+impl S {
+    // lint: scans-slabs
+    fn related_keys(&self, k: u64) -> Vec<u64> {
+        self.slabs.scan(k)
+    }
+
+    fn bad(&self) {
+        let mut router = self.router.write();
+        let keys = self.related_keys(7); // VIOLATION: scan under write guard
+        router.extend(keys);
+    }
+
+    fn good_read_guard(&self) {
+        let router = self.router.read();
+        let _keys = self.related_keys(7); // fine: read guard only
+        router.route(7);
+    }
+
+    fn good_after_drop(&self) {
+        let mut router = self.router.write();
+        router.mark(7);
+        drop(router);
+        let _keys = self.related_keys(7); // fine: write guard released
+    }
+
+    fn suppressed(&self) {
+        let mut router = self.router.write();
+        // lint: allow(scan-under-router-write) — shard is frozen and
+        // empty at this point; the scan touches zero slabs by invariant
+        let keys = self.related_keys(7);
+        router.extend(keys);
+    }
+}

@@ -1,0 +1,46 @@
+// Fixture: rule L3 (wait-with-foreign-guard).
+//
+// Parking on a condvar or channel while holding a guard the wait does
+// not consume is a lost-wakeup / deadlock recipe. Waiting with the
+// condvar's *own* guard (passed as the first argument) is the correct
+// std pattern and must not fire.
+
+struct S;
+
+impl S {
+    fn bad_wait(&self) {
+        let state = self.state.read();
+        let gate = self.gate_mutex.lock();
+        // VIOLATION: `state` is live and not consumed by the wait.
+        let gate = self.cv.wait(gate);
+        state.epoch();
+    }
+
+    fn bad_recv(&self) {
+        let registry = self.registry.lock();
+        let msg = self.rx.recv(); // VIOLATION: blocking recv under a guard
+        registry.confirm(msg);
+    }
+
+    fn good_own_guard(&self) {
+        let gate = self.gate_mutex.lock();
+        let gate = self.cv.wait(gate); // fine: the wait consumes `gate`
+        gate.check();
+    }
+
+    fn good_guard_dropped(&self) {
+        let registry = self.registry.lock();
+        registry.confirm(1);
+        drop(registry);
+        let _msg = self.rx.recv(); // fine: nothing held
+    }
+
+    fn suppressed(&self) {
+        let state = self.state.read();
+        let gate = self.gate_mutex.lock();
+        // lint: allow(wait-with-foreign-guard) — bounded 1ms timeout and
+        // the state lock is never taken by the waking thread
+        let gate = self.cv.wait_timeout(gate, timeout);
+        state.epoch();
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture: rule L4 (try-lock-rationale).
+//
+// Every non-blocking acquisition must document what the fallback path
+// does instead of blocking — `try_*` is the workspace's deadlock-escape
+// hatch, and an undocumented one usually means an unconsidered one.
+
+struct S;
+
+impl S {
+    fn bad(&self) {
+        if let Some(engine) = self.shard.engine.try_lock() {
+            engine.submit();
+        } // VIOLATION: no backoff rationale
+    }
+
+    fn good(&self) {
+        // lint: backoff — on contention the caller requeues the op and
+        // retries after the current batch drains
+        if let Some(engine) = self.shard.engine.try_lock() {
+            engine.submit();
+        }
+    }
+
+    fn suppressed(&self) {
+        // lint: allow(try-lock-rationale) — probe-only diagnostic path;
+        // a miss falls through to the cached stats snapshot
+        let snap = self.router.try_read();
+        drop(snap);
+    }
+}

@@ -286,6 +286,8 @@ mod tests {
     }
 
     #[test]
+    // Exact zero: an empty histogram's mean is computed as 0.0, not near-0.
+    #[allow(clippy::float_cmp)]
     fn empty_snapshot_quantiles_are_zero() {
         let s = Histogram::enabled().snapshot();
         assert_eq!((s.p50(), s.p99(), s.max), (0, 0, 0));

@@ -65,6 +65,8 @@
 //! was overwritten is an *orphaned end*, counted in the dump meta line
 //! and the analyzer output instead of reading as a silent seq gap.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod export;
 pub mod hist;

@@ -81,7 +81,7 @@ impl TraceCtx {
     /// any [`TraceCtx::enter`] scope).
     #[inline]
     pub fn current() -> TraceCtx {
-        TraceCtx(CURRENT_CTX.with(|c| c.get()))
+        TraceCtx(CURRENT_CTX.with(std::cell::Cell::get))
     }
 
     /// Install this context as the thread's current one until the

@@ -17,6 +17,8 @@
 //! * [`reduction_b`] — Appendix B: mixed coordination-attribute sets are
 //!   NP-hard (the limit of the Consistent Coordination Algorithm).
 
+#![deny(unsafe_code)]
+
 pub mod cnf;
 pub mod dpll;
 pub mod gen;

@@ -88,9 +88,7 @@ pub fn reduce(formula: &Cnf) -> Reduction1 {
         // affect any other query's coordination.
         for (polarity, tag) in [(true, "True"), (false, "False")] {
             let mut b = QueryBuilder::new(format!("x{}-{tag}", i + 1));
-            b = b.postcondition(format!("R{}", i + 1), |a| {
-                a.constant(if polarity { 1i64 } else { 0i64 })
-            });
+            b = b.postcondition(format!("R{}", i + 1), |a| a.constant(i64::from(polarity)));
             let mut any_head = false;
             for (j, clause) in formula.clauses.iter().enumerate() {
                 if clause

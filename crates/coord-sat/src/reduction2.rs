@@ -61,12 +61,12 @@ pub fn reduce(formula: &Cnf) -> Reduction2 {
             let mut q = QueryBuilder::new(format!("q(C{},{})", i + 1, b + 1));
             // This literal must hold...
             q = q.postcondition(format!("R{}", lit.var + 1), |a| {
-                a.constant(if lit.positive { 1i64 } else { 0i64 })
+                a.constant(i64::from(lit.positive))
             });
             // ...and all earlier literals must fail.
-            for earlier in clause.0[..b].iter() {
+            for earlier in &clause.0[..b] {
                 q = q.postcondition(format!("R{}", earlier.var + 1), |a| {
-                    a.constant(if earlier.positive { 0i64 } else { 1i64 })
+                    a.constant(i64::from(!earlier.positive))
                 });
             }
             queries.push(
@@ -169,8 +169,7 @@ mod tests {
             let best = bruteforce::max_coordinating_set(&r.db, &r.queries)
                 .unwrap()
                 .best
-                .map(|b| b.len())
-                .unwrap_or(0);
+                .map_or(0, |b| b.len());
             let sat = dpll::solve(&f).is_some();
             assert_eq!(
                 best == r.target_size,

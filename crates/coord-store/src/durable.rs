@@ -67,6 +67,7 @@ use crate::codec::QueryCodec;
 use crate::error::{DurableError, StoreError};
 use crate::store::{CommitRecord, CoordStore, RecoveryReport, StoreOptions};
 use crate::wal::SyncPolicy;
+use coord_engine::lockrank::{self, LockRank};
 use coord_engine::{
     ComponentEvaluator, CoordinationQuery, IncrementalEngine, Placement, RebalanceConfig,
     RebalanceReport, Rebalancer, ShardedEngine, SubmitOutcome,
@@ -496,18 +497,21 @@ where
         // reservation is unapplied, so a concurrent snapshot will not
         // capture it (the submit might still be rejected).
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        self.registry
-            .lock()
-            .insert(seq, qbytes.clone(), false, false);
+        lockrank::ranked(LockRank::Registry, self.registry.lock()).insert(
+            seq,
+            qbytes.clone(),
+            false,
+            false,
+        );
         let (shard, outcome) = match self.inner.submit_with_shard(query) {
             (_, Err(e)) => {
-                self.registry.lock().remove(seq);
+                lockrank::ranked(LockRank::Registry, self.registry.lock()).remove(seq);
                 return Err(DurableError::Engine(e));
             }
             (shard, Ok(o)) => (shard, o),
         };
         let mut retired = Vec::with_capacity(outcome.retired.len());
-        self.registry.lock().confirm(seq);
+        lockrank::ranked(LockRank::Registry, self.registry.lock()).confirm(seq);
         for q in &outcome.retired {
             let mut b = Vec::new();
             self.codec.encode(q, &mut b);
@@ -524,7 +528,9 @@ where
             // follows engine-apply order and cannot cycle.
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
             let s = loop {
-                if let Some(s) = self.registry.lock().retire(&b, Some(seq)) {
+                if let Some(s) =
+                    lockrank::ranked(LockRank::Registry, self.registry.lock()).retire(&b, Some(seq))
+                {
                     break s;
                 }
                 assert!(
@@ -548,7 +554,7 @@ where
         // error (the documented applied-but-not-durable state) and no
         // record will ever come — blocking a retirer forever would turn
         // one stream's fault into a service-wide stall.
-        self.registry.lock().mark_logged(seq);
+        lockrank::ranked(LockRank::Registry, self.registry.lock()).mark_logged(seq);
         appended?;
         // Per-coordination flush barrier: partners' records are
         // *appended* (the retire loop waited for that); make them as
@@ -577,14 +583,14 @@ where
     /// pending set anyway, so no log record is needed and a crash at
     /// any point stays exactly recoverable.
     pub fn rebalance(&self) -> RebalanceReport {
-        self.rebalancer.lock().run(&self.inner)
+        lockrank::ranked(LockRank::Rebalancer, self.rebalancer.lock()).run(&self.inner)
     }
 
     /// Replace the rebalancer's tuning (and reset its load watermarks).
     /// The default is conservative; tests and small deployments can
     /// lower the window/threshold so passes trigger on light traffic.
     pub fn set_rebalance_config(&self, config: RebalanceConfig) {
-        *self.rebalancer.lock() = Rebalancer::new(config);
+        **lockrank::ranked(LockRank::Rebalancer, self.rebalancer.lock()) = Rebalancer::new(config);
     }
 
     /// Take a snapshot now, rotating every shard's WAL to the next
@@ -597,6 +603,7 @@ where
     /// Rotate only if the record threshold is still exceeded — many
     /// submitters crossing it together produce one rotation, not one
     /// each.
+    // lint: acquires(snap_lock, store.state, registry)
     fn snapshot_if_due(&self) -> Result<(), StoreError> {
         self.store.snapshot_if_due(|| self.capture()).map(|_| ())
     }
@@ -604,8 +611,9 @@ where
     /// Registry captured under the rotation lock: every record already
     /// appended is reflected, every in-flight submit will append to the
     /// new epoch (replay is idempotent either way).
+    // lint: acquires(registry)
     fn capture(&self) -> (u64, Vec<(u64, Vec<u8>)>) {
-        let registry = self.registry.lock();
+        let registry = lockrank::ranked(LockRank::Registry, self.registry.lock());
         (self.next_seq.load(Ordering::SeqCst), registry.capture())
     }
 

@@ -40,7 +40,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     });
     let mut c = !0u32;
     for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }

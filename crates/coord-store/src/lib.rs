@@ -24,6 +24,8 @@
 //! `DurableSharedEngine` so service callers opt into durability with
 //! one constructor.
 
+#![forbid(unsafe_code)]
+
 pub mod bytes;
 pub mod codec;
 pub mod durable;

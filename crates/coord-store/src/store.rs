@@ -45,6 +45,7 @@ use crate::bytes::{put_bytes, put_u32, put_u64, Reader};
 use crate::error::StoreError;
 use crate::frame::{scan_frames, write_frame};
 use crate::wal::{read_wal, SyncPolicy, WalWriter, WAL_HEADER_LEN};
+use coord_engine::lockrank::{self, LockRank};
 use coord_obs::{Counter, Gauge, Histogram, Registry as ObsRegistry, TraceCtx, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -274,6 +275,9 @@ impl CoordStore {
             let entry = entry?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
+            // Case-sensitive on purpose: only names this store itself
+            // wrote (always lower-case) are sweep candidates.
+            #[allow(clippy::case_sensitive_file_extension_comparisons)]
             if name.ends_with(".tmp") {
                 tmps.push(entry.path());
             } else if let Some(e) = parse_snap(name) {
@@ -456,10 +460,14 @@ impl CoordStore {
 
     /// Append one commit record to `stream` (wrapped modulo the stream
     /// count); returns the stream's clean length after the append.
+    // lint: acquires(store.state, wal_stream)
     pub fn append_commit(&self, stream: usize, record: &CommitRecord) -> Result<u64, StoreError> {
         let payload = record.encode();
-        let state = self.state.read();
-        let mut wal = state.wals[stream % state.wals.len()].lock();
+        let state = lockrank::ranked(LockRank::StoreState, self.state.read());
+        let mut wal = lockrank::ranked(
+            LockRank::WalStream,
+            state.wals[stream % state.wals.len()].lock(),
+        );
         let _span = self.obs.tracer.begin_in(TraceCtx::current(), "wal_append");
         let _timer = self.obs.append_hist.start();
         let end = wal.append(&payload)?;
@@ -487,7 +495,7 @@ impl CoordStore {
     where
         F: FnOnce() -> (u64, Vec<(u64, Vec<u8>)>),
     {
-        let _one_at_a_time = self.snap_lock.lock();
+        let _one_at_a_time = lockrank::ranked(LockRank::SnapRotation, self.snap_lock.lock());
         self.snapshot_locked(capture)
     }
 
@@ -496,11 +504,12 @@ impl CoordStore {
     /// (returning `false`) if another thread already took it — N
     /// submitters crossing the threshold together produce one
     /// rotation, not N. Returns `true` if a snapshot was taken.
+    // lint: acquires(snap_lock, store.state)
     pub fn snapshot_if_due<F>(&self, capture: F) -> Result<bool, StoreError>
     where
         F: FnOnce() -> (u64, Vec<(u64, Vec<u8>)>),
     {
-        let _one_at_a_time = self.snap_lock.lock();
+        let _one_at_a_time = lockrank::ranked(LockRank::SnapRotation, self.snap_lock.lock());
         if !self.snapshot_due() {
             return Ok(false);
         }
@@ -508,6 +517,7 @@ impl CoordStore {
         Ok(true)
     }
 
+    // lint: acquires(store.state)
     fn snapshot_locked<F>(&self, capture: F) -> Result<(), StoreError>
     where
         F: FnOnce() -> (u64, Vec<(u64, Vec<u8>)>),
@@ -517,7 +527,7 @@ impl CoordStore {
             .tracer
             .begin_in(TraceCtx::current(), "snapshot_rotation");
         let _timer = self.obs.rotation_hist.start();
-        let mut state = self.state.write();
+        let mut state = lockrank::ranked(LockRank::StoreState, self.state.write());
         let (next_seq, entries) = capture();
         let new_epoch = state.epoch + 1;
 
@@ -606,14 +616,17 @@ impl CoordStore {
 
     /// Current epoch.
     pub fn epoch(&self) -> u64 {
-        self.state.read().epoch
+        lockrank::ranked(LockRank::StoreState, self.state.read()).epoch
     }
 
     /// Clean length (bytes) of one WAL stream — the offset a crash-point
     /// test truncates at.
     pub fn stream_len(&self, stream: usize) -> u64 {
-        let state = self.state.read();
-        let wal = state.wals[stream % state.wals.len()].lock();
+        let state = lockrank::ranked(LockRank::StoreState, self.state.read());
+        let wal = lockrank::ranked(
+            LockRank::WalStream,
+            state.wals[stream % state.wals.len()].lock(),
+        );
         wal.len()
     }
 
@@ -624,9 +637,9 @@ impl CoordStore {
 
     /// Force all streams to stable storage.
     pub fn sync_all(&self) -> Result<(), StoreError> {
-        let state = self.state.read();
+        let state = lockrank::ranked(LockRank::StoreState, self.state.read());
         for wal in &state.wals {
-            wal.lock().sync()?;
+            lockrank::ranked(LockRank::WalStream, wal.lock()).sync()?;
         }
         Ok(())
     }
@@ -637,7 +650,7 @@ impl CoordStore {
             records_appended: self.records_appended.get(),
             bytes_appended: self.bytes_appended.get(),
             snapshots_taken: self.snapshots_taken.get(),
-            epoch: self.state.read().epoch,
+            epoch: lockrank::ranked(LockRank::StoreState, self.state.read()).epoch,
         }
     }
 

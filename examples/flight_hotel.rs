@@ -84,7 +84,7 @@ fn main() {
             &graph,
             "coordination",
             |q| qs.query(*q).name().to_string(),
-            |_| None
+            |()| None
         )
     );
 

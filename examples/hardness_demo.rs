@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example hardness_demo`
 
 use social_coordination::core::graphs::{coordination_graph, is_safe};
-use social_coordination::core::{bruteforce, QuerySet};
+use social_coordination::core::{bruteforce, FoundSet, QuerySet};
 use social_coordination::graph::dot::to_dot;
 use social_coordination::sat::{dpll_solve, reduction1, reduction2, reduction_b, Clause, Cnf, Lit};
 
@@ -71,11 +71,11 @@ fn main() {
             &coordination_graph(&qs2),
             "figure9",
             |q| qs2.query(*q).name().to_string(),
-            |_| None,
+            |()| None,
         )
     );
     let res2 = bruteforce::max_coordinating_set(&r2.db, &r2.queries).unwrap();
-    let max_size = res2.best.as_ref().map(|b| b.len()).unwrap_or(0);
+    let max_size = res2.best.as_ref().map_or(0, FoundSet::len);
     println!(
         "  maximum coordinating set: {max_size} (= target ⇔ satisfiable: {})",
         max_size == r2.target_size

@@ -125,6 +125,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs `f` once as warm-up, then `iters` measured times.
+    // Mirrors the real criterion API, where `iter` is the timing driver,
+    // not an Iterator constructor.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f());
         self.samples.reserve(self.iters);

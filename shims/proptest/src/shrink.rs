@@ -341,7 +341,7 @@ mod tests {
         let min = minimize(
             400u32,
             "seed".to_string(),
-            |v| v.shrink_candidates(),
+            super::Shrink::shrink_candidates,
             |&v| {
                 if v >= 17 {
                     Err(TestCaseError::fail(format!("{v} too big")))
@@ -362,7 +362,7 @@ mod tests {
         let min = minimize(
             vec![3u8, 120, 7, 45],
             "seed".to_string(),
-            |v| v.shrink_candidates(),
+            super::Shrink::shrink_candidates,
             |v| {
                 if v.iter().any(|&x| x > 9) {
                     Err(TestCaseError::fail("big element"))
@@ -380,7 +380,7 @@ mod tests {
         let min = minimize(
             u64::MAX,
             "seed".to_string(),
-            |v| v.shrink_candidates(),
+            super::Shrink::shrink_candidates,
             |_| {
                 calls.set(calls.get() + 1);
                 Err(TestCaseError::fail("always fails"))
@@ -397,7 +397,7 @@ mod tests {
         let min = minimize(
             40u32,
             "seed".to_string(),
-            |v| v.shrink_candidates(),
+            super::Shrink::shrink_candidates,
             |&v| {
                 if v % 2 == 1 {
                     Err(TestCaseError::reject("odd"))

@@ -113,13 +113,13 @@ macro_rules! impl_sample_uniform {
                 // Debiased multiply-shift (Lemire); span of 0 means the full
                 // 2^64 domain which these integer widths cannot produce here.
                 let mut x = rng.next_u64();
-                let mut m = (x as u128) * (span as u128);
+                let mut m = u128::from(x) * u128::from(span);
                 let mut lo = m as u64;
                 if lo < span {
                     let t = span.wrapping_neg() % span;
                     while lo < t {
                         x = rng.next_u64();
-                        m = (x as u128) * (span as u128);
+                        m = u128::from(x) * u128::from(span);
                         lo = m as u64;
                     }
                 }
@@ -186,8 +186,9 @@ pub fn rng() -> StdRng {
     });
     let nanos = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
-        .unwrap_or(0x9e3779b97f4a7c15);
+        .map_or(0x9e37_79b9_7f4a_7c15, |d| {
+            u64::from(d.subsec_nanos()) ^ d.as_secs()
+        });
     let tid = std::thread::current().id();
     let mut h = std::collections::hash_map::DefaultHasher::new();
     use std::hash::{Hash, Hasher};

@@ -38,7 +38,7 @@ impl<T> SliceRandom for [T] {
 
 /// Distinct-index sampling, mirroring `rand::seq::index`.
 pub mod index {
-    use super::*;
+    use super::RngCore;
 
     /// A set of sampled indices (subset of rand's `IndexVec`).
     #[derive(Clone, Debug)]
@@ -49,7 +49,17 @@ pub mod index {
         pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, usize>> {
             self.0.iter().copied()
         }
+    }
 
+    impl<'a> IntoIterator for &'a IndexVec {
+        type Item = usize;
+        type IntoIter = std::iter::Copied<std::slice::Iter<'a, usize>>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.iter()
+        }
+    }
+
+    impl IndexVec {
         /// Number of sampled indices.
         pub fn len(&self) -> usize {
             self.0.len()

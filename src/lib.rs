@@ -59,6 +59,8 @@
 //! assert_eq!(set.queries.len(), 2); // both fly on flight 101
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use coord_core as core;
 pub use coord_db as db;
 pub use coord_engine as engine;

@@ -181,10 +181,7 @@ fn concurrent_snapshots_are_monotone_and_histogram_matches_submits() {
             for _ in 0..200 {
                 let snap = engine.obs().snapshot();
                 let submits = snap.counter("engine_submits").unwrap_or(0);
-                let hist = snap
-                    .histogram("engine_submit_nanos")
-                    .map(|h| h.count)
-                    .unwrap_or(0);
+                let hist = snap.histogram("engine_submit_nanos").map_or(0, |h| h.count);
                 assert!(submits >= last_submits, "submit counter went backwards");
                 assert!(hist >= last_hist, "histogram count went backwards");
                 assert!(

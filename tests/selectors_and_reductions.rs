@@ -4,6 +4,7 @@
 
 use social_coordination::core::scc::SccCoordinator;
 use social_coordination::core::selector::{PreferQuery, Weighted};
+use social_coordination::core::FoundSet;
 use social_coordination::core::{bruteforce, check_coordinating_set, QueryBuilder, QueryId};
 use social_coordination::db::{Database, Value};
 use social_coordination::sat::{reduction2, Clause, Cnf, Lit};
@@ -108,7 +109,7 @@ fn scc_closures_on_theorem2_match_structure() {
         check_coordinating_set(&r.db, &out.qs, &found.queries, &found.grounding).unwrap();
     }
     // 3 variable-query singletons + 3 literal-query closures (sizes 2, 3, 4).
-    let mut sizes: Vec<usize> = out.found.iter().map(|f| f.len()).collect();
+    let mut sizes: Vec<usize> = out.found.iter().map(FoundSet::len).collect();
     sizes.sort_unstable();
     assert_eq!(sizes, vec![1, 1, 1, 2, 3, 4]);
 }

@@ -5,7 +5,7 @@
 
 use social_coordination::core::engine::CoordinationEngine;
 use social_coordination::core::scc::SccCoordinator;
-use social_coordination::db::BackendKind;
+use social_coordination::db::{BackendKind, Symbol};
 use social_coordination::gen::workloads::{
     activity_chain_queries, activity_db, fig4_queries, pool_db,
 };
@@ -42,7 +42,7 @@ fn rebuild_with_backend(
     let mut db = social_coordination::db::Database::with_backend(kind);
     for rel in src.relations() {
         let t = src.table(rel).unwrap();
-        let attrs: Vec<&str> = t.schema().attrs().iter().map(|s| s.as_str()).collect();
+        let attrs: Vec<&str> = t.schema().attrs().iter().map(Symbol::as_str).collect();
         db.create_table(rel.as_str(), &attrs).unwrap();
         for row in t.iter_rows() {
             db.insert(rel.as_str(), row).unwrap();
@@ -87,7 +87,7 @@ fn batch_activity_outcomes_identical() {
         let db = activity_db(rows, kind);
         let out = SccCoordinator::new(&db).run(&queries).unwrap();
         assert_eq!(out.found.len(), n, "{}", kind.name());
-        let best: Vec<String> = out.best_names().iter().map(|s| s.to_string()).collect();
+        let best: Vec<String> = out.best_names().iter().map(ToString::to_string).collect();
         assert_eq!(best.len(), n, "{}", kind.name());
         outcomes.push(best);
     }
